@@ -1,0 +1,82 @@
+//===- bench/micro_clocks.cpp - Clock microbenchmarks ---------------------===//
+//
+// Google-benchmark microbenchmarks for the metadata primitives whose costs
+// the paper's optimizations target: vector-clock joins and comparisons
+// (O(T)) versus epoch checks (O(1)), and end-to-end per-event throughput
+// of each analysis family on a lock-heavy workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisRegistry.h"
+#include "support/VectorClock.h"
+#include "workload/Workload.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace st;
+
+static void BM_VectorClockJoin(benchmark::State &State) {
+  unsigned T = static_cast<unsigned>(State.range(0));
+  VectorClock A, B;
+  for (unsigned I = 0; I < T; ++I) {
+    A.set(I, I * 3 + 1);
+    B.set(I, I * 5 + 2);
+  }
+  for (auto _ : State) {
+    A.joinWith(B);
+    benchmark::DoNotOptimize(A);
+  }
+}
+BENCHMARK(BM_VectorClockJoin)->Arg(2)->Arg(8)->Arg(32);
+
+static void BM_VectorClockLeq(benchmark::State &State) {
+  unsigned T = static_cast<unsigned>(State.range(0));
+  VectorClock A, B;
+  for (unsigned I = 0; I < T; ++I) {
+    A.set(I, I + 1);
+    B.set(I, I + 2);
+  }
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(A.leq(B));
+  }
+}
+BENCHMARK(BM_VectorClockLeq)->Arg(2)->Arg(8)->Arg(32);
+
+static void BM_EpochCheck(benchmark::State &State) {
+  VectorClock C;
+  for (unsigned I = 0; I < 32; ++I)
+    C.set(I, I + 1);
+  Epoch E = Epoch::make(17, 18);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(C.epochLeq(E));
+  }
+}
+BENCHMARK(BM_EpochCheck);
+
+static void BM_AnalysisThroughput(benchmark::State &State) {
+  AnalysisKind Kind = static_cast<AnalysisKind>(State.range(0));
+  WorkloadProfile P;
+  P.Name = "micro";
+  P.Threads = 8;
+  P.NseaFraction = 0.25;
+  P.Held1 = 0.8;
+  P.Held2 = 0.3;
+  P.EpisodesPerMillion = 0;
+  WorkloadGenerator Gen(P, 50000, 7);
+  Trace Tr = Gen.materialize(50000);
+  for (auto _ : State) {
+    auto A = createAnalysis(Kind);
+    A->processTrace(Tr);
+    benchmark::DoNotOptimize(A->dynamicRaces());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Tr.size()));
+}
+BENCHMARK(BM_AnalysisThroughput)
+    ->Arg(static_cast<int>(AnalysisKind::FTOHB))
+    ->Arg(static_cast<int>(AnalysisKind::UnoptDC))
+    ->Arg(static_cast<int>(AnalysisKind::FTODC))
+    ->Arg(static_cast<int>(AnalysisKind::STDC))
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

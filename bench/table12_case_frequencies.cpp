@@ -1,0 +1,78 @@
+//===- bench/table12_case_frequencies.cpp - Reproduce Table 12 ------------===//
+//
+// Regenerates Table 12 (Appendix B): frequencies of the FTO cases taken by
+// SmartTrack-WDC for each evaluated program — the non-same-epoch read and
+// write totals and the percentage split over owned / exclusive / share /
+// shared cases.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/BenchRunner.h"
+#include "harness/Table.h"
+
+#include <cstdio>
+
+using namespace st;
+
+static std::string formatPct(uint64_t Part, uint64_t Total) {
+  if (Total == 0)
+    return "-";
+  double Pct = 100.0 * static_cast<double>(Part) / static_cast<double>(Total);
+  char Buf[32];
+  if (Pct != 0 && Pct < 0.001)
+    return "<0.001%";
+  std::snprintf(Buf, sizeof(Buf), "%.3g%%", Pct);
+  return Buf;
+}
+
+static std::string formatCount(uint64_t N) {
+  char Buf[32];
+  if (N >= 1000000)
+    std::snprintf(Buf, sizeof(Buf), "%.1fM", N / 1e6);
+  else if (N >= 1000)
+    std::snprintf(Buf, sizeof(Buf), "%.1fK", N / 1e3);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%llu",
+                  static_cast<unsigned long long>(N));
+  return Buf;
+}
+
+int main(int Argc, char **Argv) {
+  BenchConfig Config;
+  if (!parseBenchArgs(Argc, Argv, Config))
+    return 1;
+
+  std::printf("Table 12: frequencies of non-same-epoch reads and writes "
+              "for SmartTrack-WDC\n");
+  std::printf("(events scaled by 1/%llu)\n\n",
+              static_cast<unsigned long long>(Config.EventScale));
+
+  TablePrinter Table({"Program", "Event", "Total", "Owned Excl",
+                      "Owned Shared", "Unowned Excl", "Unowned Share",
+                      "Unowned Shared"});
+  for (const WorkloadProfile &P : dacapoProfiles()) {
+    if (!Config.wantsProgram(P.Name))
+      continue;
+    WorkloadGenerator Gen(P, Config.eventsFor(P), Config.Seed);
+    auto A = createAnalysis(AnalysisKind::STWDC);
+    A->setMaxStoredRaces(Config.MaxStoredRaces);
+    Event E;
+    while (Gen.next(E))
+      A->processEvent(E);
+    const CaseStats *S = A->caseStats();
+    uint64_t Reads = S->nonSameEpochReads();
+    uint64_t Writes = S->nonSameEpochWrites();
+    Table.addRow({P.Name, "Read", formatCount(Reads),
+                  formatPct(S->ReadOwned, Reads),
+                  formatPct(S->ReadSharedOwned, Reads),
+                  formatPct(S->ReadExclusive, Reads),
+                  formatPct(S->ReadShare, Reads),
+                  formatPct(S->ReadShared, Reads)});
+    Table.addRow({"", "Write", formatCount(Writes),
+                  formatPct(S->WriteOwned, Writes), "N/A",
+                  formatPct(S->WriteExclusive, Writes), "N/A",
+                  formatPct(S->WriteShared, Writes)});
+  }
+  Table.print();
+  return 0;
+}

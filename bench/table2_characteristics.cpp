@@ -1,0 +1,62 @@
+//===- bench/table2_characteristics.cpp - Reproduce Table 2 ---------------===//
+//
+// Regenerates Table 2: run-time characteristics of the evaluated programs
+// (threads, events, non-same-epoch accesses, locks held at NSEAs) for the
+// DaCapo-like synthetic workloads, next to the paper's targets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/BenchRunner.h"
+#include "harness/Characteristics.h"
+#include "harness/Table.h"
+
+#include <cstdio>
+
+using namespace st;
+
+static std::string formatCount(uint64_t N) {
+  char Buf[32];
+  if (N >= 1000000)
+    std::snprintf(Buf, sizeof(Buf), "%.1fM", N / 1e6);
+  else if (N >= 1000)
+    std::snprintf(Buf, sizeof(Buf), "%.0fK", N / 1e3);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%llu", static_cast<unsigned long long>(N));
+  return Buf;
+}
+
+static std::string formatPct(double F) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.2f%%", 100.0 * F);
+  return Buf;
+}
+
+int main(int Argc, char **Argv) {
+  BenchConfig Config;
+  if (!parseBenchArgs(Argc, Argv, Config))
+    return 1;
+
+  std::printf("Table 2: run-time characteristics of the evaluated "
+              "programs\n");
+  std::printf("(events scaled by 1/%llu; paper targets in parentheses)\n\n",
+              static_cast<unsigned long long>(Config.EventScale));
+
+  TablePrinter Table({"Program", "#Thr", "All", "NSEAs", ">=1 lock",
+                      ">=2 locks", ">=3 locks"});
+  for (const WorkloadProfile &P : dacapoProfiles()) {
+    if (!Config.wantsProgram(P.Name))
+      continue;
+    WorkloadGenerator Gen(P, Config.eventsFor(P), Config.Seed);
+    WorkloadCharacteristics C = measureCharacteristics(Gen);
+    Table.addRow({P.Name, std::to_string(C.Threads),
+                  formatCount(C.AllEvents), formatCount(C.Nseas),
+                  formatPct(C.heldFraction(1)) + " (" + formatPct(P.Held1) +
+                      ")",
+                  formatPct(C.heldFraction(2)) + " (" + formatPct(P.Held2) +
+                      ")",
+                  formatPct(C.heldFraction(3)) + " (" + formatPct(P.Held3) +
+                      ")"});
+  }
+  Table.print();
+  return 0;
+}

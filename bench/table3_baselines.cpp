@@ -1,0 +1,72 @@
+//===- bench/table3_baselines.cpp - Reproduce Table 3 ---------------------===//
+//
+// Regenerates Table 3: run time and memory of the FastTrack-based HB
+// analyses (FT2, FTO) and the unoptimized DC/WDC analyses with and without
+// constraint-graph building, relative to uninstrumented execution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/BenchRunner.h"
+#include "harness/Stats.h"
+#include "harness/Table.h"
+
+#include <cstdio>
+
+using namespace st;
+
+int main(int Argc, char **Argv) {
+  BenchConfig Config;
+  if (!parseBenchArgs(Argc, Argv, Config))
+    return 1;
+
+  const AnalysisKind Kinds[] = {
+      AnalysisKind::FT2,        AnalysisKind::FTOHB,
+      AnalysisKind::UnoptDCwG,  AnalysisKind::UnoptDC,
+      AnalysisKind::UnoptWDCwG, AnalysisKind::UnoptWDC,
+  };
+  const char *Cols[] = {"FT2",       "FTO",        "UnoptDC w/G",
+                        "UnoptDC",   "UnoptWDC w/G", "UnoptWDC"};
+
+  std::printf("Table 3: baselines (run time and memory factors vs "
+              "uninstrumented execution)\n");
+  std::printf("(events scaled by 1/%llu, %u trial(s))\n\n",
+              static_cast<unsigned long long>(Config.EventScale),
+              Config.Trials);
+
+  TablePrinter Time({"Program", Cols[0], Cols[1], Cols[2], Cols[3], Cols[4],
+                     Cols[5]});
+  TablePrinter Mem({"Program", Cols[0], Cols[1], Cols[2], Cols[3], Cols[4],
+                    Cols[5]});
+  std::vector<std::vector<double>> TimeCols(6), MemCols(6);
+
+  for (const WorkloadProfile &P : dacapoProfiles()) {
+    if (!Config.wantsProgram(P.Name))
+      continue;
+    double Baseline = measureBaseline(P, Config);
+    std::vector<std::string> TimeRow = {P.Name}, MemRow = {P.Name};
+    for (size_t K = 0; K < 6; ++K) {
+      CellResult Cell = runCell(Kinds[K], P, Config, Baseline);
+      double T = mean(Cell.Slowdowns), M = mean(Cell.MemFactors);
+      TimeRow.push_back(formatFactor(T, ciHalfWidth95(Cell.Slowdowns)));
+      MemRow.push_back(formatFactor(M, ciHalfWidth95(Cell.MemFactors)));
+      TimeCols[K].push_back(T);
+      MemCols[K].push_back(M);
+    }
+    Time.addRow(TimeRow);
+    Mem.addRow(MemRow);
+  }
+
+  std::vector<std::string> TimeGeo = {"geomean"}, MemGeo = {"geomean"};
+  for (size_t K = 0; K < 6; ++K) {
+    TimeGeo.push_back(formatFactor(geomean(TimeCols[K])));
+    MemGeo.push_back(formatFactor(geomean(MemCols[K])));
+  }
+  Time.addRow(TimeGeo);
+  Mem.addRow(MemGeo);
+
+  std::printf("Run time\n");
+  Time.print();
+  std::printf("\nMemory usage\n");
+  Mem.print();
+  return 0;
+}

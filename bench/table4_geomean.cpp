@@ -1,0 +1,55 @@
+//===- bench/table4_geomean.cpp - Reproduce Table 4 -----------------------===//
+//
+// Regenerates Table 4: geometric mean of run time and memory usage across
+// the evaluated programs for the Unopt-/FTO-/ST- grid over the four
+// relations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/GridBench.h"
+#include "harness/Stats.h"
+#include "harness/Table.h"
+
+#include <cstdio>
+
+using namespace st;
+
+int main(int Argc, char **Argv) {
+  BenchConfig Config;
+  if (!parseBenchArgs(Argc, Argv, Config))
+    return 1;
+
+  std::printf("Table 4: geometric mean of run time and memory usage across "
+              "the evaluated programs\n");
+  std::printf("(events scaled by 1/%llu, %u trial(s))\n\n",
+              static_cast<unsigned long long>(Config.EventScale),
+              Config.Trials);
+  GridResults G = runMainGrid(Config);
+
+  static const char *RelName[] = {"HB", "WCP", "DC", "WDC"};
+
+  for (int Aspect = 0; Aspect < 2; ++Aspect) {
+    TablePrinter Table({"", "Unopt-", "FTO-", "ST-"});
+    for (unsigned Rel = 0; Rel < 4; ++Rel) {
+      std::vector<std::string> Row = {RelName[Rel]};
+      for (unsigned Level = 0; Level < 3; ++Level) {
+        int KI = gridKindIndex(Rel, Level);
+        if (KI < 0) {
+          Row.push_back("N/A");
+          continue;
+        }
+        std::vector<double> Values;
+        for (const auto &ProgRow : G.Cells) {
+          const CellResult &Cell = ProgRow[static_cast<size_t>(KI)];
+          Values.push_back(Aspect == 0 ? mean(Cell.Slowdowns)
+                                       : mean(Cell.MemFactors));
+        }
+        Row.push_back(formatFactor(geomean(Values)));
+      }
+      Table.addRow(Row);
+    }
+    std::printf("%s\n", Aspect == 0 ? "Run time" : "\nMemory usage");
+    Table.print();
+  }
+  return 0;
+}

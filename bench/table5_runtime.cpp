@@ -1,0 +1,52 @@
+//===- bench/table5_runtime.cpp - Reproduce Table 5 -----------------------===//
+//
+// Regenerates Table 5: run time, relative to uninstrumented execution, of
+// the eleven analyses for each evaluated program (per-program blocks with
+// relations as rows and optimization levels as columns). With --trials=N
+// (N>1) the cells carry 95% confidence intervals, reproducing Table 9.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/GridBench.h"
+#include "harness/Stats.h"
+#include "harness/Table.h"
+
+#include <cstdio>
+
+using namespace st;
+
+int main(int Argc, char **Argv) {
+  BenchConfig Config;
+  if (!parseBenchArgs(Argc, Argv, Config))
+    return 1;
+
+  std::printf("Table 5: run time, relative to uninstrumented execution, "
+              "per program\n");
+  std::printf("(events scaled by 1/%llu, %u trial(s))\n\n",
+              static_cast<unsigned long long>(Config.EventScale),
+              Config.Trials);
+  GridResults G = runMainGrid(Config);
+
+  static const char *RelName[] = {"HB", "WCP", "DC", "WDC"};
+  for (size_t PI = 0; PI < G.Programs.size(); ++PI) {
+    std::printf("%s\n", G.Programs[PI]->Name);
+    TablePrinter Table({"", "Unopt-", "FTO-", "ST-"});
+    for (unsigned Rel = 0; Rel < 4; ++Rel) {
+      std::vector<std::string> Row = {RelName[Rel]};
+      for (unsigned Level = 0; Level < 3; ++Level) {
+        int KI = gridKindIndex(Rel, Level);
+        if (KI < 0) {
+          Row.push_back("N/A");
+          continue;
+        }
+        const CellResult &Cell = G.Cells[PI][static_cast<size_t>(KI)];
+        Row.push_back(formatFactor(mean(Cell.Slowdowns),
+                                   ciHalfWidth95(Cell.Slowdowns)));
+      }
+      Table.addRow(Row);
+    }
+    Table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+//===- bench/table7_races.cpp - Reproduce Table 7 -------------------------===//
+//
+// Regenerates Table 7: races reported by each analysis for each program —
+// statically distinct races with total dynamic races in parentheses. With
+// --trials=N (N>1) cells average across trials (Table 11).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/GridBench.h"
+#include "harness/Stats.h"
+#include "harness/Table.h"
+
+#include <cstdio>
+
+using namespace st;
+
+int main(int Argc, char **Argv) {
+  BenchConfig Config;
+  if (!parseBenchArgs(Argc, Argv, Config))
+    return 1;
+
+  std::printf("Table 7: races reported (statically distinct, with dynamic "
+              "races in parentheses)\n");
+  std::printf("(events scaled by 1/%llu, %u trial(s))\n\n",
+              static_cast<unsigned long long>(Config.EventScale),
+              Config.Trials);
+  GridResults G = runMainGrid(Config);
+
+  static const char *RelName[] = {"HB", "WCP", "DC", "WDC"};
+  for (size_t PI = 0; PI < G.Programs.size(); ++PI) {
+    std::printf("%s\n", G.Programs[PI]->Name);
+    TablePrinter Table({"", "Unopt-", "FTO-", "ST-"});
+    for (unsigned Rel = 0; Rel < 4; ++Rel) {
+      std::vector<std::string> Row = {RelName[Rel]};
+      for (unsigned Level = 0; Level < 3; ++Level) {
+        int KI = gridKindIndex(Rel, Level);
+        if (KI < 0) {
+          Row.push_back("N/A");
+          continue;
+        }
+        const CellResult &Cell = G.Cells[PI][static_cast<size_t>(KI)];
+        Row.push_back(
+            formatRaces(mean(Cell.StaticRaces), mean(Cell.DynamicRaces)));
+      }
+      Table.addRow(Row);
+    }
+    Table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- examples/paper_figures.cpp - Walk the paper's figures ---------------===//
+//
+// An annotated, runnable walkthrough of the paper's example executions
+// (Figures 1-3): for each figure it prints the trace, explains what each
+// relation concludes and why, and demonstrates vindication, matching the
+// paper's prose.
+//
+// Build & run:   cmake --build build && ./build/examples/paper_figures
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisRegistry.h"
+#include "oracle/PredictableRace.h"
+#include "trace/TraceText.h"
+#include "vindicate/Vindicator.h"
+#include "workload/Figures.h"
+
+#include <cstdio>
+
+using namespace st;
+
+static uint64_t racesOf(AnalysisKind K, const Trace &Tr) {
+  auto A = createAnalysis(K);
+  A->processTrace(Tr);
+  return A->dynamicRaces();
+}
+
+int main() {
+  {
+    Trace Tr = figures::fig1a();
+    std::printf("--- Figure 1(a) ---\n%s\n", printTraceText(Tr).c_str());
+    std::printf("HB orders rd(x) before wr(x) through the lock on m, so "
+                "FTO-HB reports %llu races.\n",
+                (unsigned long long)racesOf(AnalysisKind::FTOHB, Tr));
+    std::printf("The critical sections touch different data (y vs z), so "
+                "the predictive relations leave\nthe x accesses unordered: "
+                "ST-WCP reports %llu, ST-DC %llu, ST-WDC %llu.\n",
+                (unsigned long long)racesOf(AnalysisKind::STWCP, Tr),
+                (unsigned long long)racesOf(AnalysisKind::STDC, Tr),
+                (unsigned long long)racesOf(AnalysisKind::STWDC, Tr));
+    VindicationResult V = vindicateRace(Tr, 0, Tr.size() - 1);
+    std::printf("Vindication reorders T2's critical section first — "
+                "Figure 1(b) — %s.\n\n",
+                V.Vindicated ? "success" : "failure");
+  }
+  {
+    Trace Tr = figures::fig2a();
+    std::printf("--- Figure 2(a) ---\n%s\n", printTraceText(Tr).c_str());
+    std::printf("The sections on m conflict on y, so rel(m) orders before "
+                "T2's rd(y) in every predictive\nrelation; WCP then "
+                "composes with the HB edge on n and orders the x accesses "
+                "(races: %llu),\nwhile DC composes only with program order "
+                "and reports the race (races: %llu).\n\n",
+                (unsigned long long)racesOf(AnalysisKind::STWCP, Tr),
+                (unsigned long long)racesOf(AnalysisKind::STDC, Tr));
+  }
+  {
+    Trace Tr = figures::fig3();
+    std::printf("--- Figure 3 ---\n%s\n", printTraceText(Tr).c_str());
+    std::printf("WDC drops rule (b) and reports %llu race on x; DC's rule "
+                "(b) orders the m sections and\nreports %llu. The WDC race "
+                "is FALSE: the oracle finds %s, and vindication %s.\n",
+                (unsigned long long)racesOf(AnalysisKind::STWDC, Tr),
+                (unsigned long long)racesOf(AnalysisKind::STDC, Tr),
+                findPredictableRace(Tr) ? "a predictable race"
+                                        : "no predictable race",
+                vindicateRace(Tr, 5, Tr.size() - 1).Vindicated
+                    ? "succeeds (unexpected!)"
+                    : "fails as it must");
+    std::printf("\nThis is the paper's coverage/soundness trade-off: WDC "
+                "is cheapest and catches everything,\nbut its rare false "
+                "races need vindication; WCP needs none; DC sits in "
+                "between.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ----------===//
+//
+// Builds a small execution trace, runs the SmartTrack-WDC detector on it,
+// and vindicates the detected race. This is the paper's Figure 1 as a
+// library user would encounter it.
+//
+// Build & run:   cmake --build build && ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisRegistry.h"
+#include "trace/TraceText.h"
+#include "vindicate/Vindicator.h"
+
+#include <cstdio>
+
+using namespace st;
+
+int main() {
+  // 1. Describe an observed execution. The TraceText DSL mirrors the
+  //    paper's figures; TraceBuilder offers the same programmatically.
+  Trace Tr = traceFromText(R"(
+    T1: rd(x)
+    T1: acq(m)
+    T1: wr(y)
+    T1: rel(m)
+    T2: acq(m)
+    T2: rd(z)
+    T2: rel(m)
+    T2: wr(x)
+  )");
+
+  // 2. Run a detector. Happens-before misses the race (the critical
+  //    sections on m order the trace as observed)...
+  auto Hb = createAnalysis(AnalysisKind::FTOHB);
+  Hb->processTrace(Tr);
+  std::printf("FTO-HB   : %llu race(s)\n",
+              static_cast<unsigned long long>(Hb->dynamicRaces()));
+
+  // ...but predictive analysis knows the accesses to x could have been
+  // adjacent in another interleaving of the same execution.
+  auto St = createAnalysis(AnalysisKind::STWDC);
+  St->processTrace(Tr);
+  std::printf("ST-WDC   : %llu race(s)\n",
+              static_cast<unsigned long long>(St->dynamicRaces()));
+
+  // 3. Vindicate: build a predicted trace that exposes the race, proving
+  //    it is real before a human spends time on it.
+  const RaceRecord &Race = St->raceRecords().front();
+  std::printf("race at event %llu on variable x%u\n",
+              static_cast<unsigned long long>(Race.EventIdx), Race.Var);
+  VindicationResult V = vindicateRaceAtEvent(Tr, Race.EventIdx);
+  if (V.Vindicated) {
+    std::printf("vindicated: schedule the %zu-event witness prefix, then "
+                "events %zu and %zu run back to back\n",
+                V.Witness.Prefix.size(), V.Witness.First, V.Witness.Second);
+  } else {
+    std::printf("not vindicated: %s\n", V.FailureReason.c_str());
+  }
+  return 0;
+}

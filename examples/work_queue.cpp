@@ -1,0 +1,109 @@
+//===- examples/work_queue.cpp - Comparing detectors on one workload ------===//
+//
+// A producer/consumer work queue with a subtle bug: the "shutdown" flag is
+// checked under the queue lock but set outside it. The example streams the
+// same recorded execution through every analysis in the registry and
+// prints the coverage/soundness/overhead trade-off the paper's Table 1
+// describes, using live measurements.
+//
+// Build & run:   cmake --build build && ./build/examples/work_queue
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisRegistry.h"
+#include "graph/EdgeRecorder.h"
+#include "harness/Table.h"
+#include "trace/Trace.h"
+#include "vindicate/Vindicator.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace st;
+
+namespace {
+
+/// Simulates a work-queue execution: producers enqueue under a lock,
+/// consumers dequeue under the lock, and the shutdown flag (variable 0) is
+/// written without it. Returns the recorded trace.
+Trace recordWorkQueueRun() {
+  constexpr VarId ShutdownFlag = 0;
+  constexpr VarId QueueSize = 1;
+  constexpr VarId FirstSlot = 2;
+  constexpr LockId QueueLock = 0;
+
+  TraceBuilder B;
+  B.fork(0, 1).fork(0, 2).fork(0, 3);
+
+  // Producers 1 and 2 push items; consumer 3 pops them.
+  unsigned Head = 0, Tail = 0;
+  for (unsigned Round = 0; Round < 8; ++Round) {
+    for (ThreadId Producer : {1u, 2u}) {
+      B.acq(Producer, QueueLock);
+      B.read(Producer, QueueSize, /*Site=*/100);
+      B.write(Producer, FirstSlot + (Tail++ % 4), /*Site=*/101);
+      B.write(Producer, QueueSize, /*Site=*/100);
+      B.rel(Producer, QueueLock);
+    }
+    B.acq(3, QueueLock);
+    B.read(3, ShutdownFlag, /*Site=*/200); // checked under the lock...
+    B.read(3, QueueSize, /*Site=*/100);
+    B.read(3, FirstSlot + (Head++ % 4), /*Site=*/102);
+    B.write(3, QueueSize, /*Site=*/100);
+    B.rel(3, QueueLock);
+  }
+
+  // Main briefly takes the lock to peek at the queue, then sets the
+  // shutdown flag *without* it: the predictable race. The empty critical
+  // section gives HB an ordering edge (so HB stays silent on the observed
+  // schedule) but contains no conflicting access, so the predictive
+  // relations leave the flag accesses unordered.
+  B.acq(0, QueueLock);
+  B.rel(0, QueueLock);
+  B.write(0, ShutdownFlag, /*Site=*/201);
+  B.join(0, 1).join(0, 2).join(0, 3);
+  return B.build();
+}
+
+} // namespace
+
+int main() {
+  Trace Tr = recordWorkQueueRun();
+  std::printf("recorded %zu events from the work-queue run\n\n", Tr.size());
+
+  TablePrinter Table(
+      {"Analysis", "Sound?", "Races", "Time (us)", "Metadata (KB)"});
+  for (AnalysisKind K : allAnalysisKinds()) {
+    EdgeRecorder Graph;
+    auto A = createAnalysis(K, &Graph);
+    auto Start = std::chrono::steady_clock::now();
+    A->processTrace(Tr);
+    auto End = std::chrono::steady_clock::now();
+    double Us = std::chrono::duration<double, std::micro>(End - Start).count();
+    const char *Sound = relationOf(K) == RelationKind::WDC ||
+                                relationOf(K) == RelationKind::DC
+                            ? "w/ vindication"
+                            : "yes";
+    char UsBuf[32], KbBuf[32];
+    std::snprintf(UsBuf, sizeof(UsBuf), "%.0f", Us);
+    std::snprintf(KbBuf, sizeof(KbBuf), "%.1f",
+                  static_cast<double>(A->footprintBytes()) / 1024.0);
+    Table.addRow({analysisKindName(K), Sound,
+                  std::to_string(A->dynamicRaces()), UsBuf, KbBuf});
+  }
+  Table.print();
+
+  auto Wdc = createAnalysis(AnalysisKind::STWDC);
+  Wdc->processTrace(Tr);
+  std::printf("\nHB misses the shutdown-flag race because the queue lock "
+              "ordered the observed schedule;\npredictive analyses catch "
+              "it. Vindication check:\n");
+  for (const RaceRecord &R : Wdc->raceRecords()) {
+    VindicationResult V = vindicateRaceAtEvent(Tr, R.EventIdx);
+    std::printf("  race on site %u at event %llu: %s\n", R.Site,
+                static_cast<unsigned long long>(R.EventIdx),
+                V.Vindicated ? "TRUE race (witness constructed)"
+                             : V.FailureReason.c_str());
+  }
+  return 0;
+}

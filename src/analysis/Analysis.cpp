@@ -1,0 +1,61 @@
+//===- analysis/Analysis.cpp - Dynamic race analysis interface ------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+
+using namespace st;
+
+void Analysis::processEvent(const Event &E) {
+  RacedThisEvent = false;
+  preEvent(E);
+  switch (E.Kind) {
+  case EventKind::Read:
+    onRead(E);
+    break;
+  case EventKind::Write:
+    onWrite(E);
+    break;
+  case EventKind::Acquire:
+    onAcquire(E);
+    break;
+  case EventKind::Release:
+    onRelease(E);
+    break;
+  case EventKind::Fork:
+    onFork(E);
+    break;
+  case EventKind::Join:
+    onJoin(E);
+    break;
+  case EventKind::VolRead:
+    onVolRead(E);
+    break;
+  case EventKind::VolWrite:
+    onVolWrite(E);
+    break;
+  }
+  ++EventIdx;
+}
+
+void Analysis::processTrace(const Trace &Tr) {
+  for (const Event &E : Tr.events())
+    processEvent(E);
+}
+
+void Analysis::reportRace(const Event &E, Epoch Prior) {
+  // Multiple failed checks at one access count as a single dynamic race.
+  if (RacedThisEvent)
+    return;
+  RacedThisEvent = true;
+  ++DynamicRaces;
+  // Accesses without an explicit site fall back to a per-variable site so
+  // static counting still works for builder-made traces.
+  SiteId Site = E.Site != InvalidId ? E.Site : (E.Target | 0x80000000u);
+  RacySites.insert(Site);
+  if (Races.size() < MaxStoredRaces)
+    Races.push_back({EventIdx, E.var(), Site, E.Tid,
+                     E.Kind == EventKind::Write, Prior});
+}

@@ -1,0 +1,131 @@
+//===- analysis/Analysis.h - Dynamic race analysis interface ----*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common interface every race detection analysis implements: an online
+/// consumer of trace events that reports data races. Race accounting follows
+/// the paper's methodology (§5.1): analyses keep running after a race; at
+/// most one dynamic race is counted per access event; races at the same
+/// static site count as one statically distinct race.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_ANALYSIS_H
+#define SMARTTRACK_ANALYSIS_ANALYSIS_H
+
+#include "support/Epoch.h"
+#include "trace/Trace.h"
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace st {
+
+/// One detected dynamic race: the current access plus a representative prior
+/// conflicting access (the epoch the failed ordering check compared against).
+struct RaceRecord {
+  uint64_t EventIdx = 0;
+  VarId Var = 0;
+  SiteId Site = InvalidId;
+  ThreadId Tid = 0;
+  bool IsWrite = false;
+  /// Epoch of one prior conflicting access (⊥ when only a clock was known).
+  Epoch Prior;
+};
+
+/// Frequencies of the FTO/SmartTrack access-handling cases, reported by the
+/// epoch-optimized analyses (paper Appendix B, Table 12).
+struct CaseStats {
+  // Fast paths (not counted as non-same-epoch accesses).
+  uint64_t ReadSameEpoch = 0;
+  uint64_t SharedSameEpoch = 0;
+  uint64_t WriteSameEpoch = 0;
+  // Non-same-epoch read cases.
+  uint64_t ReadOwned = 0;        // "Owned Excl" in Table 12
+  uint64_t ReadSharedOwned = 0;  // "Owned Shared"
+  uint64_t ReadExclusive = 0;    // "Unowned Excl"
+  uint64_t ReadShare = 0;        // "Unowned Share"
+  uint64_t ReadShared = 0;       // "Unowned Shared"
+  // Non-same-epoch write cases.
+  uint64_t WriteOwned = 0;
+  uint64_t WriteExclusive = 0;
+  uint64_t WriteShared = 0;
+
+  uint64_t nonSameEpochReads() const {
+    return ReadOwned + ReadSharedOwned + ReadExclusive + ReadShare +
+           ReadShared;
+  }
+  uint64_t nonSameEpochWrites() const {
+    return WriteOwned + WriteExclusive + WriteShared;
+  }
+};
+
+/// Abstract online race detection analysis.
+class Analysis {
+public:
+  virtual ~Analysis() = default;
+
+  /// Feeds one event; events must arrive in trace order.
+  void processEvent(const Event &E);
+
+  /// Feeds an entire trace.
+  void processTrace(const Trace &Tr);
+
+  /// Human-readable analysis name as used in the paper's tables.
+  virtual const char *name() const = 0;
+
+  /// Live bytes of analysis metadata, for the memory experiments.
+  virtual size_t footprintBytes() const = 0;
+
+  /// FTO-case frequencies if this analysis tracks them (Table 12).
+  virtual const CaseStats *caseStats() const { return nullptr; }
+
+  uint64_t dynamicRaces() const { return DynamicRaces; }
+  unsigned staticRaces() const {
+    return static_cast<unsigned>(RacySites.size());
+  }
+  const std::vector<RaceRecord> &raceRecords() const { return Races; }
+
+  /// Caps the number of stored RaceRecords (counting is unaffected); the
+  /// benches use this to keep multi-million-race runs bounded.
+  void setMaxStoredRaces(size_t N) { MaxStoredRaces = N; }
+
+  uint64_t eventsProcessed() const { return EventIdx; }
+
+protected:
+  /// Called before dispatching each event; analyses that keep per-event
+  /// bookkeeping (e.g. graph recording) override this.
+  virtual void preEvent(const Event &E) { (void)E; }
+
+  virtual void onRead(const Event &E) = 0;
+  virtual void onWrite(const Event &E) = 0;
+  virtual void onAcquire(const Event &E) = 0;
+  virtual void onRelease(const Event &E) = 0;
+  virtual void onFork(const Event &E) = 0;
+  virtual void onJoin(const Event &E) = 0;
+  virtual void onVolRead(const Event &E) = 0;
+  virtual void onVolWrite(const Event &E) = 0;
+
+  /// Reports a race at the current access against \p Prior. Multiple reports
+  /// during one event count once (paper §5.1).
+  void reportRace(const Event &E, Epoch Prior);
+
+  /// Index of the event currently being processed.
+  uint64_t currentEventIndex() const { return EventIdx; }
+
+private:
+  uint64_t EventIdx = 0;
+  uint64_t DynamicRaces = 0;
+  bool RacedThisEvent = false;
+  size_t MaxStoredRaces = SIZE_MAX;
+  std::vector<RaceRecord> Races;
+  std::unordered_set<SiteId> RacySites;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_ANALYSIS_H

@@ -1,0 +1,138 @@
+//===- analysis/ClockSets.h - Clock collections for analyses ----*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense collections of vector clocks indexed by thread / lock / variable
+/// ids, with the initialization conventions the algorithms assume (each
+/// thread's own entry starts at 1) and footprint accounting for the memory
+/// experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_CLOCKSETS_H
+#define SMARTTRACK_ANALYSIS_CLOCKSETS_H
+
+#include "support/VectorClock.h"
+
+#include <deque>
+#include <vector>
+
+namespace st {
+
+// Both collections grow on first use and hand out references that callers
+// hold across further growth (e.g. fork joins the parent's and the child's
+// clocks), so storage must be reference-stable: std::deque, not
+// std::vector.
+
+/// Per-thread clocks C_t with C_t(t) initialized to 1 on first use.
+class ThreadClockSet {
+public:
+  VectorClock &of(ThreadId T) {
+    while (T >= Clocks.size())
+      Clocks.emplace_back();
+    VectorClock &C = Clocks[T];
+    if (C.get(T) == 0)
+      C.set(T, 1);
+    return C;
+  }
+
+  const VectorClock &peek(ThreadId T) const {
+    assert(T < Clocks.size() && "thread never seen");
+    return Clocks[T];
+  }
+
+  size_t size() const { return Clocks.size(); }
+
+  size_t footprintBytes() const {
+    size_t N = Clocks.size() * sizeof(VectorClock);
+    for (const VectorClock &C : Clocks)
+      N += C.footprintBytes();
+    return N;
+  }
+
+private:
+  std::deque<VectorClock> Clocks;
+};
+
+/// Dense id -> VectorClock map with default-empty clocks (used for per-lock
+/// release times and per-volatile access times).
+class ClockMap {
+public:
+  VectorClock &of(uint32_t Id) {
+    while (Id >= Clocks.size())
+      Clocks.emplace_back();
+    return Clocks[Id];
+  }
+
+  /// Read-only lookup that does not grow the map.
+  const VectorClock *find(uint32_t Id) const {
+    return Id < Clocks.size() ? &Clocks[Id] : nullptr;
+  }
+
+  size_t footprintBytes() const {
+    size_t N = Clocks.size() * sizeof(VectorClock);
+    for (const VectorClock &C : Clocks)
+      N += C.footprintBytes();
+    return N;
+  }
+
+private:
+  std::deque<VectorClock> Clocks;
+};
+
+/// Per-thread stack of currently held locks, innermost last.
+class HeldLockSet {
+public:
+  void pushLock(ThreadId T, LockId M) {
+    if (T >= Held.size())
+      Held.resize(T + 1);
+    Held[T].push_back(M);
+  }
+
+  void popLock(ThreadId T, LockId M) {
+    assert(T < Held.size() && !Held[T].empty() && "release without acquire");
+    // Locking is usually properly nested (Java synchronized blocks, the
+    // paper's setting), but explicit locks may release out of order; search
+    // from the innermost end.
+    auto &Stack = Held[T];
+    for (size_t I = Stack.size(); I-- > 0;) {
+      if (Stack[I] == M) {
+        Stack.erase(Stack.begin() + static_cast<long>(I));
+        return;
+      }
+    }
+    assert(false && "release of a lock the thread does not hold");
+  }
+
+  /// Locks held by \p T, outermost first; empty for unseen threads.
+  const std::vector<LockId> &of(ThreadId T) const {
+    static const std::vector<LockId> Empty;
+    return T < Held.size() ? Held[T] : Empty;
+  }
+
+  bool holds(ThreadId T, LockId M) const {
+    if (T >= Held.size())
+      return false;
+    for (LockId L : Held[T])
+      if (L == M)
+        return true;
+    return false;
+  }
+
+  size_t footprintBytes() const {
+    size_t N = Held.capacity() * sizeof(std::vector<LockId>);
+    for (const auto &V : Held)
+      N += V.capacity() * sizeof(LockId);
+    return N;
+  }
+
+private:
+  std::vector<std::vector<LockId>> Held;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_CLOCKSETS_H

@@ -1,0 +1,108 @@
+//===- analysis/FT2.cpp - FastTrack2 HB analysis --------------------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FT2.h"
+
+using namespace st;
+
+size_t FT2::footprintBytes() const {
+  size_t N = Threads.footprintBytes() + LockRelease.footprintBytes() +
+             VolWriteClock.footprintBytes() + VolReadClock.footprintBytes() +
+             Vars.capacity() * sizeof(VarState);
+  for (const VarState &V : Vars)
+    if (V.RShared)
+      N += sizeof(VectorClock) + V.RShared->footprintBytes();
+  return N;
+}
+
+void FT2::onRead(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  VarState &V = varState(E.var());
+  Epoch Now = Ct.epochOf(E.Tid);
+
+  if (!V.RShared && V.R == Now)
+    return; // [Read Same Epoch]
+  if (V.RShared && V.RShared->get(E.Tid) == Now.clock())
+    return; // [Read Shared Same Epoch]
+
+  if (!Ct.epochLeq(V.W))
+    reportRace(E, V.W); // write-read race
+
+  if (V.RShared) {
+    V.RShared->set(E.Tid, Now.clock()); // [Read Shared]
+    return;
+  }
+  if (Ct.epochLeq(V.R)) {
+    V.R = Now; // [Read Exclusive]
+    return;
+  }
+  // [Read Share]: inflate to a read vector clock.
+  V.RShared = std::make_unique<VectorClock>();
+  V.RShared->set(V.R.tid(), V.R.clock());
+  V.RShared->set(E.Tid, Now.clock());
+  V.R = Epoch::none();
+}
+
+void FT2::onWrite(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  VarState &V = varState(E.var());
+  Epoch Now = Ct.epochOf(E.Tid);
+
+  if (V.W == Now)
+    return; // [Write Same Epoch]
+
+  if (!Ct.epochLeq(V.W))
+    reportRace(E, V.W); // write-write race
+
+  if (V.RShared) {
+    // [Write Shared]: check all last readers, then deflate.
+    if (!V.RShared->leq(Ct))
+      reportRace(E, Epoch::none());
+    V.RShared.reset();
+    V.R = Epoch::none();
+  } else if (!Ct.epochLeq(V.R)) {
+    reportRace(E, V.R); // read-write race [Write Exclusive]
+  }
+  V.W = Now;
+}
+
+void FT2::onAcquire(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  Ct.joinWith(LockRelease.of(E.lock()));
+  Ct.increment(E.Tid);
+}
+
+void FT2::onRelease(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  LockRelease.of(E.lock()) = Ct;
+  Ct.increment(E.Tid);
+}
+
+void FT2::onFork(const Event &E) {
+  VectorClock &Child = Threads.of(E.childTid());
+  VectorClock &Ct = Threads.of(E.Tid);
+  Child.joinWith(Ct);
+  Ct.increment(E.Tid);
+}
+
+void FT2::onJoin(const Event &E) {
+  Threads.of(E.Tid).joinWith(Threads.of(E.childTid()));
+}
+
+void FT2::onVolRead(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  Ct.joinWith(VolWriteClock.of(E.var()));
+  VolReadClock.of(E.var()).joinWith(Ct);
+  Ct.increment(E.Tid);
+}
+
+void FT2::onVolWrite(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  Ct.joinWith(VolWriteClock.of(E.var()));
+  Ct.joinWith(VolReadClock.of(E.var()));
+  VolWriteClock.of(E.var()).joinWith(Ct);
+  Ct.increment(E.Tid);
+}

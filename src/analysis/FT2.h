@@ -1,0 +1,66 @@
+//===- analysis/FT2.h - FastTrack2 HB analysis ------------------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FastTrack2 algorithm (Flanagan & Freund 2017): epoch-optimized
+/// happens-before analysis. The last write to each variable is an epoch; the
+/// last reads are an epoch while totally ordered and inflate to a read
+/// vector clock when concurrent reads appear. Matching the paper's FT2
+/// implementation (§5.4), last-access metadata is updated after every event
+/// even when a race is detected, analysis never stops, and every race is
+/// counted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_FT2_H
+#define SMARTTRACK_ANALYSIS_FT2_H
+
+#include "analysis/Analysis.h"
+#include "analysis/ClockSets.h"
+
+#include <memory>
+
+namespace st {
+
+/// FastTrack2: epoch-based HB race detection.
+class FT2 : public Analysis {
+public:
+  const char *name() const override { return "FT2"; }
+  size_t footprintBytes() const override;
+
+protected:
+  void onRead(const Event &E) override;
+  void onWrite(const Event &E) override;
+  void onAcquire(const Event &E) override;
+  void onRelease(const Event &E) override;
+  void onFork(const Event &E) override;
+  void onJoin(const Event &E) override;
+  void onVolRead(const Event &E) override;
+  void onVolWrite(const Event &E) override;
+
+private:
+  struct VarState {
+    Epoch W;                              // last write
+    Epoch R;                              // last read (epoch mode)
+    std::unique_ptr<VectorClock> RShared; // last reads (shared mode)
+  };
+
+  VarState &varState(VarId X) {
+    if (X >= Vars.size())
+      Vars.resize(X + 1);
+    return Vars[X];
+  }
+
+  ThreadClockSet Threads;
+  ClockMap LockRelease;
+  ClockMap VolWriteClock;
+  ClockMap VolReadClock;
+  std::vector<VarState> Vars;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_FT2_H

@@ -1,0 +1,133 @@
+//===- analysis/FTOHB.cpp - FastTrack-Ownership HB analysis ---------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FTOHB.h"
+
+using namespace st;
+
+size_t FTOHB::footprintBytes() const {
+  size_t N = Threads.footprintBytes() + LockRelease.footprintBytes() +
+             VolWriteClock.footprintBytes() + VolReadClock.footprintBytes() +
+             Vars.capacity() * sizeof(VarState);
+  for (const VarState &V : Vars)
+    if (V.RShared)
+      N += sizeof(VectorClock) + V.RShared->footprintBytes();
+  return N;
+}
+
+void FTOHB::onRead(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  VarState &V = varState(E.var());
+  Epoch Now = Ct.epochOf(E.Tid);
+
+  if (!V.RShared && V.R == Now) {
+    ++Stats.ReadSameEpoch;
+    return; // [Read Same Epoch]
+  }
+  if (V.RShared && V.RShared->get(E.Tid) == Now.clock()) {
+    ++Stats.SharedSameEpoch;
+    return; // [Shared Same Epoch]
+  }
+
+  if (!V.RShared) {
+    if (V.R.tid() == E.Tid && !V.R.isNone()) {
+      ++Stats.ReadOwned; // [Read Owned]: no race possible
+      V.R = Now;
+      return;
+    }
+    if (Ct.epochLeq(V.R)) {
+      ++Stats.ReadExclusive; // [Read Exclusive]
+      V.R = Now;
+      return;
+    }
+    // [Read Share]
+    ++Stats.ReadShare;
+    if (!Ct.epochLeq(V.W))
+      reportRace(E, V.W);
+    V.RShared = std::make_unique<VectorClock>();
+    V.RShared->set(V.R.tid(), V.R.clock());
+    V.RShared->set(E.Tid, Now.clock());
+    V.R = Epoch::none();
+    return;
+  }
+  if (V.RShared->get(E.Tid) != 0) {
+    ++Stats.ReadSharedOwned; // [Read Shared Owned]
+    V.RShared->set(E.Tid, Now.clock());
+    return;
+  }
+  // [Read Shared]
+  ++Stats.ReadShared;
+  if (!Ct.epochLeq(V.W))
+    reportRace(E, V.W);
+  V.RShared->set(E.Tid, Now.clock());
+}
+
+void FTOHB::onWrite(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  VarState &V = varState(E.var());
+  Epoch Now = Ct.epochOf(E.Tid);
+
+  if (V.W == Now) {
+    ++Stats.WriteSameEpoch;
+    return; // [Write Same Epoch]
+  }
+
+  if (!V.RShared) {
+    if (V.R.tid() == E.Tid && !V.R.isNone()) {
+      ++Stats.WriteOwned; // [Write Owned]: no race possible
+    } else {
+      ++Stats.WriteExclusive; // [Write Exclusive]
+      if (!Ct.epochLeq(V.R))
+        reportRace(E, V.R);
+    }
+  } else {
+    ++Stats.WriteShared; // [Write Shared]
+    // Checking W_x is unnecessary since W_x ⪯ R_x (Algorithm 2).
+    if (!V.RShared->leq(Ct))
+      reportRace(E, Epoch::none());
+    V.RShared.reset();
+  }
+  V.W = Now;
+  V.R = Now; // R_x tracks reads and writes in FTO
+}
+
+void FTOHB::onAcquire(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  Ct.joinWith(LockRelease.of(E.lock()));
+  Ct.increment(E.Tid); // Algorithm 2 line 3: supports same-epoch checks
+}
+
+void FTOHB::onRelease(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  LockRelease.of(E.lock()) = Ct;
+  Ct.increment(E.Tid);
+}
+
+void FTOHB::onFork(const Event &E) {
+  VectorClock &Child = Threads.of(E.childTid());
+  VectorClock &Ct = Threads.of(E.Tid);
+  Child.joinWith(Ct);
+  Ct.increment(E.Tid);
+}
+
+void FTOHB::onJoin(const Event &E) {
+  Threads.of(E.Tid).joinWith(Threads.of(E.childTid()));
+}
+
+void FTOHB::onVolRead(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  Ct.joinWith(VolWriteClock.of(E.var()));
+  VolReadClock.of(E.var()).joinWith(Ct);
+  Ct.increment(E.Tid);
+}
+
+void FTOHB::onVolWrite(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  Ct.joinWith(VolWriteClock.of(E.var()));
+  Ct.joinWith(VolReadClock.of(E.var()));
+  VolWriteClock.of(E.var()).joinWith(Ct);
+  Ct.increment(E.Tid);
+}

@@ -1,0 +1,66 @@
+//===- analysis/FTOHB.h - FastTrack-Ownership HB analysis -------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FTO-HB (Wood et al. 2017; paper §4.1 and Algorithm 2 minus the CCS
+/// logic): FastTrack with ownership cases. Unlike FT2, the read metadata R_x
+/// represents the last reads *and* write, enabling the owned cases that skip
+/// race checks when the current thread already owns the variable. This is
+/// the representative HB baseline in the paper's main tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_FTOHB_H
+#define SMARTTRACK_ANALYSIS_FTOHB_H
+
+#include "analysis/Analysis.h"
+#include "analysis/ClockSets.h"
+
+#include <memory>
+
+namespace st {
+
+/// FTO-HB: ownership-optimized FastTrack.
+class FTOHB : public Analysis {
+public:
+  const char *name() const override { return "FTO-HB"; }
+  size_t footprintBytes() const override;
+  const CaseStats *caseStats() const override { return &Stats; }
+
+protected:
+  void onRead(const Event &E) override;
+  void onWrite(const Event &E) override;
+  void onAcquire(const Event &E) override;
+  void onRelease(const Event &E) override;
+  void onFork(const Event &E) override;
+  void onJoin(const Event &E) override;
+  void onVolRead(const Event &E) override;
+  void onVolWrite(const Event &E) override;
+
+private:
+  struct VarState {
+    Epoch W;                              // last write
+    Epoch R;                              // last reads+write (epoch mode)
+    std::unique_ptr<VectorClock> RShared; // last reads+write (shared mode)
+  };
+
+  VarState &varState(VarId X) {
+    if (X >= Vars.size())
+      Vars.resize(X + 1);
+    return Vars[X];
+  }
+
+  ThreadClockSet Threads;
+  ClockMap LockRelease;
+  ClockMap VolWriteClock;
+  ClockMap VolReadClock;
+  std::vector<VarState> Vars;
+  CaseStats Stats;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_FTOHB_H

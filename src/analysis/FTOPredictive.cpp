@@ -1,0 +1,196 @@
+//===- analysis/FTOPredictive.cpp - FTO-DC / FTO-WDC analysis -------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FTOPredictive.h"
+
+#include "analysis/Footprint.h"
+
+using namespace st;
+
+FTOPredictive::FTOPredictive(bool RuleB) : RuleB(RuleB) {}
+
+size_t FTOPredictive::footprintBytes() const {
+  size_t N = Threads.footprintBytes() + Held.footprintBytes() +
+             VolWriteClock.footprintBytes() + VolReadClock.footprintBytes() +
+             Vars.capacity() * sizeof(VarState) +
+             Locks.capacity() * sizeof(LockState);
+  for (const VarState &V : Vars)
+    if (V.RShared)
+      N += sizeof(VectorClock) + V.RShared->footprintBytes();
+  for (const LockState &L : Locks) {
+    N += unorderedFootprint(L.ReadCS) + unorderedFootprint(L.WriteCS) +
+         unorderedFootprint(L.ReadVars) + unorderedFootprint(L.WriteVars);
+    for (const auto &KV : L.ReadCS)
+      N += KV.second.footprintBytes();
+    for (const auto &KV : L.WriteCS)
+      N += KV.second.footprintBytes();
+    if (L.Queues)
+      N += L.Queues->footprintBytes();
+  }
+  return N;
+}
+
+void FTOPredictive::onRead(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  VarState &V = varState(E.var());
+  Epoch Now = Ct.epochOf(E.Tid);
+
+  if (!V.RShared && V.R == Now) {
+    ++Stats.ReadSameEpoch;
+    return; // [Read Same Epoch]
+  }
+  if (V.RShared && V.RShared->get(E.Tid) == Now.clock()) {
+    ++Stats.SharedSameEpoch;
+    return; // [Shared Same Epoch]
+  }
+
+  // DC rule (a): prior conflicting critical sections (Algorithm 2 lines
+  // 29-31). Reads only conflict with prior writes.
+  for (LockId M : Held.of(E.Tid)) {
+    LockState &L = lockState(M);
+    if (auto It = L.WriteCS.find(E.var()); It != L.WriteCS.end())
+      Ct.joinWith(It->second);
+    L.ReadVars.insert(E.var());
+  }
+  Now = Ct.epochOf(E.Tid); // joins do not change the local entry, but keep
+                           // the epoch fresh for clarity
+
+  if (!V.RShared) {
+    if (V.R.tid() == E.Tid && !V.R.isNone()) {
+      ++Stats.ReadOwned; // [Read Owned]
+      V.R = Now;
+      return;
+    }
+    if (Ct.epochLeq(V.R)) {
+      ++Stats.ReadExclusive; // [Read Exclusive]
+      V.R = Now;
+      return;
+    }
+    ++Stats.ReadShare; // [Read Share]
+    if (!Ct.epochLeq(V.W))
+      reportRace(E, V.W);
+    V.RShared = std::make_unique<VectorClock>();
+    V.RShared->set(V.R.tid(), V.R.clock());
+    V.RShared->set(E.Tid, Now.clock());
+    V.R = Epoch::none();
+    return;
+  }
+  if (V.RShared->get(E.Tid) != 0) {
+    ++Stats.ReadSharedOwned; // [Read Shared Owned]
+    V.RShared->set(E.Tid, Now.clock());
+    return;
+  }
+  ++Stats.ReadShared; // [Read Shared]
+  if (!Ct.epochLeq(V.W))
+    reportRace(E, V.W);
+  V.RShared->set(E.Tid, Now.clock());
+}
+
+void FTOPredictive::onWrite(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  VarState &V = varState(E.var());
+  Epoch Now = Ct.epochOf(E.Tid);
+
+  if (V.W == Now) {
+    ++Stats.WriteSameEpoch;
+    return; // [Write Same Epoch]
+  }
+
+  // DC rule (a): writes conflict with prior reads and writes (Algorithm 2
+  // lines 16-19); the write joins R_m as well since R_x/L^r track reads
+  // and writes.
+  for (LockId M : Held.of(E.Tid)) {
+    LockState &L = lockState(M);
+    if (auto It = L.ReadCS.find(E.var()); It != L.ReadCS.end())
+      Ct.joinWith(It->second);
+    if (auto It = L.WriteCS.find(E.var()); It != L.WriteCS.end())
+      Ct.joinWith(It->second);
+    L.WriteVars.insert(E.var());
+    L.ReadVars.insert(E.var());
+  }
+  Now = Ct.epochOf(E.Tid);
+
+  if (!V.RShared) {
+    if (V.R.tid() == E.Tid && !V.R.isNone()) {
+      ++Stats.WriteOwned; // [Write Owned]
+    } else {
+      ++Stats.WriteExclusive; // [Write Exclusive]
+      if (!Ct.epochLeq(V.R))
+        reportRace(E, V.R);
+    }
+  } else {
+    ++Stats.WriteShared; // [Write Shared]
+    if (!V.RShared->leq(Ct))
+      reportRace(E, Epoch::none());
+    V.RShared.reset();
+  }
+  V.W = Now;
+  V.R = Now;
+}
+
+void FTOPredictive::onAcquire(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  LockState &L = lockState(E.lock());
+  if (RuleB) {
+    if (!L.Queues)
+      L.Queues = std::make_unique<RuleBLog<VectorClock>>(
+          /*PerReleaserCursors=*/true);
+    L.Queues->onAcquire(E.Tid, Ct); // Algorithm 2 line 2
+  }
+  Held.pushLock(E.Tid, E.lock());
+  Ct.increment(E.Tid); // line 3
+}
+
+void FTOPredictive::onRelease(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  LockState &L = lockState(E.lock());
+
+  if (RuleB && L.Queues) {
+    // Algorithm 2 lines 5-8.
+    L.Queues->drainOrdered(E.Tid, Ct,
+                           [&](const VectorClock &Rel, uint64_t) {
+                             Ct.joinWith(Rel);
+                           });
+    L.Queues->onRelease(E.Tid, Ct, currentEventIndex()); // line 9
+  }
+
+  // Lines 10-12.
+  for (VarId X : L.ReadVars)
+    L.ReadCS[X].joinWith(Ct);
+  for (VarId X : L.WriteVars)
+    L.WriteCS[X].joinWith(Ct);
+  L.ReadVars.clear();
+  L.WriteVars.clear();
+
+  Held.popLock(E.Tid, E.lock());
+  Ct.increment(E.Tid); // line 13
+}
+
+void FTOPredictive::onFork(const Event &E) {
+  VectorClock &Child = Threads.of(E.childTid());
+  VectorClock &Ct = Threads.of(E.Tid);
+  Child.joinWith(Ct);
+  Ct.increment(E.Tid);
+}
+
+void FTOPredictive::onJoin(const Event &E) {
+  Threads.of(E.Tid).joinWith(Threads.of(E.childTid()));
+}
+
+void FTOPredictive::onVolRead(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  Ct.joinWith(VolWriteClock.of(E.var()));
+  VolReadClock.of(E.var()).joinWith(Ct);
+  Ct.increment(E.Tid);
+}
+
+void FTOPredictive::onVolWrite(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  Ct.joinWith(VolWriteClock.of(E.var()));
+  Ct.joinWith(VolReadClock.of(E.var()));
+  VolWriteClock.of(E.var()).joinWith(Ct);
+  Ct.increment(E.Tid);
+}

@@ -1,0 +1,92 @@
+//===- analysis/FTOPredictive.h - FTO-DC / FTO-WDC analysis -----*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FTO-based DC analysis, a direct implementation of the paper's
+/// Algorithm 2, and FTO-WDC (drop rule (b): Algorithm 2 lines 2 and 5-9).
+/// This is the paper's first optimization milestone: FastTrack-Ownership's
+/// epoch and ownership cases applied to predictive last-access metadata,
+/// while conflicting critical sections are still tracked with per-(lock,
+/// variable) clocks L^r_{m,x} / L^w_{m,x} as in Algorithm 1. In FTO-DC,
+/// R_x, R_m, and L^r_{m,x} represent *reads and writes* (Algorithm 2's
+/// note below line 15).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_FTOPREDICTIVE_H
+#define SMARTTRACK_ANALYSIS_FTOPREDICTIVE_H
+
+#include "analysis/Analysis.h"
+#include "analysis/ClockSets.h"
+#include "analysis/RuleBLog.h"
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace st {
+
+/// Epoch/ownership-optimized DC (or WDC) analysis per Algorithm 2.
+class FTOPredictive : public Analysis {
+public:
+  /// \p RuleB selects DC analysis (true) or WDC analysis (false).
+  explicit FTOPredictive(bool RuleB);
+
+  const char *name() const override {
+    return RuleB ? "FTO-DC" : "FTO-WDC";
+  }
+  size_t footprintBytes() const override;
+  const CaseStats *caseStats() const override { return &Stats; }
+
+protected:
+  void onRead(const Event &E) override;
+  void onWrite(const Event &E) override;
+  void onAcquire(const Event &E) override;
+  void onRelease(const Event &E) override;
+  void onFork(const Event &E) override;
+  void onJoin(const Event &E) override;
+  void onVolRead(const Event &E) override;
+  void onVolWrite(const Event &E) override;
+
+private:
+  struct VarState {
+    Epoch W;                              // last write
+    Epoch R;                              // last reads+write (epoch mode)
+    std::unique_ptr<VectorClock> RShared; // last reads+write (shared mode)
+  };
+
+  struct LockState {
+    std::unordered_map<VarId, VectorClock> ReadCS;  // L^r_{m,x} (rd+wr)
+    std::unordered_map<VarId, VectorClock> WriteCS; // L^w_{m,x} (writes)
+    std::unordered_set<VarId> ReadVars;             // R_m (rd+wr)
+    std::unordered_set<VarId> WriteVars;            // W_m
+    std::unique_ptr<RuleBLog<VectorClock>> Queues;
+  };
+
+  VarState &varState(VarId X) {
+    if (X >= Vars.size())
+      Vars.resize(X + 1);
+    return Vars[X];
+  }
+
+  LockState &lockState(LockId M) {
+    if (M >= Locks.size())
+      Locks.resize(M + 1);
+    return Locks[M];
+  }
+
+  bool RuleB;
+  ThreadClockSet Threads;
+  HeldLockSet Held;
+  std::vector<VarState> Vars;
+  std::vector<LockState> Locks;
+  ClockMap VolWriteClock, VolReadClock;
+  CaseStats Stats;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_FTOPREDICTIVE_H

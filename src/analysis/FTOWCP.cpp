@@ -1,0 +1,199 @@
+//===- analysis/FTOWCP.cpp - FTO-WCP analysis -----------------------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FTOWCP.h"
+
+#include "analysis/Footprint.h"
+
+using namespace st;
+
+size_t FTOWCP::footprintBytes() const {
+  size_t N = HThreads.footprintBytes() + PThreads.footprintBytes() +
+             Held.footprintBytes() + VolWriteHC.footprintBytes() +
+             VolReadHC.footprintBytes() + Vars.capacity() * sizeof(VarState) +
+             Locks.capacity() * sizeof(LockState);
+  for (const VarState &V : Vars)
+    if (V.RShared)
+      N += sizeof(VectorClock) + V.RShared->footprintBytes();
+  for (const LockState &L : Locks) {
+    N += L.HRel.footprintBytes() + L.PRel.footprintBytes() +
+         unorderedFootprint(L.ReadCS) + unorderedFootprint(L.WriteCS) +
+         unorderedFootprint(L.ReadVars) + unorderedFootprint(L.WriteVars);
+    for (const auto &KV : L.ReadCS)
+      N += KV.second.footprintBytes();
+    for (const auto &KV : L.WriteCS)
+      N += KV.second.footprintBytes();
+    if (L.Queues)
+      N += L.Queues->footprintBytes();
+  }
+  return N;
+}
+
+void FTOWCP::onRead(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  VectorClock &Pt = PThreads.of(E.Tid);
+  VarState &V = varState(E.var());
+  Epoch Now = Ht.epochOf(E.Tid);
+
+  if (!V.RShared && V.R == Now) {
+    ++Stats.ReadSameEpoch;
+    return; // [Read Same Epoch]
+  }
+  if (V.RShared && V.RShared->get(E.Tid) == Now.clock()) {
+    ++Stats.SharedSameEpoch;
+    return; // [Shared Same Epoch]
+  }
+
+  for (LockId M : Held.of(E.Tid)) {
+    LockState &L = lockState(M);
+    if (auto It = L.WriteCS.find(E.var()); It != L.WriteCS.end())
+      Pt.joinWith(It->second);
+    L.ReadVars.insert(E.var());
+  }
+
+  if (!V.RShared) {
+    if (V.R.tid() == E.Tid && !V.R.isNone()) {
+      ++Stats.ReadOwned; // [Read Owned]
+      V.R = Now;
+      return;
+    }
+    // Cross-thread epoch ordering check against the WCP clock.
+    if (Pt.epochLeq(V.R)) {
+      ++Stats.ReadExclusive; // [Read Exclusive]
+      V.R = Now;
+      return;
+    }
+    ++Stats.ReadShare; // [Read Share]
+    if (!(V.W.tid() == E.Tid) && !Pt.epochLeq(V.W))
+      reportRace(E, V.W);
+    V.RShared = std::make_unique<VectorClock>();
+    V.RShared->set(V.R.tid(), V.R.clock());
+    V.RShared->set(E.Tid, Now.clock());
+    V.R = Epoch::none();
+    return;
+  }
+  if (V.RShared->get(E.Tid) != 0) {
+    ++Stats.ReadSharedOwned; // [Read Shared Owned]
+    V.RShared->set(E.Tid, Now.clock());
+    return;
+  }
+  ++Stats.ReadShared; // [Read Shared]
+  if (!(V.W.tid() == E.Tid) && !Pt.epochLeq(V.W))
+    reportRace(E, V.W);
+  V.RShared->set(E.Tid, Now.clock());
+}
+
+void FTOWCP::onWrite(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  VectorClock &Pt = PThreads.of(E.Tid);
+  VarState &V = varState(E.var());
+  Epoch Now = Ht.epochOf(E.Tid);
+
+  if (V.W == Now) {
+    ++Stats.WriteSameEpoch;
+    return; // [Write Same Epoch]
+  }
+
+  for (LockId M : Held.of(E.Tid)) {
+    LockState &L = lockState(M);
+    if (auto It = L.ReadCS.find(E.var()); It != L.ReadCS.end())
+      Pt.joinWith(It->second);
+    if (auto It = L.WriteCS.find(E.var()); It != L.WriteCS.end())
+      Pt.joinWith(It->second);
+    L.WriteVars.insert(E.var());
+    L.ReadVars.insert(E.var());
+  }
+
+  if (!V.RShared) {
+    if (V.R.tid() == E.Tid && !V.R.isNone()) {
+      ++Stats.WriteOwned; // [Write Owned]
+    } else {
+      ++Stats.WriteExclusive; // [Write Exclusive]
+      if (!Pt.epochLeq(V.R))
+        reportRace(E, V.R);
+    }
+  } else {
+    ++Stats.WriteShared; // [Write Shared]
+    if (!V.RShared->leqIgnoring(Pt, E.Tid))
+      reportRace(E, Epoch::none());
+    V.RShared.reset();
+  }
+  V.W = Now;
+  V.R = Now;
+}
+
+void FTOWCP::onAcquire(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  VectorClock &Pt = PThreads.of(E.Tid);
+  LockState &L = lockState(E.lock());
+
+  Ht.joinWith(L.HRel);
+  Pt.joinWith(L.PRel);
+
+  if (!L.Queues)
+    L.Queues = std::make_unique<RuleBLog<Epoch>>(/*PerReleaserCursors=*/false);
+  L.Queues->onAcquire(E.Tid, Ht.epochOf(E.Tid));
+
+  Held.pushLock(E.Tid, E.lock());
+  Ht.increment(E.Tid);
+}
+
+void FTOWCP::onRelease(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  VectorClock &Pt = PThreads.of(E.Tid);
+  LockState &L = lockState(E.lock());
+
+  if (L.Queues) {
+    L.Queues->drainOrdered(E.Tid, Pt,
+                           [&](const VectorClock &Rel, uint64_t) {
+                             Pt.joinWith(Rel);
+                           });
+    L.Queues->onRelease(E.Tid, Ht, currentEventIndex());
+  }
+
+  for (VarId X : L.ReadVars)
+    L.ReadCS[X].joinWith(Ht);
+  for (VarId X : L.WriteVars)
+    L.WriteCS[X].joinWith(Ht);
+  L.ReadVars.clear();
+  L.WriteVars.clear();
+
+  L.HRel = Ht;
+  L.PRel = Pt;
+  Held.popLock(E.Tid, E.lock());
+  Ht.increment(E.Tid);
+}
+
+void FTOWCP::onFork(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  HThreads.of(E.childTid()).joinWith(Ht);
+  PThreads.of(E.childTid()).joinWith(Ht);
+  Ht.increment(E.Tid);
+}
+
+void FTOWCP::onJoin(const Event &E) {
+  VectorClock &ChildH = HThreads.of(E.childTid());
+  HThreads.of(E.Tid).joinWith(ChildH);
+  PThreads.of(E.Tid).joinWith(ChildH);
+}
+
+void FTOWCP::onVolRead(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  Ht.joinWith(VolWriteHC.of(E.var()));
+  PThreads.of(E.Tid).joinWith(VolWriteHC.of(E.var()));
+  VolReadHC.of(E.var()).joinWith(Ht);
+  Ht.increment(E.Tid);
+}
+
+void FTOWCP::onVolWrite(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  Ht.joinWith(VolWriteHC.of(E.var()));
+  Ht.joinWith(VolReadHC.of(E.var()));
+  PThreads.of(E.Tid).joinWith(VolWriteHC.of(E.var()));
+  PThreads.of(E.Tid).joinWith(VolReadHC.of(E.var()));
+  VolWriteHC.of(E.var()).joinWith(Ht);
+  Ht.increment(E.Tid);
+}

@@ -1,0 +1,87 @@
+//===- analysis/FTOWCP.h - FTO-WCP analysis ---------------------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FTO-WCP: Algorithm 2's epoch and ownership cases applied to WCP analysis
+/// (paper §4.1 — "making similar changes to unoptimized WCP analysis is
+/// straightforward"). Clock handling follows UnoptWCP: dual clocks H_t/P_t,
+/// rule-(a)/(b) metadata storing HB release times, epoch rule-(b) checks,
+/// and race checks against P_t (ownership dispatch guarantees the epoch
+/// checks are cross-thread; shared-clock checks mask the current thread).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_FTOWCP_H
+#define SMARTTRACK_ANALYSIS_FTOWCP_H
+
+#include "analysis/Analysis.h"
+#include "analysis/ClockSets.h"
+#include "analysis/RuleBLog.h"
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace st {
+
+/// Epoch/ownership-optimized WCP analysis.
+class FTOWCP : public Analysis {
+public:
+  const char *name() const override { return "FTO-WCP"; }
+  size_t footprintBytes() const override;
+  const CaseStats *caseStats() const override { return &Stats; }
+
+protected:
+  void onRead(const Event &E) override;
+  void onWrite(const Event &E) override;
+  void onAcquire(const Event &E) override;
+  void onRelease(const Event &E) override;
+  void onFork(const Event &E) override;
+  void onJoin(const Event &E) override;
+  void onVolRead(const Event &E) override;
+  void onVolWrite(const Event &E) override;
+
+private:
+  struct VarState {
+    Epoch W;
+    Epoch R;
+    std::unique_ptr<VectorClock> RShared;
+  };
+
+  struct LockState {
+    VectorClock HRel;
+    VectorClock PRel;
+    std::unordered_map<VarId, VectorClock> ReadCS;  // HB times, rd+wr
+    std::unordered_map<VarId, VectorClock> WriteCS; // HB times, writes
+    std::unordered_set<VarId> ReadVars;
+    std::unordered_set<VarId> WriteVars;
+    std::unique_ptr<RuleBLog<Epoch>> Queues;
+  };
+
+  VarState &varState(VarId X) {
+    if (X >= Vars.size())
+      Vars.resize(X + 1);
+    return Vars[X];
+  }
+
+  LockState &lockState(LockId M) {
+    if (M >= Locks.size())
+      Locks.resize(M + 1);
+    return Locks[M];
+  }
+
+  ThreadClockSet HThreads;
+  ClockMap PThreads;
+  HeldLockSet Held;
+  std::vector<VarState> Vars;
+  std::vector<LockState> Locks;
+  ClockMap VolWriteHC, VolReadHC;
+  CaseStats Stats;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_FTOWCP_H

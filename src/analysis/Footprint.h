@@ -1,0 +1,44 @@
+//===- analysis/Footprint.h - Metadata footprint helpers --------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for estimating live metadata bytes of standard containers, used
+/// by every analysis's footprintBytes() for the paper's memory experiments
+/// (Tables 4, 6). Estimates count payloads plus typical node/bucket
+/// overheads; they are consistent across analyses, which is what the
+/// between-analysis memory ratios require.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_FOOTPRINT_H
+#define SMARTTRACK_ANALYSIS_FOOTPRINT_H
+
+#include <cstddef>
+
+namespace st {
+
+/// Approximate per-node bookkeeping of libstdc++ unordered containers
+/// (forward pointer + cached hash, rounded to allocator granularity).
+inline constexpr size_t UnorderedNodeOverhead = 16;
+
+/// Live bytes of an unordered_map/unordered_set, excluding payload-owned
+/// heap memory (add that separately per element).
+template <typename ContainerT>
+size_t unorderedFootprint(const ContainerT &C) {
+  return C.bucket_count() * sizeof(void *) +
+         C.size() *
+             (sizeof(typename ContainerT::value_type) + UnorderedNodeOverhead);
+}
+
+/// Live bytes of a std::vector's own buffer (not element-owned memory).
+template <typename VecT>
+size_t vectorFootprint(const VecT &V) {
+  return V.capacity() * sizeof(typename VecT::value_type);
+}
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_FOOTPRINT_H

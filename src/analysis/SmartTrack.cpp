@@ -1,0 +1,374 @@
+//===- analysis/SmartTrack.cpp - SmartTrack-DC / -WDC analysis ------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SmartTrack.h"
+
+#include "analysis/Footprint.h"
+
+#include <unordered_set>
+
+using namespace st;
+
+SmartTrack::SmartTrack(bool RuleB) : RuleB(RuleB) {}
+
+namespace {
+
+/// Charges each shared list buffer and release clock exactly once, however
+/// many variables reference it (lists and clocks are shared snapshots).
+struct SharedFootprint {
+  std::unordered_set<const void *> Seen;
+  size_t Bytes = 0;
+
+  void addList(const CSList &L) {
+    if (!Seen.insert(&L).second)
+      return;
+    Bytes += L.capacity() * sizeof(CSEntry);
+    for (const CSEntry &E : L)
+      addClock(E.C);
+  }
+  void addListRef(const CSListRef &R) {
+    if (R)
+      addList(*R);
+  }
+  void addClock(const std::shared_ptr<VectorClock> &C) {
+    if (C && Seen.insert(C.get()).second)
+      Bytes += sizeof(VectorClock) + C->footprintBytes();
+  }
+};
+
+size_t extraFootprint(const ExtraMap &E) {
+  size_t N = unorderedFootprint(E);
+  for (const auto &KV : E)
+    N += unorderedFootprint(KV.second);
+  return N;
+}
+
+} // namespace
+
+size_t SmartTrack::footprintBytes() const {
+  size_t N = Threads.footprintBytes() + Held.footprintBytes() +
+             Vars.capacity() * sizeof(VarState) +
+             Locks.capacity() * sizeof(LockState) +
+             VolWriteClock.footprintBytes() + VolReadClock.footprintBytes();
+  SharedFootprint Shared;
+  for (const CSList &L : ActiveCS)
+    Shared.addList(L);
+  N += CSSnapshot.capacity() * sizeof(CSListRef);
+  for (const CSListRef &R : CSSnapshot)
+    Shared.addListRef(R);
+  for (const VarState &V : Vars) {
+    Shared.addListRef(V.LW);
+    Shared.addListRef(V.LR);
+    if (V.RShared)
+      N += sizeof(VectorClock) + V.RShared->footprintBytes();
+    if (V.LRShared) {
+      N += unorderedFootprint(*V.LRShared);
+      for (const auto &KV : *V.LRShared)
+        Shared.addListRef(KV.second);
+    }
+    if (V.Er) {
+      N += extraFootprint(*V.Er);
+      for (const auto &KV : *V.Er)
+        for (const auto &LC : KV.second)
+          Shared.addClock(LC.second);
+    }
+    if (V.Ew) {
+      N += extraFootprint(*V.Ew);
+      for (const auto &KV : *V.Ew)
+        for (const auto &LC : KV.second)
+          Shared.addClock(LC.second);
+    }
+  }
+  N += Shared.Bytes;
+  for (const LockState &L : Locks)
+    if (L.Queues)
+      N += L.Queues->footprintBytes();
+  return N;
+}
+
+LockClockMap SmartTrack::multiCheck(const CSList &L, ThreadId U, Epoch A,
+                                    const Event &Ev, VectorClock &Ct) {
+  LockClockMap E;
+  // The list owner's accesses are PO-ordered before the current thread's
+  // only when they are the same thread; then nothing below applies
+  // (DESIGN.md interpretation note 5).
+  if (U == Ev.Tid)
+    return E;
+  for (size_t I = L.size(); I-- > 0;) { // tail (outermost) to head
+    const CSEntry &CS = L[I];
+    // Release ordered before the current access? Subsumes inner sections
+    // and the race check (Algorithm 3 line 29). Unreleased sections hold ∞
+    // in the owner's entry and never pass.
+    if (CS.C->get(U) <= Ct.get(U))
+      return E;
+    // Conflicting critical sections on a held lock: DC rule (a); the prior
+    // section must have released the lock for us to hold it, so the clock
+    // is final (Algorithm 3 lines 30-32).
+    if (Held.holds(Ev.Tid, CS.M)) {
+      Ct.joinWith(*CS.C);
+      return E;
+    }
+    E[CS.M] = CS.C; // residual (line 33)
+  }
+  if (!A.isNone() && !Ct.epochLeq(A))
+    reportRace(Ev, A); // line 34
+  return E;
+}
+
+void SmartTrack::applyExtra(ExtraMap *Extra, ExtraMap *Twin, const Event &Ev,
+                            VectorClock &Ct, bool Consume) {
+  (void)Twin;
+  if (!Extra || Extra->empty())
+    return;
+  for (auto It = Extra->begin(); It != Extra->end();) {
+    if (It->first == Ev.Tid) {
+      // Algorithm 3 line 23: the writer's own entries are dropped.
+      It = Consume ? Extra->erase(It) : std::next(It);
+      continue;
+    }
+    LockClockMap &LM = It->second;
+    for (LockId M : Held.of(Ev.Tid)) {
+      auto LIt = LM.find(M);
+      if (LIt == LM.end())
+        continue;
+      // These sections closed before we could hold M, so the clock is
+      // final (never ∞ in any entry).
+      Ct.joinWith(*LIt->second);
+      if (Consume)
+        LM.erase(LIt);
+    }
+    if (Consume && LM.empty())
+      It = Extra->erase(It);
+    else
+      ++It;
+  }
+}
+
+const CSListRef &SmartTrack::snapshotCS(ThreadId T) {
+  if (T >= CSSnapshot.size())
+    CSSnapshot.resize(T + 1);
+  CSListRef &S = CSSnapshot[T];
+  if (!S) {
+    if (T >= ActiveCS.size())
+      ActiveCS.resize(T + 1);
+    // One shared, materialized copy per epoch; every per-variable "copy"
+    // of the active list within this epoch is a pointer assignment.
+    S = std::make_shared<CSList>(materializeCSList(ActiveCS[T], T));
+  }
+  return S;
+}
+
+void SmartTrack::onRead(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  VarState &V = varState(E.var());
+  Epoch Now = Ct.epochOf(E.Tid);
+
+  if (!V.RShared && V.R == Now) {
+    ++Stats.ReadSameEpoch;
+    return; // [Read Same Epoch]
+  }
+  if (V.RShared && V.RShared->get(E.Tid) == Now.clock()) {
+    ++Stats.SharedSameEpoch;
+    return; // [Shared Same Epoch]
+  }
+
+  // Algorithm 3 read lines 4-6: consume lost write-CS information.
+  applyExtra(V.Ew.get(), nullptr, E, Ct, /*Consume=*/false);
+
+  const CSListRef &Ht = snapshotCS(E.Tid);
+
+  if (!V.RShared) {
+    if (V.R.tid() == E.Tid && !V.R.isNone()) {
+      ++Stats.ReadOwned; // [Read Owned]
+      V.LR = Ht;
+      V.R = Now;
+      return;
+    }
+    // [Read Exclusive] requires the prior access's *outermost* critical
+    // section release ordered before this read (Algorithm 3 line 11);
+    // otherwise CS information would be lost (Figure 4(b)).
+    ThreadId U = V.R.tid();
+    const CSList &LRList = derefCSList(V.LR);
+    bool Ordered = LRList.empty() ? Ct.epochLeq(V.R)
+                                : LRList.back().C->get(U) <= Ct.get(U);
+    if (Ordered) {
+      ++Stats.ReadExclusive; // [Read Exclusive]
+      V.LR = Ht;
+      V.R = Now;
+      return;
+    }
+    ++Stats.ReadShare; // [Read Share]
+    multiCheck(derefCSList(V.LW), V.W.tid(), V.W, E, Ct);
+    V.LRShared = std::make_unique<std::unordered_map<ThreadId, CSListRef>>();
+    (*V.LRShared)[U] = std::move(V.LR);
+    (*V.LRShared)[E.Tid] = Ht;
+    V.RShared = std::make_unique<VectorClock>();
+    V.RShared->set(U, V.R.clock());
+    V.RShared->set(E.Tid, Now.clock());
+    V.R = Epoch::none();
+    return;
+  }
+  if (V.RShared->get(E.Tid) != 0) {
+    ++Stats.ReadSharedOwned; // [Read Shared Owned]
+    (*V.LRShared)[E.Tid] = Ht;
+    V.RShared->set(E.Tid, Now.clock());
+    return;
+  }
+  ++Stats.ReadShared; // [Read Shared]
+  multiCheck(derefCSList(V.LW), V.W.tid(), V.W, E, Ct);
+  (*V.LRShared)[E.Tid] = Ht;
+  V.RShared->set(E.Tid, Now.clock());
+}
+
+void SmartTrack::onWrite(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  VarState &V = varState(E.var());
+  Epoch Now = Ct.epochOf(E.Tid);
+
+  if (V.W == Now) {
+    ++Stats.WriteSameEpoch;
+    return; // [Write Same Epoch]
+  }
+
+  // Algorithm 3 write lines 19-23: consume lost CS information. Writes
+  // conflict with reads and writes, so both maps contribute genuine
+  // rule-(a) edges (DESIGN.md interpretation note 6).
+  applyExtra(V.Er.get(), nullptr, E, Ct, /*Consume=*/true);
+  applyExtra(V.Ew.get(), nullptr, E, Ct, /*Consume=*/true);
+
+  const CSListRef &Ht = snapshotCS(E.Tid);
+
+  if (!V.RShared) {
+    if (V.R.tid() == E.Tid && !V.R.isNone()) {
+      ++Stats.WriteOwned; // [Write Owned]
+    } else {
+      ++Stats.WriteExclusive; // [Write Exclusive]
+      ThreadId U = V.R.tid();
+      LockClockMap Res = multiCheck(derefCSList(V.LR), U, V.R, E, Ct);
+      if (!Res.empty()) {
+        if (!V.Er)
+          V.Er = std::make_unique<ExtraMap>();
+        if (!V.Ew)
+          V.Ew = std::make_unique<ExtraMap>();
+        (*V.Er)[U] = std::move(Res);
+        LockClockMap WRes =
+            multiCheck(derefCSList(V.LW), V.W.tid(), Epoch::none(), E, Ct);
+        if (!WRes.empty())
+          (*V.Ew)[U] = std::move(WRes);
+      }
+    }
+  } else {
+    ++Stats.WriteShared; // [Write Shared]
+    for (auto &KV : *V.LRShared) {
+      ThreadId U = KV.first;
+      if (U == E.Tid)
+        continue;
+      Epoch A = Epoch::make(U, V.RShared->get(U));
+      if (A.clock() == 0)
+        A = Epoch::none();
+      LockClockMap Res = multiCheck(derefCSList(KV.second), U, A, E, Ct);
+      if (Res.empty())
+        continue;
+      if (!V.Er)
+        V.Er = std::make_unique<ExtraMap>();
+      if (!V.Ew)
+        V.Ew = std::make_unique<ExtraMap>();
+      (*V.Er)[U] = std::move(Res);
+      // Line 35: the last write's CS list matters for the thread that owns
+      // the last write (interpretation note 7).
+      if (U == V.W.tid() && !V.W.isNone()) {
+        LockClockMap WRes =
+            multiCheck(derefCSList(V.LW), V.W.tid(), Epoch::none(), E, Ct);
+        if (!WRes.empty())
+          (*V.Ew)[U] = std::move(WRes);
+      }
+    }
+    V.LRShared.reset();
+    V.RShared.reset();
+  }
+
+  V.LW = Ht; // line 36
+  V.LR = Ht;
+  V.W = Now; // line 37
+  V.R = Now;
+}
+
+void SmartTrack::onAcquire(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  if (RuleB) {
+    LockState &L = lockState(E.lock());
+    if (!L.Queues)
+      L.Queues =
+          std::make_unique<RuleBLog<Epoch>>(/*PerReleaserCursors=*/true);
+    L.Queues->onAcquire(E.Tid, Ct.epochOf(E.Tid)); // line 2 (epoch queue)
+  }
+  // Lines 3-5: push a new critical section whose release clock is not yet
+  // known; ∞ in the owner's entry makes ordering queries fail until then.
+  if (E.Tid >= ActiveCS.size())
+    ActiveCS.resize(E.Tid + 1);
+  CSList &H = ActiveCS[E.Tid];
+  H.insert(H.begin(), CSEntry{nullptr, E.lock()}); // clock made on demand
+  if (E.Tid < CSSnapshot.size())
+    CSSnapshot[E.Tid].reset();
+  Held.pushLock(E.Tid, E.lock());
+  Ct.increment(E.Tid); // line 6
+}
+
+void SmartTrack::onRelease(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  if (RuleB) {
+    LockState &L = lockState(E.lock());
+    if (L.Queues) {
+      // Lines 8-12.
+      L.Queues->drainOrdered(E.Tid, Ct,
+                             [&](const VectorClock &Rel, uint64_t) {
+                               Ct.joinWith(Rel);
+                             });
+      L.Queues->onRelease(E.Tid, Ct, currentEventIndex());
+    }
+  }
+  // Lines 13-15: fill in the deferred release clock and pop the section.
+  assert(E.Tid < ActiveCS.size() && "release on thread with no sections");
+  CSList &H = ActiveCS[E.Tid];
+  for (size_t I = 0, N = H.size(); I != N; ++I) {
+    if (H[I].M == E.lock()) {
+      if (H[I].C)
+        *H[I].C = Ct; // deferred update; null means never shared
+      H.erase(H.begin() + static_cast<long>(I));
+      break;
+    }
+  }
+  if (E.Tid < CSSnapshot.size())
+    CSSnapshot[E.Tid].reset();
+  Held.popLock(E.Tid, E.lock());
+  Ct.increment(E.Tid); // line 16
+}
+
+void SmartTrack::onFork(const Event &E) {
+  VectorClock &Child = Threads.of(E.childTid());
+  VectorClock &Ct = Threads.of(E.Tid);
+  Child.joinWith(Ct);
+  Ct.increment(E.Tid);
+}
+
+void SmartTrack::onJoin(const Event &E) {
+  Threads.of(E.Tid).joinWith(Threads.of(E.childTid()));
+}
+
+void SmartTrack::onVolRead(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  Ct.joinWith(VolWriteClock.of(E.var()));
+  VolReadClock.of(E.var()).joinWith(Ct);
+  Ct.increment(E.Tid);
+}
+
+void SmartTrack::onVolWrite(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  Ct.joinWith(VolWriteClock.of(E.var()));
+  Ct.joinWith(VolReadClock.of(E.var()));
+  VolWriteClock.of(E.var()).joinWith(Ct);
+  Ct.increment(E.Tid);
+}

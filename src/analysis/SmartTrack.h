@@ -1,0 +1,168 @@
+//===- analysis/SmartTrack.h - SmartTrack-DC / -WDC analysis ----*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SmartTrack-based DC analysis — the paper's Algorithm 3 and its most
+/// significant contribution — plus SmartTrack-WDC (drop rule (b):
+/// Algorithm 3's acquire-queue lines). SmartTrack replaces the per-(lock,
+/// variable) conflicting-critical-section clocks of Algorithms 1 and 2 with
+/// per-variable critical section (CS) lists that mirror the last-access
+/// metadata:
+///
+///  - H_t: the current thread's active critical sections, innermost first,
+///    each holding a *reference* to a vector clock that is filled in with
+///    the release time when the release happens (deferred update; until
+///    then the owner's entry reads ∞ so ordering queries fail).
+///  - L^w_x / L^r_x: CS lists mirroring W_x / R_x.
+///  - E^r_x / E^w_x: "extra" per-thread lock→clock maps holding CS
+///    information that a write would otherwise overwrite (Figures 4(c,d));
+///    empty in the common case, which is where SmartTrack's speedup lives.
+///
+/// MultiCheck (Algorithm 3) walks a CS list outermost-to-innermost,
+/// combining the conflicting-critical-section check with the race check,
+/// and returns the residual critical sections that are neither ordered nor
+/// matched by a held lock.
+///
+/// Interpretation notes (DESIGN.md §4): MultiCheck returns immediately when
+/// the list owner is the current thread (PO-ordered; avoids joining the ∞
+/// sentinel); writes join E^w alongside E^r for held locks (both are
+/// genuine rule-(a) edges); line 35's L^w_x(u) means "the last write's CS
+/// list when u owns the last write".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_SMARTTRACK_H
+#define SMARTTRACK_ANALYSIS_SMARTTRACK_H
+
+#include "analysis/Analysis.h"
+#include "analysis/ClockSets.h"
+#include "analysis/RuleBLog.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace st {
+
+/// One active-or-past critical section: the lock and a shared reference to
+/// its (eventual) release-time clock. The clock is allocated lazily — only
+/// when the section's list is first shared into per-variable metadata — so
+/// uncontended critical sections never touch the heap (a large constant-
+/// factor saving; Algorithm 3 allocates eagerly at every acquire).
+struct CSEntry {
+  std::shared_ptr<VectorClock> C;
+  LockId M = 0;
+};
+
+/// Critical-section list, innermost first ("head" = index 0).
+using CSList = std::vector<CSEntry>;
+
+/// Fills in deferred clocks (owner entry = ∞) before a thread's active list
+/// is copied into variable metadata.
+inline CSList &materializeCSList(CSList &H, ThreadId T) {
+  for (CSEntry &E : H) {
+    if (E.C)
+      continue;
+    E.C = std::make_shared<VectorClock>();
+    E.C->set(T, InfiniteClock);
+  }
+  return H;
+}
+
+/// Immutable shared snapshot of a CS list. The active list only changes at
+/// acquire/release, so all per-variable copies taken within one epoch share
+/// a single snapshot — the "shallow copies" of Algorithm 3 become pointer
+/// assignments.
+using CSListRef = std::shared_ptr<const CSList>;
+
+/// The canonical empty list (for variables last accessed outside any
+/// critical section).
+inline const CSList &derefCSList(const CSListRef &R) {
+  static const CSList Empty;
+  return R ? *R : Empty;
+}
+
+/// Lock -> release-clock reference ("extra" metadata leaf).
+using LockClockMap = std::unordered_map<LockId, std::shared_ptr<VectorClock>>;
+
+/// Thread-indexed extra metadata E^r_x / E^w_x.
+using ExtraMap = std::unordered_map<ThreadId, LockClockMap>;
+
+/// SmartTrack-DC (or -WDC) analysis per Algorithm 3.
+class SmartTrack : public Analysis {
+public:
+  /// \p RuleB selects DC analysis (true) or WDC analysis (false).
+  explicit SmartTrack(bool RuleB);
+
+  const char *name() const override { return RuleB ? "ST-DC" : "ST-WDC"; }
+  size_t footprintBytes() const override;
+  const CaseStats *caseStats() const override { return &Stats; }
+
+protected:
+  void onRead(const Event &E) override;
+  void onWrite(const Event &E) override;
+  void onAcquire(const Event &E) override;
+  void onRelease(const Event &E) override;
+  void onFork(const Event &E) override;
+  void onJoin(const Event &E) override;
+  void onVolRead(const Event &E) override;
+  void onVolWrite(const Event &E) override;
+
+private:
+  struct VarState {
+    Epoch W;                              // last write
+    Epoch R;                              // last reads+write (epoch mode)
+    std::unique_ptr<VectorClock> RShared; // shared mode
+    CSListRef LW;                         // L^w_x
+    CSListRef LR;                         // L^r_x in epoch mode
+    std::unique_ptr<std::unordered_map<ThreadId, CSListRef>> LRShared;
+    std::unique_ptr<ExtraMap> Er, Ew;     // E^r_x, E^w_x
+  };
+
+  struct LockState {
+    std::unique_ptr<RuleBLog<Epoch>> Queues;
+  };
+
+  VarState &varState(VarId X) {
+    if (X >= Vars.size())
+      Vars.resize(X + 1);
+    return Vars[X];
+  }
+
+  LockState &lockState(LockId M) {
+    if (M >= Locks.size())
+      Locks.resize(M + 1);
+    return Locks[M];
+  }
+
+  /// Algorithm 3's MultiCheck: walks \p L (owned by thread \p U) outermost
+  /// to innermost; joins the release clock of the first critical section on
+  /// a lock the current thread holds; performs the race check against
+  /// \p A if nothing subsumed it; returns the residual unmatched sections.
+  LockClockMap multiCheck(const CSList &L, ThreadId U, Epoch A,
+                          const Event &Ev, VectorClock &Ct);
+
+  /// Joins (into C_t) and consumes held-lock entries of \p Extra per
+  /// Algorithm 3 lines 19-23 (writes) / 4-6 (reads, \p Consume = false).
+  void applyExtra(ExtraMap *Extra, ExtraMap *Twin, const Event &Ev,
+                  VectorClock &Ct, bool Consume);
+
+  /// Shared snapshot of thread \p T's active CS list, cached per epoch.
+  const CSListRef &snapshotCS(ThreadId T);
+
+  bool RuleB;
+  ThreadClockSet Threads;
+  HeldLockSet Held;
+  std::vector<CSList> ActiveCS;      // H_t
+  std::vector<CSListRef> CSSnapshot; // per-epoch shared copy of H_t
+  std::vector<VarState> Vars;
+  std::vector<LockState> Locks;
+  ClockMap VolWriteClock, VolReadClock;
+  CaseStats Stats;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_SMARTTRACK_H

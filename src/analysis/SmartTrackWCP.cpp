@@ -1,0 +1,366 @@
+//===- analysis/SmartTrackWCP.cpp - SmartTrack-WCP analysis ---------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SmartTrackWCP.h"
+
+#include "analysis/Footprint.h"
+
+#include <unordered_set>
+
+using namespace st;
+
+namespace {
+
+/// Charges each shared list buffer and release clock exactly once, however
+/// many variables reference it (lists and clocks are shared snapshots).
+struct SharedFootprint {
+  std::unordered_set<const void *> Seen;
+  size_t Bytes = 0;
+
+  void addList(const CSList &L) {
+    if (!Seen.insert(&L).second)
+      return;
+    Bytes += L.capacity() * sizeof(CSEntry);
+    for (const CSEntry &E : L)
+      addClock(E.C);
+  }
+  void addListRef(const CSListRef &R) {
+    if (R)
+      addList(*R);
+  }
+  void addClock(const std::shared_ptr<VectorClock> &C) {
+    if (C && Seen.insert(C.get()).second)
+      Bytes += sizeof(VectorClock) + C->footprintBytes();
+  }
+};
+
+size_t extraFootprint(const ExtraMap &E) {
+  size_t N = unorderedFootprint(E);
+  for (const auto &KV : E)
+    N += unorderedFootprint(KV.second);
+  return N;
+}
+
+} // namespace
+
+size_t SmartTrackWCP::footprintBytes() const {
+  size_t N = HThreads.footprintBytes() + PThreads.footprintBytes() +
+             Held.footprintBytes() + Vars.capacity() * sizeof(VarState) +
+             Locks.capacity() * sizeof(LockState) +
+             VolWriteHC.footprintBytes() + VolReadHC.footprintBytes();
+  SharedFootprint Shared;
+  for (const CSList &L : ActiveCS)
+    Shared.addList(L);
+  N += CSSnapshot.capacity() * sizeof(CSListRef);
+  for (const CSListRef &R : CSSnapshot)
+    Shared.addListRef(R);
+  for (const VarState &V : Vars) {
+    Shared.addListRef(V.LW);
+    Shared.addListRef(V.LR);
+    if (V.RShared)
+      N += sizeof(VectorClock) + V.RShared->footprintBytes();
+    if (V.LRShared) {
+      N += unorderedFootprint(*V.LRShared);
+      for (const auto &KV : *V.LRShared)
+        Shared.addListRef(KV.second);
+    }
+    if (V.Er) {
+      N += extraFootprint(*V.Er);
+      for (const auto &KV : *V.Er)
+        for (const auto &LC : KV.second)
+          Shared.addClock(LC.second);
+    }
+    if (V.Ew) {
+      N += extraFootprint(*V.Ew);
+      for (const auto &KV : *V.Ew)
+        for (const auto &LC : KV.second)
+          Shared.addClock(LC.second);
+    }
+  }
+  N += Shared.Bytes;
+  for (const LockState &L : Locks) {
+    N += L.HRel.footprintBytes() + L.PRel.footprintBytes();
+    if (L.Queues)
+      N += L.Queues->footprintBytes();
+  }
+  return N;
+}
+
+LockClockMap SmartTrackWCP::multiCheck(const CSList &L, ThreadId U, Epoch A,
+                                       const Event &Ev, VectorClock &Pt) {
+  LockClockMap E;
+  if (U == Ev.Tid)
+    return E; // same-thread accesses are PO-ordered; never a WCP race
+  for (size_t I = L.size(); I-- > 0;) {
+    const CSEntry &CS = L[I];
+    // WCP ordering of the section's release before the current access.
+    if (CS.C->get(U) <= Pt.get(U))
+      return E;
+    if (Held.holds(Ev.Tid, CS.M)) {
+      // Rule (a) + left composition: the clock holds H at the release.
+      Pt.joinWith(*CS.C);
+      return E;
+    }
+    E[CS.M] = CS.C;
+  }
+  if (!A.isNone() && !Pt.epochLeq(A))
+    reportRace(Ev, A);
+  return E;
+}
+
+void SmartTrackWCP::applyExtra(ExtraMap *Extra, const Event &Ev,
+                               VectorClock &Pt, bool Consume) {
+  if (!Extra || Extra->empty())
+    return;
+  for (auto It = Extra->begin(); It != Extra->end();) {
+    if (It->first == Ev.Tid) {
+      It = Consume ? Extra->erase(It) : std::next(It);
+      continue;
+    }
+    LockClockMap &LM = It->second;
+    for (LockId M : Held.of(Ev.Tid)) {
+      auto LIt = LM.find(M);
+      if (LIt == LM.end())
+        continue;
+      Pt.joinWith(*LIt->second);
+      if (Consume)
+        LM.erase(LIt);
+    }
+    if (Consume && LM.empty())
+      It = Extra->erase(It);
+    else
+      ++It;
+  }
+}
+
+const CSListRef &SmartTrackWCP::snapshotCS(ThreadId T) {
+  if (T >= CSSnapshot.size())
+    CSSnapshot.resize(T + 1);
+  CSListRef &S = CSSnapshot[T];
+  if (!S) {
+    if (T >= ActiveCS.size())
+      ActiveCS.resize(T + 1);
+    // One shared, materialized copy per epoch; every per-variable "copy"
+    // of the active list within this epoch is a pointer assignment.
+    S = std::make_shared<CSList>(materializeCSList(ActiveCS[T], T));
+  }
+  return S;
+}
+
+void SmartTrackWCP::onRead(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  VectorClock &Pt = PThreads.of(E.Tid);
+  VarState &V = varState(E.var());
+  Epoch Now = Ht.epochOf(E.Tid);
+
+  if (!V.RShared && V.R == Now) {
+    ++Stats.ReadSameEpoch;
+    return;
+  }
+  if (V.RShared && V.RShared->get(E.Tid) == Now.clock()) {
+    ++Stats.SharedSameEpoch;
+    return;
+  }
+
+  applyExtra(V.Ew.get(), E, Pt, /*Consume=*/false);
+
+  const CSListRef &Hcs = snapshotCS(E.Tid);
+
+  if (!V.RShared) {
+    if (V.R.tid() == E.Tid && !V.R.isNone()) {
+      ++Stats.ReadOwned;
+      V.LR = Hcs;
+      V.R = Now;
+      return;
+    }
+    ThreadId U = V.R.tid();
+    const CSList &LRList = derefCSList(V.LR);
+    bool Ordered = LRList.empty() ? Pt.epochLeq(V.R)
+                                : LRList.back().C->get(U) <= Pt.get(U);
+    if (Ordered) {
+      ++Stats.ReadExclusive;
+      V.LR = Hcs;
+      V.R = Now;
+      return;
+    }
+    ++Stats.ReadShare;
+    multiCheck(derefCSList(V.LW), V.W.tid(), V.W, E, Pt);
+    V.LRShared = std::make_unique<std::unordered_map<ThreadId, CSListRef>>();
+    (*V.LRShared)[U] = std::move(V.LR);
+    (*V.LRShared)[E.Tid] = Hcs;
+    V.RShared = std::make_unique<VectorClock>();
+    V.RShared->set(U, V.R.clock());
+    V.RShared->set(E.Tid, Now.clock());
+    V.R = Epoch::none();
+    return;
+  }
+  if (V.RShared->get(E.Tid) != 0) {
+    ++Stats.ReadSharedOwned;
+    (*V.LRShared)[E.Tid] = Hcs;
+    V.RShared->set(E.Tid, Now.clock());
+    return;
+  }
+  ++Stats.ReadShared;
+  multiCheck(derefCSList(V.LW), V.W.tid(), V.W, E, Pt);
+  (*V.LRShared)[E.Tid] = Hcs;
+  V.RShared->set(E.Tid, Now.clock());
+}
+
+void SmartTrackWCP::onWrite(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  VectorClock &Pt = PThreads.of(E.Tid);
+  VarState &V = varState(E.var());
+  Epoch Now = Ht.epochOf(E.Tid);
+
+  if (V.W == Now) {
+    ++Stats.WriteSameEpoch;
+    return;
+  }
+
+  applyExtra(V.Er.get(), E, Pt, /*Consume=*/true);
+  applyExtra(V.Ew.get(), E, Pt, /*Consume=*/true);
+
+  const CSListRef &Hcs = snapshotCS(E.Tid);
+
+  if (!V.RShared) {
+    if (V.R.tid() == E.Tid && !V.R.isNone()) {
+      ++Stats.WriteOwned;
+    } else {
+      ++Stats.WriteExclusive;
+      ThreadId U = V.R.tid();
+      LockClockMap Res = multiCheck(derefCSList(V.LR), U, V.R, E, Pt);
+      if (!Res.empty()) {
+        if (!V.Er)
+          V.Er = std::make_unique<ExtraMap>();
+        if (!V.Ew)
+          V.Ew = std::make_unique<ExtraMap>();
+        (*V.Er)[U] = std::move(Res);
+        LockClockMap WRes =
+            multiCheck(derefCSList(V.LW), V.W.tid(), Epoch::none(), E, Pt);
+        if (!WRes.empty())
+          (*V.Ew)[U] = std::move(WRes);
+      }
+    }
+  } else {
+    ++Stats.WriteShared;
+    for (auto &KV : *V.LRShared) {
+      ThreadId U = KV.first;
+      if (U == E.Tid)
+        continue;
+      Epoch A = Epoch::make(U, V.RShared->get(U));
+      if (A.clock() == 0)
+        A = Epoch::none();
+      LockClockMap Res = multiCheck(derefCSList(KV.second), U, A, E, Pt);
+      if (Res.empty())
+        continue;
+      if (!V.Er)
+        V.Er = std::make_unique<ExtraMap>();
+      if (!V.Ew)
+        V.Ew = std::make_unique<ExtraMap>();
+      (*V.Er)[U] = std::move(Res);
+      if (U == V.W.tid() && !V.W.isNone()) {
+        LockClockMap WRes =
+            multiCheck(derefCSList(V.LW), V.W.tid(), Epoch::none(), E, Pt);
+        if (!WRes.empty())
+          (*V.Ew)[U] = std::move(WRes);
+      }
+    }
+    V.LRShared.reset();
+    V.RShared.reset();
+  }
+
+  V.LW = Hcs;
+  V.LR = Hcs;
+  V.W = Now;
+  V.R = Now;
+}
+
+void SmartTrackWCP::onAcquire(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  VectorClock &Pt = PThreads.of(E.Tid);
+  LockState &L = lockState(E.lock());
+
+  Ht.joinWith(L.HRel);
+  Pt.joinWith(L.PRel);
+
+  if (!L.Queues)
+    L.Queues = std::make_unique<RuleBLog<Epoch>>(/*PerReleaserCursors=*/false);
+  L.Queues->onAcquire(E.Tid, Ht.epochOf(E.Tid));
+
+  if (E.Tid >= ActiveCS.size())
+    ActiveCS.resize(E.Tid + 1);
+  CSList &H = ActiveCS[E.Tid];
+  H.insert(H.begin(), CSEntry{nullptr, E.lock()}); // clock made on demand
+  if (E.Tid < CSSnapshot.size())
+    CSSnapshot[E.Tid].reset();
+  Held.pushLock(E.Tid, E.lock());
+  Ht.increment(E.Tid);
+}
+
+void SmartTrackWCP::onRelease(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  VectorClock &Pt = PThreads.of(E.Tid);
+  LockState &L = lockState(E.lock());
+
+  if (L.Queues) {
+    L.Queues->drainOrdered(E.Tid, Pt,
+                           [&](const VectorClock &Rel, uint64_t) {
+                             Pt.joinWith(Rel);
+                           });
+    L.Queues->onRelease(E.Tid, Ht, currentEventIndex());
+  }
+
+  // Deferred release clock: HB time, for left composition when another
+  // thread's MultiCheck joins this section.
+  assert(E.Tid < ActiveCS.size() && "release on thread with no sections");
+  CSList &H = ActiveCS[E.Tid];
+  for (size_t I = 0, N = H.size(); I != N; ++I) {
+    if (H[I].M == E.lock()) {
+      if (H[I].C)
+        *H[I].C = Ht; // deferred update; null means never shared
+      H.erase(H.begin() + static_cast<long>(I));
+      break;
+    }
+  }
+
+  L.HRel = Ht;
+  L.PRel = Pt;
+  if (E.Tid < CSSnapshot.size())
+    CSSnapshot[E.Tid].reset();
+  Held.popLock(E.Tid, E.lock());
+  Ht.increment(E.Tid);
+}
+
+void SmartTrackWCP::onFork(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  HThreads.of(E.childTid()).joinWith(Ht);
+  PThreads.of(E.childTid()).joinWith(Ht);
+  Ht.increment(E.Tid);
+}
+
+void SmartTrackWCP::onJoin(const Event &E) {
+  VectorClock &ChildH = HThreads.of(E.childTid());
+  HThreads.of(E.Tid).joinWith(ChildH);
+  PThreads.of(E.Tid).joinWith(ChildH);
+}
+
+void SmartTrackWCP::onVolRead(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  Ht.joinWith(VolWriteHC.of(E.var()));
+  PThreads.of(E.Tid).joinWith(VolWriteHC.of(E.var()));
+  VolReadHC.of(E.var()).joinWith(Ht);
+  Ht.increment(E.Tid);
+}
+
+void SmartTrackWCP::onVolWrite(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  Ht.joinWith(VolWriteHC.of(E.var()));
+  Ht.joinWith(VolReadHC.of(E.var()));
+  PThreads.of(E.Tid).joinWith(VolWriteHC.of(E.var()));
+  PThreads.of(E.Tid).joinWith(VolReadHC.of(E.var()));
+  VolWriteHC.of(E.var()).joinWith(Ht);
+  Ht.increment(E.Tid);
+}

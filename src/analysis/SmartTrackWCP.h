@@ -1,0 +1,89 @@
+//===- analysis/SmartTrackWCP.h - SmartTrack-WCP analysis -------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SmartTrack-WCP: Algorithm 3 applied to WCP analysis (paper §4.2 —
+/// "applying SmartTrack to WDC and WCP analyses is analogous and
+/// straightforward"). Clock handling follows UnoptWCP/FTOWCP: dual clocks
+/// H_t/P_t; CS-list release clocks are filled with *HB* release times
+/// (left composition), and MultiCheck joins and ordering checks run
+/// against P_t. Rule (b) uses per-acquirer shared epoch queues.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_SMARTTRACKWCP_H
+#define SMARTTRACK_ANALYSIS_SMARTTRACKWCP_H
+
+#include "analysis/SmartTrack.h"
+
+namespace st {
+
+/// SmartTrack-optimized WCP analysis.
+class SmartTrackWCP : public Analysis {
+public:
+  const char *name() const override { return "ST-WCP"; }
+  size_t footprintBytes() const override;
+  const CaseStats *caseStats() const override { return &Stats; }
+
+protected:
+  void onRead(const Event &E) override;
+  void onWrite(const Event &E) override;
+  void onAcquire(const Event &E) override;
+  void onRelease(const Event &E) override;
+  void onFork(const Event &E) override;
+  void onJoin(const Event &E) override;
+  void onVolRead(const Event &E) override;
+  void onVolWrite(const Event &E) override;
+
+private:
+  struct VarState {
+    Epoch W;
+    Epoch R;
+    std::unique_ptr<VectorClock> RShared;
+    CSListRef LW;
+    CSListRef LR;
+    std::unique_ptr<std::unordered_map<ThreadId, CSListRef>> LRShared;
+    std::unique_ptr<ExtraMap> Er, Ew;
+  };
+
+  struct LockState {
+    VectorClock HRel; // HB clock of the last release
+    VectorClock PRel; // WCP clock of the last release
+    std::unique_ptr<RuleBLog<Epoch>> Queues;
+  };
+
+  VarState &varState(VarId X) {
+    if (X >= Vars.size())
+      Vars.resize(X + 1);
+    return Vars[X];
+  }
+
+  LockState &lockState(LockId M) {
+    if (M >= Locks.size())
+      Locks.resize(M + 1);
+    return Locks[M];
+  }
+
+  LockClockMap multiCheck(const CSList &L, ThreadId U, Epoch A,
+                          const Event &Ev, VectorClock &Pt);
+  void applyExtra(ExtraMap *Extra, const Event &Ev, VectorClock &Pt,
+                  bool Consume);
+  const CSListRef &snapshotCS(ThreadId T);
+
+  ThreadClockSet HThreads;
+  ClockMap PThreads;
+  HeldLockSet Held;
+  std::vector<CSList> ActiveCS;
+  std::vector<CSListRef> CSSnapshot;
+  std::vector<VarState> Vars;
+  std::vector<LockState> Locks;
+  ClockMap VolWriteHC, VolReadHC;
+  CaseStats Stats;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_SMARTTRACKWCP_H

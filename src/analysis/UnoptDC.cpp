@@ -1,0 +1,225 @@
+//===- analysis/UnoptDC.cpp - Unoptimized DC/WDC analysis -----------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/UnoptDC.h"
+
+#include "analysis/Footprint.h"
+
+using namespace st;
+
+UnoptDC::UnoptDC(Options Opts) : RuleB(Opts.RuleB), Graph(Opts.Graph) {}
+
+const char *UnoptDC::name() const {
+  if (RuleB)
+    return Graph ? "Unopt-DC w/G" : "Unopt-DC";
+  return Graph ? "Unopt-WDC w/G" : "Unopt-WDC";
+}
+
+size_t UnoptDC::footprintBytes() const {
+  size_t N = Threads.footprintBytes() + Held.footprintBytes() +
+             ReadClocks.footprintBytes() + WriteClocks.footprintBytes() +
+             VolWriteClock.footprintBytes() + VolReadClock.footprintBytes() +
+             Locks.capacity() * sizeof(LockState);
+  for (const LockState &L : Locks) {
+    N += unorderedFootprint(L.ReadCS) + unorderedFootprint(L.WriteCS) +
+         unorderedFootprint(L.ReadVars) + unorderedFootprint(L.WriteVars);
+    for (const auto &KV : L.ReadCS)
+      N += KV.second.C.footprintBytes();
+    for (const auto &KV : L.WriteCS)
+      N += KV.second.C.footprintBytes();
+    if (L.Queues)
+      N += L.Queues->footprintBytes();
+  }
+  if (Graph)
+    N += Graph->footprintBytes();
+  N += vectorFootprint(LastEventOfThread) + vectorFootprint(PendingForkEdge) +
+       vectorFootprint(LastVolWriteIdx) + vectorFootprint(LastVolReadIdx);
+  return N;
+}
+
+bool UnoptDC::lastWritesOrderedBefore(VarId X, ThreadId T) {
+  return WriteClocks.of(X).leq(Threads.of(T));
+}
+
+void UnoptDC::preEvent(const Event &E) {
+  if (!Graph)
+    return;
+  // Complete a pending fork hard edge at the child's first event.
+  if (E.Tid < PendingForkEdge.size() && PendingForkEdge[E.Tid] != 0) {
+    Graph->addEdge(PendingForkEdge[E.Tid] - 1, currentEventIndex(),
+                   EdgeKind::Hard);
+    PendingForkEdge[E.Tid] = 0;
+  }
+  if (E.Tid >= LastEventOfThread.size())
+    LastEventOfThread.resize(E.Tid + 1, UINT64_MAX);
+  LastEventOfThread[E.Tid] = currentEventIndex();
+}
+
+void UnoptDC::onRead(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  VectorClock &Rx = ReadClocks.of(E.var());
+  // [Shared Same Epoch]-like fast path (§5.1).
+  if (Rx.get(E.Tid) == Ct.get(E.Tid))
+    return;
+
+  // DC rule (a): join with prior critical sections on each held lock that
+  // wrote x (Algorithm 1 lines 21-23).
+  for (LockId M : Held.of(E.Tid)) {
+    LockState &L = lockState(M);
+    auto It = L.WriteCS.find(E.var());
+    if (It != L.WriteCS.end()) {
+      Ct.joinWith(It->second.C);
+      if (Graph)
+        Graph->addEdge(It->second.LastRelIdx, currentEventIndex(),
+                       EdgeKind::RuleA);
+    }
+    L.ReadVars.insert(E.var());
+  }
+
+  if (!WriteClocks.of(E.var()).leq(Ct))
+    reportRace(E, Epoch::none());
+  Rx.set(E.Tid, Ct.get(E.Tid));
+}
+
+void UnoptDC::onWrite(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  VectorClock &Wx = WriteClocks.of(E.var());
+  // [Write Same Epoch]-like fast path (§5.1).
+  if (Wx.get(E.Tid) == Ct.get(E.Tid))
+    return;
+
+  // DC rule (a): join with prior critical sections on each held lock that
+  // read or wrote x (Algorithm 1 lines 14-16).
+  for (LockId M : Held.of(E.Tid)) {
+    LockState &L = lockState(M);
+    if (auto It = L.ReadCS.find(E.var()); It != L.ReadCS.end()) {
+      Ct.joinWith(It->second.C);
+      if (Graph)
+        Graph->addEdge(It->second.LastRelIdx, currentEventIndex(),
+                       EdgeKind::RuleA);
+    }
+    if (auto It = L.WriteCS.find(E.var()); It != L.WriteCS.end()) {
+      Ct.joinWith(It->second.C);
+      if (Graph)
+        Graph->addEdge(It->second.LastRelIdx, currentEventIndex(),
+                       EdgeKind::RuleA);
+    }
+    L.WriteVars.insert(E.var());
+  }
+
+  if (!Wx.leq(Ct))
+    reportRace(E, Epoch::none());
+  if (!ReadClocks.of(E.var()).leq(Ct))
+    reportRace(E, Epoch::none());
+  Wx.set(E.Tid, Ct.get(E.Tid));
+}
+
+void UnoptDC::onAcquire(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  LockState &L = lockState(E.lock());
+  if (RuleB) {
+    if (!L.Queues)
+      L.Queues = std::make_unique<RuleBLog<VectorClock>>(
+          /*PerReleaserCursors=*/true);
+    L.Queues->onAcquire(E.Tid, Ct); // Algorithm 1 line 2
+  }
+  Held.pushLock(E.Tid, E.lock());
+  Ct.increment(E.Tid); // §5.1: increment at acquires too
+}
+
+void UnoptDC::onRelease(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  LockState &L = lockState(E.lock());
+
+  // DC rule (b): dequeue acquires now ordered before this release and join
+  // their releases' clocks (Algorithm 1 lines 4-7).
+  if (RuleB && L.Queues) {
+    L.Queues->drainOrdered(E.Tid, Ct,
+                           [&](const VectorClock &Rel, uint64_t RelIdx) {
+                             Ct.joinWith(Rel);
+                             if (Graph)
+                               Graph->addEdge(RelIdx, currentEventIndex(),
+                                              EdgeKind::RuleB);
+                           });
+    L.Queues->onRelease(E.Tid, Ct, currentEventIndex()); // line 8
+  }
+
+  // DC rule (a) bookkeeping: fold this critical section's accesses into the
+  // per-(lock, variable) clocks (lines 9-11).
+  for (VarId X : L.ReadVars) {
+    CSClock &CS = L.ReadCS[X];
+    CS.C.joinWith(Ct);
+    CS.LastRelIdx = currentEventIndex();
+  }
+  for (VarId X : L.WriteVars) {
+    CSClock &CS = L.WriteCS[X];
+    CS.C.joinWith(Ct);
+    CS.LastRelIdx = currentEventIndex();
+  }
+  L.ReadVars.clear();
+  L.WriteVars.clear();
+
+  Held.popLock(E.Tid, E.lock());
+  Ct.increment(E.Tid); // line 12
+}
+
+void UnoptDC::onFork(const Event &E) {
+  VectorClock &Child = Threads.of(E.childTid());
+  VectorClock &Ct = Threads.of(E.Tid);
+  Child.joinWith(Ct);
+  Ct.increment(E.Tid);
+  if (Graph) {
+    if (E.childTid() >= PendingForkEdge.size())
+      PendingForkEdge.resize(E.childTid() + 1, 0);
+    PendingForkEdge[E.childTid()] = currentEventIndex() + 1;
+  }
+}
+
+void UnoptDC::onJoin(const Event &E) {
+  Threads.of(E.Tid).joinWith(Threads.of(E.childTid()));
+  if (Graph && E.childTid() < LastEventOfThread.size() &&
+      LastEventOfThread[E.childTid()] != UINT64_MAX)
+    Graph->addEdge(LastEventOfThread[E.childTid()], currentEventIndex(),
+                   EdgeKind::Hard);
+}
+
+void UnoptDC::recordHardEdge(uint64_t Src, const Event &E) {
+  (void)E;
+  if (Graph && Src != UINT64_MAX)
+    Graph->addEdge(Src, currentEventIndex(), EdgeKind::Hard);
+}
+
+void UnoptDC::onVolRead(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  Ct.joinWith(VolWriteClock.of(E.var()));
+  VolReadClock.of(E.var()).joinWith(Ct);
+  if (Graph) {
+    if (E.var() >= LastVolWriteIdx.size()) {
+      LastVolWriteIdx.resize(E.var() + 1, UINT64_MAX);
+      LastVolReadIdx.resize(E.var() + 1, UINT64_MAX);
+    }
+    recordHardEdge(LastVolWriteIdx[E.var()], E);
+    LastVolReadIdx[E.var()] = currentEventIndex();
+  }
+  Ct.increment(E.Tid);
+}
+
+void UnoptDC::onVolWrite(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  Ct.joinWith(VolWriteClock.of(E.var()));
+  Ct.joinWith(VolReadClock.of(E.var()));
+  VolWriteClock.of(E.var()).joinWith(Ct);
+  if (Graph) {
+    if (E.var() >= LastVolWriteIdx.size()) {
+      LastVolWriteIdx.resize(E.var() + 1, UINT64_MAX);
+      LastVolReadIdx.resize(E.var() + 1, UINT64_MAX);
+    }
+    recordHardEdge(LastVolWriteIdx[E.var()], E);
+    recordHardEdge(LastVolReadIdx[E.var()], E);
+    LastVolWriteIdx[E.var()] = currentEventIndex();
+  }
+  Ct.increment(E.Tid);
+}

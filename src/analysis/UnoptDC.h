@@ -1,0 +1,107 @@
+//===- analysis/UnoptDC.h - Unoptimized DC/WDC analysis ---------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unoptimized DC analysis, a direct implementation of the paper's
+/// Algorithm 1, and unoptimized WDC analysis (§3), which is Algorithm 1
+/// minus rule (b) (lines 2 and 4–8). Optionally records the constraint
+/// graph G for vindication, which is the "w/G" configuration of Table 3.
+///
+/// State (Algorithm 1): per-thread clocks C_t; last-access vector clocks
+/// R_x and W_x; per-lock, per-variable critical-section clocks L^r_{m,x}
+/// and L^w_{m,x} with the R_m/W_m sets of variables accessed in the current
+/// critical section; and the rule-(b) acquire/release queues.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_UNOPTDC_H
+#define SMARTTRACK_ANALYSIS_UNOPTDC_H
+
+#include "analysis/Analysis.h"
+#include "analysis/ClockSets.h"
+#include "analysis/RuleBLog.h"
+#include "graph/EdgeRecorder.h"
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace st {
+
+/// Vector-clock DC (or WDC) analysis per Algorithm 1.
+class UnoptDC : public Analysis {
+public:
+  struct Options {
+    /// Compute DC rule (b)? False yields WDC analysis.
+    bool RuleB = true;
+    /// Record the constraint graph (the "w/G" configurations)?
+    EdgeRecorder *Graph = nullptr;
+  };
+
+  explicit UnoptDC(Options Opts);
+
+  const char *name() const override;
+  size_t footprintBytes() const override;
+
+  /// Ordering query for tests: is every prior write to \p X DC-ordered
+  /// before thread \p T's current time?
+  bool lastWritesOrderedBefore(VarId X, ThreadId T);
+
+protected:
+  void preEvent(const Event &E) override;
+  void onRead(const Event &E) override;
+  void onWrite(const Event &E) override;
+  void onAcquire(const Event &E) override;
+  void onRelease(const Event &E) override;
+  void onFork(const Event &E) override;
+  void onJoin(const Event &E) override;
+  void onVolRead(const Event &E) override;
+  void onVolWrite(const Event &E) override;
+
+private:
+  /// A joined release clock plus the most recent contributing release event
+  /// (for graph edges).
+  struct CSClock {
+    VectorClock C;
+    uint64_t LastRelIdx = 0;
+  };
+
+  struct LockState {
+    std::unordered_map<VarId, CSClock> ReadCS;  // L^r_{m,x} (reads)
+    std::unordered_map<VarId, CSClock> WriteCS; // L^w_{m,x} (writes)
+    std::unordered_set<VarId> ReadVars;         // R_m
+    std::unordered_set<VarId> WriteVars;        // W_m
+    std::unique_ptr<RuleBLog<VectorClock>> Queues; // created when RuleB
+  };
+
+  LockState &lockState(LockId M) {
+    if (M >= Locks.size())
+      Locks.resize(M + 1);
+    return Locks[M];
+  }
+
+  void recordHardEdge(uint64_t Src, const Event &E);
+
+  bool RuleB;
+  EdgeRecorder *Graph;
+
+  ThreadClockSet Threads;
+  HeldLockSet Held;
+  std::vector<LockState> Locks;
+  ClockMap ReadClocks;  // R_x
+  ClockMap WriteClocks; // W_x
+  ClockMap VolWriteClock;
+  ClockMap VolReadClock;
+
+  // Graph-only bookkeeping for hard edges.
+  std::vector<uint64_t> LastEventOfThread;
+  std::vector<uint64_t> PendingForkEdge; // child -> fork event index + 1
+  std::vector<uint64_t> LastVolWriteIdx, LastVolReadIdx;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_UNOPTDC_H

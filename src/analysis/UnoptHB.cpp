@@ -1,0 +1,82 @@
+//===- analysis/UnoptHB.cpp - Vector-clock HB analysis --------------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/UnoptHB.h"
+
+using namespace st;
+
+size_t UnoptHB::footprintBytes() const {
+  return Threads.footprintBytes() + LockRelease.footprintBytes() +
+         WriteClocks.footprintBytes() + ReadClocks.footprintBytes() +
+         VolWriteClock.footprintBytes() + VolReadClock.footprintBytes();
+}
+
+bool UnoptHB::lastWriteOrderedBefore(VarId X, ThreadId T) {
+  return WriteClocks.of(X).leq(Threads.of(T));
+}
+
+void UnoptHB::onRead(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  VectorClock &Rx = ReadClocks.of(E.var());
+  // [Read Same Epoch]-like fast path (§5.1).
+  if (Rx.get(E.Tid) == Ct.get(E.Tid))
+    return;
+  VectorClock &Wx = WriteClocks.of(E.var());
+  if (!Wx.leq(Ct))
+    reportRace(E, Epoch::none());
+  Rx.set(E.Tid, Ct.get(E.Tid));
+}
+
+void UnoptHB::onWrite(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  VectorClock &Wx = WriteClocks.of(E.var());
+  // [Write Same Epoch]-like fast path (§5.1).
+  if (Wx.get(E.Tid) == Ct.get(E.Tid))
+    return;
+  if (!Wx.leq(Ct))
+    reportRace(E, Epoch::none());
+  if (!ReadClocks.of(E.var()).leq(Ct))
+    reportRace(E, Epoch::none());
+  Wx.set(E.Tid, Ct.get(E.Tid));
+}
+
+void UnoptHB::onAcquire(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  Ct.joinWith(LockRelease.of(E.lock()));
+  Ct.increment(E.Tid); // supports the same-epoch fast path (§5.1)
+}
+
+void UnoptHB::onRelease(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  LockRelease.of(E.lock()) = Ct;
+  Ct.increment(E.Tid);
+}
+
+void UnoptHB::onFork(const Event &E) {
+  VectorClock &Child = Threads.of(E.childTid());
+  VectorClock &Ct = Threads.of(E.Tid);
+  Child.joinWith(Ct);
+  Ct.increment(E.Tid);
+}
+
+void UnoptHB::onJoin(const Event &E) {
+  Threads.of(E.Tid).joinWith(Threads.of(E.childTid()));
+}
+
+void UnoptHB::onVolRead(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  Ct.joinWith(VolWriteClock.of(E.var()));
+  VolReadClock.of(E.var()).joinWith(Ct);
+  Ct.increment(E.Tid);
+}
+
+void UnoptHB::onVolWrite(const Event &E) {
+  VectorClock &Ct = Threads.of(E.Tid);
+  Ct.joinWith(VolWriteClock.of(E.var()));
+  Ct.joinWith(VolReadClock.of(E.var()));
+  VolWriteClock.of(E.var()).joinWith(Ct);
+  Ct.increment(E.Tid);
+}

@@ -1,0 +1,54 @@
+//===- analysis/UnoptHB.h - Vector-clock HB analysis ------------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unoptimized happens-before analysis (paper §2.3, "Unopt-HB" in Table 1):
+/// classic Djit+-style vector-clock HB with full last-access vector clocks
+/// R_x and W_x, plus the same-epoch fast path every implementation in the
+/// paper performs (§5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_UNOPTHB_H
+#define SMARTTRACK_ANALYSIS_UNOPTHB_H
+
+#include "analysis/Analysis.h"
+#include "analysis/ClockSets.h"
+
+namespace st {
+
+/// Vector-clock happens-before race detection.
+class UnoptHB : public Analysis {
+public:
+  const char *name() const override { return "Unopt-HB"; }
+  size_t footprintBytes() const override;
+
+  /// HB ordering query for tests: is the last write to \p X ordered before
+  /// thread \p T's current time?
+  bool lastWriteOrderedBefore(VarId X, ThreadId T);
+
+protected:
+  void onRead(const Event &E) override;
+  void onWrite(const Event &E) override;
+  void onAcquire(const Event &E) override;
+  void onRelease(const Event &E) override;
+  void onFork(const Event &E) override;
+  void onJoin(const Event &E) override;
+  void onVolRead(const Event &E) override;
+  void onVolWrite(const Event &E) override;
+
+private:
+  ThreadClockSet Threads;
+  ClockMap LockRelease;   // L_m: clock of the last rel(m)
+  ClockMap WriteClocks;   // W_x
+  ClockMap ReadClocks;    // R_x
+  ClockMap VolWriteClock; // join of volatile-write times per volatile
+  ClockMap VolReadClock;  // join of volatile-read times per volatile
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_UNOPTHB_H

@@ -1,0 +1,163 @@
+//===- analysis/UnoptWCP.cpp - Unoptimized WCP analysis -------------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/UnoptWCP.h"
+
+#include "analysis/Footprint.h"
+
+using namespace st;
+
+size_t UnoptWCP::footprintBytes() const {
+  size_t N = HThreads.footprintBytes() + PThreads.footprintBytes() +
+             Held.footprintBytes() + ReadClocks.footprintBytes() +
+             WriteClocks.footprintBytes() + VolWriteHC.footprintBytes() +
+             VolReadHC.footprintBytes() + Locks.capacity() * sizeof(LockState);
+  for (const LockState &L : Locks) {
+    N += L.HRel.footprintBytes() + L.PRel.footprintBytes() +
+         unorderedFootprint(L.ReadCS) + unorderedFootprint(L.WriteCS) +
+         unorderedFootprint(L.ReadVars) + unorderedFootprint(L.WriteVars);
+    for (const auto &KV : L.ReadCS)
+      N += KV.second.footprintBytes();
+    for (const auto &KV : L.WriteCS)
+      N += KV.second.footprintBytes();
+    if (L.Queues)
+      N += L.Queues->footprintBytes();
+  }
+  return N;
+}
+
+bool UnoptWCP::lastWritesOrderedBefore(VarId X, ThreadId T) {
+  return WriteClocks.of(X).leqIgnoring(PThreads.of(T), T);
+}
+
+void UnoptWCP::onRead(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  VectorClock &Pt = PThreads.of(E.Tid);
+  VectorClock &Rx = ReadClocks.of(E.var());
+  if (Rx.get(E.Tid) == Ht.get(E.Tid))
+    return; // same-epoch fast path (§5.1)
+
+  // WCP rule (a): prior critical sections on held locks that wrote x are
+  // ordered before this read; join their HB release times (left
+  // composition) into P_t.
+  for (LockId M : Held.of(E.Tid)) {
+    LockState &L = lockState(M);
+    if (auto It = L.WriteCS.find(E.var()); It != L.WriteCS.end())
+      Pt.joinWith(It->second);
+    L.ReadVars.insert(E.var());
+  }
+
+  if (!WriteClocks.of(E.var()).leqIgnoring(Pt, E.Tid))
+    reportRace(E, Epoch::none());
+  Rx.set(E.Tid, Ht.get(E.Tid));
+}
+
+void UnoptWCP::onWrite(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  VectorClock &Pt = PThreads.of(E.Tid);
+  VectorClock &Wx = WriteClocks.of(E.var());
+  if (Wx.get(E.Tid) == Ht.get(E.Tid))
+    return; // same-epoch fast path (§5.1)
+
+  for (LockId M : Held.of(E.Tid)) {
+    LockState &L = lockState(M);
+    if (auto It = L.ReadCS.find(E.var()); It != L.ReadCS.end())
+      Pt.joinWith(It->second);
+    if (auto It = L.WriteCS.find(E.var()); It != L.WriteCS.end())
+      Pt.joinWith(It->second);
+    L.WriteVars.insert(E.var());
+  }
+
+  if (!Wx.leqIgnoring(Pt, E.Tid))
+    reportRace(E, Epoch::none());
+  if (!ReadClocks.of(E.var()).leqIgnoring(Pt, E.Tid))
+    reportRace(E, Epoch::none());
+  Wx.set(E.Tid, Ht.get(E.Tid));
+}
+
+void UnoptWCP::onAcquire(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  VectorClock &Pt = PThreads.of(E.Tid);
+  LockState &L = lockState(E.lock());
+
+  // HB edge rel -> acq; WCP right-composes with HB, so the last release's
+  // genuine WCP knowledge flows too (but not its HB-only knowledge).
+  Ht.joinWith(L.HRel);
+  Pt.joinWith(L.PRel);
+
+  // Rule (b): remember this acquire for future releases. The trigger
+  // condition "acq ≺WCP rel" is exactly an epoch check on the acquirer's
+  // local time.
+  if (!L.Queues)
+    L.Queues = std::make_unique<RuleBLog<Epoch>>(/*PerReleaserCursors=*/false);
+  L.Queues->onAcquire(E.Tid, Ht.epochOf(E.Tid));
+
+  Held.pushLock(E.Tid, E.lock());
+  Ht.increment(E.Tid);
+}
+
+void UnoptWCP::onRelease(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  VectorClock &Pt = PThreads.of(E.Tid);
+  LockState &L = lockState(E.lock());
+
+  // WCP rule (b): acquires WCP-ordered before this release order their
+  // critical sections' releases before it; join the HB release times.
+  if (L.Queues) {
+    L.Queues->drainOrdered(E.Tid, Pt,
+                           [&](const VectorClock &Rel, uint64_t) {
+                             Pt.joinWith(Rel);
+                           });
+    L.Queues->onRelease(E.Tid, Ht, currentEventIndex());
+  }
+
+  // Rule (a) bookkeeping: record this critical section's accesses with the
+  // release's HB time (left composition with HB).
+  for (VarId X : L.ReadVars)
+    L.ReadCS[X].joinWith(Ht);
+  for (VarId X : L.WriteVars)
+    L.WriteCS[X].joinWith(Ht);
+  L.ReadVars.clear();
+  L.WriteVars.clear();
+
+  L.HRel = Ht;
+  L.PRel = Pt;
+  Held.popLock(E.Tid, E.lock());
+  Ht.increment(E.Tid);
+}
+
+void UnoptWCP::onFork(const Event &E) {
+  // Hard edge: everything HB-before the fork precedes the child in every
+  // predicted trace, so it enters the child's WCP knowledge too (§5.1).
+  VectorClock &Ht = HThreads.of(E.Tid);
+  HThreads.of(E.childTid()).joinWith(Ht);
+  PThreads.of(E.childTid()).joinWith(Ht);
+  Ht.increment(E.Tid);
+}
+
+void UnoptWCP::onJoin(const Event &E) {
+  VectorClock &ChildH = HThreads.of(E.childTid());
+  HThreads.of(E.Tid).joinWith(ChildH);
+  PThreads.of(E.Tid).joinWith(ChildH);
+}
+
+void UnoptWCP::onVolRead(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  Ht.joinWith(VolWriteHC.of(E.var()));
+  PThreads.of(E.Tid).joinWith(VolWriteHC.of(E.var()));
+  VolReadHC.of(E.var()).joinWith(Ht);
+  Ht.increment(E.Tid);
+}
+
+void UnoptWCP::onVolWrite(const Event &E) {
+  VectorClock &Ht = HThreads.of(E.Tid);
+  Ht.joinWith(VolWriteHC.of(E.var()));
+  Ht.joinWith(VolReadHC.of(E.var()));
+  PThreads.of(E.Tid).joinWith(VolWriteHC.of(E.var()));
+  PThreads.of(E.Tid).joinWith(VolReadHC.of(E.var()));
+  VolWriteHC.of(E.var()).joinWith(Ht);
+  Ht.increment(E.Tid);
+}

@@ -1,0 +1,102 @@
+//===- analysis/UnoptWCP.h - Unoptimized WCP analysis -----------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unoptimized weak-causally-precedes (WCP) analysis (Kini et al. 2017;
+/// paper §2.4). WCP differs from DC by composing with HB instead of PO, and
+/// crucially does *not* include program order or HB lock edges themselves.
+/// The analysis therefore maintains two clocks per thread:
+///
+///  - H_t: the HB clock; its own entry is the thread's local counter.
+///  - P_t: the WCP clock, holding per-thread local times of events that are
+///    genuinely WCP-before the current event. Its own entry is *not* the
+///    local counter (PO is not WCP), which keeps HB-only knowledge from
+///    leaking into WCP when clocks flow to other threads.
+///
+/// Composition with HB is realized as:
+///  - left composition (e ≺HB e'' ≺WCP e'): WCP edge sources store *HB*
+///    times — the rule-(a) clocks L^r/L^w and the rule-(b) release entries
+///    hold H at the source release, so joining one pulls in everything
+///    HB-before the release;
+///  - right composition (e ≺WCP e'' ≺HB e'): P_t propagates along every HB
+///    edge — rel→acq via the lock's P clock, fork/join, volatiles.
+///
+/// Race checks compare last-access times against P_t ignoring the current
+/// thread's entry (same-thread accesses are PO-ordered, never races).
+///
+/// Rule (b) reduces to "acquire ≺WCP current release", an epoch check, and
+/// uses one queue per (lock, acquiring thread) — not per thread pair —
+/// because releases of one lock are totally HB-ordered, making WCP
+/// knowledge monotone along the release chain (paper §2.5, footnote 6).
+///
+/// Fork/join and volatile orderings are hard edges that hold in every
+/// predicted trace, so they inject full HB knowledge into P_t (§5.1).
+///
+//======---------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_UNOPTWCP_H
+#define SMARTTRACK_ANALYSIS_UNOPTWCP_H
+
+#include "analysis/Analysis.h"
+#include "analysis/ClockSets.h"
+#include "analysis/RuleBLog.h"
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace st {
+
+/// Vector-clock WCP analysis.
+class UnoptWCP : public Analysis {
+public:
+  const char *name() const override { return "Unopt-WCP"; }
+  size_t footprintBytes() const override;
+
+  /// Ordering query for tests: is every prior write to \p X (by other
+  /// threads) WCP-ordered before thread \p T's current time?
+  bool lastWritesOrderedBefore(VarId X, ThreadId T);
+
+protected:
+  void onRead(const Event &E) override;
+  void onWrite(const Event &E) override;
+  void onAcquire(const Event &E) override;
+  void onRelease(const Event &E) override;
+  void onFork(const Event &E) override;
+  void onJoin(const Event &E) override;
+  void onVolRead(const Event &E) override;
+  void onVolWrite(const Event &E) override;
+
+private:
+  struct LockState {
+    VectorClock HRel; // HB clock of the last release
+    VectorClock PRel; // WCP clock of the last release
+    std::unordered_map<VarId, VectorClock> ReadCS;  // L^r_{m,x} (HB times)
+    std::unordered_map<VarId, VectorClock> WriteCS; // L^w_{m,x} (HB times)
+    std::unordered_set<VarId> ReadVars;             // R_m
+    std::unordered_set<VarId> WriteVars;            // W_m
+    std::unique_ptr<RuleBLog<Epoch>> Queues;        // shared cursors
+  };
+
+  LockState &lockState(LockId M) {
+    if (M >= Locks.size())
+      Locks.resize(M + 1);
+    return Locks[M];
+  }
+
+  ThreadClockSet HThreads; // H_t (own entry = local counter)
+  ClockMap PThreads;       // P_t (genuine WCP knowledge only)
+  HeldLockSet Held;
+  std::vector<LockState> Locks;
+  ClockMap ReadClocks;  // R_x (local access times)
+  ClockMap WriteClocks; // W_x
+  ClockMap VolWriteHC;  // join of H at volatile writes
+  ClockMap VolReadHC;   // join of H at volatile reads
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_UNOPTWCP_H

@@ -1,0 +1,67 @@
+//===- graph/EdgeRecorder.h - Constraint-graph edge recording --*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Online recording of the ordering edges a predictive analysis computes,
+/// mirroring prior work's constraint graph G (paper §4.3, the "w/G" columns
+/// of Table 3). Prior work builds G during DC analysis so VindicateRace can
+/// check detected races afterwards; here the recorded edges serve two roles:
+///
+///  1. Cost fidelity: the w/G analysis configurations pay the time and
+///     memory of recording one edge per computed ordering, like prior work.
+///  2. Vindication seeding: the closure-based vindicator (src/vindicate/)
+///     derives mandatory constraints from the trace itself and uses recorded
+///     rule-(b)/hard edges as ordering hints, so its correctness does not
+///     depend on edge completeness. Rule-(a) joins that merge several prior
+///     critical sections record an edge from the most recent contributing
+///     release only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_GRAPH_EDGERECORDER_H
+#define SMARTTRACK_GRAPH_EDGERECORDER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace st {
+
+/// Why an edge was added to the constraint graph.
+enum class EdgeKind : uint8_t {
+  RuleA, ///< conflicting-critical-section edge rel(m) -> access
+  RuleB, ///< release-release edge rel(m) -> rel(m)
+  Hard,  ///< fork/join/volatile ordering (holds in every predicted trace)
+};
+
+/// One directed edge between trace event indices (Src happens before Dst).
+struct GraphEdge {
+  uint64_t Src = 0;
+  uint64_t Dst = 0;
+  EdgeKind Kind = EdgeKind::RuleA;
+};
+
+/// Append-only edge sink used by the w/G analysis configurations.
+class EdgeRecorder {
+public:
+  void addEdge(uint64_t Src, uint64_t Dst, EdgeKind Kind) {
+    Edges.push_back({Src, Dst, Kind});
+  }
+
+  const std::vector<GraphEdge> &edges() const { return Edges; }
+  size_t size() const { return Edges.size(); }
+
+  size_t footprintBytes() const {
+    return Edges.capacity() * sizeof(GraphEdge);
+  }
+
+private:
+  std::vector<GraphEdge> Edges;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_GRAPH_EDGERECORDER_H

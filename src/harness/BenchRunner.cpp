@@ -1,0 +1,159 @@
+//===- harness/BenchRunner.cpp - Analysis benchmark runner ----------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/BenchRunner.h"
+
+#include "graph/EdgeRecorder.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+using namespace st;
+
+bool BenchConfig::wantsProgram(const char *Name) const {
+  if (Programs.empty())
+    return true;
+  for (const std::string &P : Programs)
+    if (P == Name)
+      return true;
+  return false;
+}
+
+bool st::parseBenchArgs(int Argc, char **Argv, BenchConfig &Config) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto Value = [Arg](const char *Prefix) -> const char * {
+      size_t N = std::strlen(Prefix);
+      return std::strncmp(Arg, Prefix, N) == 0 ? Arg + N : nullptr;
+    };
+    if (const char *V = Value("--events-scale=")) {
+      Config.EventScale = std::strtoull(V, nullptr, 10);
+      if (Config.EventScale == 0)
+        Config.EventScale = 1;
+    } else if (const char *V = Value("--trials=")) {
+      Config.Trials = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (Config.Trials == 0)
+        Config.Trials = 1;
+    } else if (const char *V = Value("--seed=")) {
+      Config.Seed = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--min-events=")) {
+      Config.MinEvents = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--programs=")) {
+      std::string List(V);
+      size_t Pos = 0;
+      while (Pos != std::string::npos) {
+        size_t Comma = List.find(',', Pos);
+        std::string Name = List.substr(
+            Pos, Comma == std::string::npos ? Comma : Comma - Pos);
+        if (!Name.empty())
+          Config.Programs.push_back(Name);
+        Pos = Comma == std::string::npos ? Comma : Comma + 1;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--events-scale=N] [--trials=N] [--seed=N]\n"
+                   "          [--min-events=N] [--programs=a,b,c]\n",
+                   Argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+double st::measureBaseline(const WorkloadProfile &P,
+                           const BenchConfig &Config) {
+  WorkloadGenerator Gen(P, Config.eventsFor(P), Config.Seed);
+  Event E;
+  uint64_t Checksum = 0;
+  auto Start = std::chrono::steady_clock::now();
+  while (Gen.next(E))
+    Checksum += E.Target; // keep the loop from being optimized away
+  auto End = std::chrono::steady_clock::now();
+  if (Checksum == 0xdeadbeef)
+    std::fprintf(stderr, "baseline checksum sentinel\n");
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+RunResult st::runOnce(AnalysisKind Kind, const WorkloadProfile &P,
+                      const BenchConfig &Config, double BaselineSeconds,
+                      uint64_t TrialSeed) {
+  WorkloadGenerator Gen(P, Config.eventsFor(P), TrialSeed);
+  EdgeRecorder Graph;
+  auto A = createAnalysis(Kind, &Graph);
+  A->setMaxStoredRaces(Config.MaxStoredRaces);
+
+  RunResult R;
+  R.BaselineSeconds = BaselineSeconds;
+  constexpr uint64_t SamplePeriod = 1 << 16;
+  uint64_t NextSample = SamplePeriod;
+  Event E;
+  auto Start = std::chrono::steady_clock::now();
+  while (Gen.next(E)) {
+    A->processEvent(E);
+    if (A->eventsProcessed() >= NextSample) {
+      NextSample += SamplePeriod;
+      size_t Bytes = A->footprintBytes();
+      if (Bytes > R.PeakFootprintBytes)
+        R.PeakFootprintBytes = Bytes;
+    }
+  }
+  auto End = std::chrono::steady_clock::now();
+  R.Seconds = std::chrono::duration<double>(End - Start).count();
+  size_t Bytes = A->footprintBytes();
+  if (Bytes > R.PeakFootprintBytes)
+    R.PeakFootprintBytes = Bytes;
+  R.DynamicRaces = A->dynamicRaces();
+  R.StaticRaces = A->staticRaces();
+  R.Events = A->eventsProcessed();
+  return R;
+}
+
+CellResult st::runCell(AnalysisKind Kind, const WorkloadProfile &P,
+                       const BenchConfig &Config, double BaselineSeconds) {
+  CellResult Cell;
+  for (unsigned T = 0; T < Config.Trials; ++T) {
+    RunResult R =
+        runOnce(Kind, P, Config, BaselineSeconds, Config.Seed + T * 1299709);
+    Cell.Slowdowns.push_back(R.slowdown());
+    Cell.MemFactors.push_back(R.memoryFactor(Config.UninstrumentedBytes));
+    Cell.StaticRaces.push_back(static_cast<double>(R.StaticRaces));
+    Cell.DynamicRaces.push_back(static_cast<double>(R.DynamicRaces));
+  }
+  return Cell;
+}
+
+std::string st::formatFactor(double Value, double CiHalfWidth) {
+  char Buf[64];
+  if (Value >= 9.95)
+    std::snprintf(Buf, sizeof(Buf), "%.0fx", Value);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.1fx", Value);
+  std::string Out = Buf;
+  if (CiHalfWidth > 0) {
+    std::snprintf(Buf, sizeof(Buf), " ±%.2g", CiHalfWidth);
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string st::formatRaces(double StaticMean, double DynamicMean) {
+  auto WithCommas = [](uint64_t N) {
+    std::string Digits = std::to_string(N);
+    std::string Out;
+    int Count = 0;
+    for (size_t I = Digits.size(); I-- > 0;) {
+      Out.insert(Out.begin(), Digits[I]);
+      if (++Count % 3 == 0 && I != 0)
+        Out.insert(Out.begin(), ',');
+    }
+    return Out;
+  };
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "%.0f (%s)", StaticMean,
+                WithCommas(static_cast<uint64_t>(DynamicMean + 0.5)).c_str());
+  return Buf;
+}

@@ -1,0 +1,47 @@
+//===- harness/GridBench.cpp - Programs x analyses grid runs --------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/GridBench.h"
+
+#include <cstdio>
+
+using namespace st;
+
+GridResults st::runMainGrid(const BenchConfig &Config) {
+  GridResults G;
+  const auto &Kinds = mainTableAnalysisKinds();
+  for (const WorkloadProfile &P : dacapoProfiles()) {
+    if (!Config.wantsProgram(P.Name))
+      continue;
+    std::fprintf(stderr, "  running %s (%llu events x %zu analyses)...\n",
+                 P.Name,
+                 static_cast<unsigned long long>(Config.eventsFor(P)),
+                 Kinds.size());
+    double Baseline = measureBaseline(P, Config);
+    std::vector<CellResult> Row;
+    Row.reserve(Kinds.size());
+    for (AnalysisKind K : Kinds)
+      Row.push_back(runCell(K, P, Config, Baseline));
+    G.Programs.push_back(&P);
+    G.Cells.push_back(std::move(Row));
+  }
+  return G;
+}
+
+int st::gridKindIndex(unsigned RelationRow, unsigned LevelCol) {
+  // mainTableAnalysisKinds() order:
+  //  0 Unopt-HB, 1 FTO-HB, 2 Unopt-WCP, 3 FTO-WCP, 4 ST-WCP,
+  //  5 Unopt-DC, 6 FTO-DC, 7 ST-DC, 8 Unopt-WDC, 9 FTO-WDC, 10 ST-WDC.
+  static const int Map[4][3] = {
+      {0, 1, -1}, // HB: Unopt, FTO, (no ST)
+      {2, 3, 4},  // WCP
+      {5, 6, 7},  // DC
+      {8, 9, 10}, // WDC
+  };
+  if (RelationRow >= 4 || LevelCol >= 3)
+    return -1;
+  return Map[RelationRow][LevelCol];
+}

@@ -1,0 +1,43 @@
+//===- harness/GridBench.h - Programs x analyses grid runs ------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared driver for the paper's main result grid (Tables 4-7): every
+/// DaCapo-like program crossed with the eleven analyses of Table 1 (the
+/// Unopt-/FTO-/ST- levels over HB/WCP/DC/WDC). Each table bench runs the
+/// grid and prints its own aspect (run time, memory, races, geomeans).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_HARNESS_GRIDBENCH_H
+#define SMARTTRACK_HARNESS_GRIDBENCH_H
+
+#include "harness/BenchRunner.h"
+
+#include <vector>
+
+namespace st {
+
+/// Grid of cell results: Cells[program][kind-index] where kind-index runs
+/// over mainTableAnalysisKinds().
+struct GridResults {
+  std::vector<const WorkloadProfile *> Programs;
+  std::vector<std::vector<CellResult>> Cells;
+};
+
+/// Runs the full grid (respecting Config.Programs), printing one progress
+/// line per program to stderr.
+GridResults runMainGrid(const BenchConfig &Config);
+
+/// The paper's row/column layout for the per-program blocks: rows are the
+/// relations, columns are the optimization levels. Returns the kind at
+/// (Relation row 0-3, Level column 0-2) or a negative index when the cell
+/// is N/A (ST-HB).
+int gridKindIndex(unsigned RelationRow, unsigned LevelCol);
+
+} // namespace st
+
+#endif // SMARTTRACK_HARNESS_GRIDBENCH_H

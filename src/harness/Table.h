@@ -1,0 +1,68 @@
+//===- harness/Table.h - Aligned table printing -----------------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal column-aligned table printer for the benchmark binaries, which
+/// regenerate the paper's tables on stdout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_HARNESS_TABLE_H
+#define SMARTTRACK_HARNESS_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace st {
+
+/// Collects rows of strings and prints them with aligned columns.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header)
+      : Header(std::move(Header)) {}
+
+  void addRow(std::vector<std::string> Row) { Rows.push_back(std::move(Row)); }
+
+  void print(FILE *Out = stdout) const {
+    std::vector<size_t> Width(Header.size(), 0);
+    auto Widen = [&Width](const std::vector<std::string> &Row) {
+      for (size_t I = 0; I < Row.size(); ++I) {
+        if (I >= Width.size())
+          Width.resize(I + 1, 0);
+        Width[I] = std::max(Width[I], Row[I].size());
+      }
+    };
+    Widen(Header);
+    for (const auto &Row : Rows)
+      Widen(Row);
+
+    auto PrintRow = [&](const std::vector<std::string> &Row) {
+      for (size_t I = 0; I < Width.size(); ++I) {
+        const std::string &Cell = I < Row.size() ? Row[I] : std::string();
+        std::fprintf(Out, "%s%-*s", I ? "  " : "",
+                     static_cast<int>(Width[I]), Cell.c_str());
+      }
+      std::fprintf(Out, "\n");
+    };
+    PrintRow(Header);
+    size_t Total = 0;
+    for (size_t W : Width)
+      Total += W + 2;
+    std::string Rule(Total > 2 ? Total - 2 : 0, '-');
+    std::fprintf(Out, "%s\n", Rule.c_str());
+    for (const auto &Row : Rows)
+      PrintRow(Row);
+  }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_HARNESS_TABLE_H

@@ -1,0 +1,304 @@
+//===- oracle/PredictableRace.cpp - Exhaustive predictable-race oracle ----===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "oracle/PredictableRace.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace st;
+
+namespace {
+
+constexpr long NoWriter = -1;
+
+/// Static structure of the trace shared by all search states.
+struct TraceShape {
+  const Trace &Tr;
+  std::vector<std::vector<size_t>> ThreadEvents; // per thread, orig indices
+  std::vector<long> OrigLastWriter; // per read event (plain + volatile)
+  std::vector<long> ForkOf;         // per thread: fork event index or -1
+
+  explicit TraceShape(const Trace &Tr) : Tr(Tr) {
+    ThreadEvents.resize(Tr.numThreads());
+    OrigLastWriter.assign(Tr.size(), NoWriter);
+    ForkOf.assign(Tr.numThreads(), -1);
+    std::unordered_map<uint64_t, long> LastPlain, LastVol;
+    for (size_t I = 0, N = Tr.size(); I != N; ++I) {
+      const Event &E = Tr[I];
+      ThreadEvents[E.Tid].push_back(I);
+      switch (E.Kind) {
+      case EventKind::Read:
+        if (auto It = LastPlain.find(E.var()); It != LastPlain.end())
+          OrigLastWriter[I] = It->second;
+        break;
+      case EventKind::Write:
+        LastPlain[E.var()] = static_cast<long>(I);
+        break;
+      case EventKind::VolRead:
+        if (auto It = LastVol.find(E.var()); It != LastVol.end())
+          OrigLastWriter[I] = It->second;
+        break;
+      case EventKind::VolWrite:
+        LastVol[E.var()] = static_cast<long>(I);
+        break;
+      case EventKind::Fork:
+        ForkOf[E.childTid()] = static_cast<long>(I);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+};
+
+/// Mutable search state: a predicted-trace prefix.
+struct SearchState {
+  std::vector<uint32_t> Cursor;     // per thread
+  std::vector<uint32_t> LockHolder; // per lock, InvalidId = free
+  std::vector<long> LastWrite;      // per plain var, executed write idx
+  std::vector<long> LastVolWrite;   // per volatile var
+  std::vector<bool> ForkDone;       // per thread: fork event executed
+
+  explicit SearchState(const TraceShape &S)
+      : Cursor(S.Tr.numThreads(), 0),
+        LockHolder(S.Tr.numLocks(), InvalidId),
+        LastWrite(S.Tr.numVars(), NoWriter),
+        LastVolWrite(S.Tr.numVolatiles(), NoWriter),
+        ForkDone(S.Tr.numThreads(), false) {}
+
+  std::string encode() const {
+    std::string Key;
+    Key.reserve((Cursor.size() + LockHolder.size()) * sizeof(uint32_t) +
+                (LastWrite.size() + LastVolWrite.size()) * sizeof(long));
+    auto Push = [&Key](const void *P, size_t N) {
+      Key.append(static_cast<const char *>(P), N);
+    };
+    Push(Cursor.data(), Cursor.size() * sizeof(uint32_t));
+    Push(LockHolder.data(), LockHolder.size() * sizeof(uint32_t));
+    Push(LastWrite.data(), LastWrite.size() * sizeof(long));
+    Push(LastVolWrite.data(), LastVolWrite.size() * sizeof(long));
+    // ForkDone is implied by the forker's cursor; skip it.
+    return Key;
+  }
+};
+
+/// Next unexecuted event index of thread T, or -1.
+long nextOf(const TraceShape &Shape, const SearchState &S, ThreadId T) {
+  const auto &Evs = Shape.ThreadEvents[T];
+  return S.Cursor[T] < Evs.size() ? static_cast<long>(Evs[S.Cursor[T]]) : -1;
+}
+
+/// May event \p I run now? (Lock, last-writer, fork/join rules; the caller
+/// guarantees \p I is its thread's next event.)
+bool enabled(const TraceShape &Shape, const SearchState &S, size_t I) {
+  const Event &E = Shape.Tr[I];
+  if (Shape.ForkOf[E.Tid] >= 0 && !S.ForkDone[E.Tid])
+    return false; // forked threads wait for their fork
+  switch (E.Kind) {
+  case EventKind::Acquire:
+    return S.LockHolder[E.lock()] == InvalidId;
+  case EventKind::Release:
+    return S.LockHolder[E.lock()] == E.Tid;
+  case EventKind::Read:
+    return S.LastWrite[E.var()] == Shape.OrigLastWriter[I];
+  case EventKind::VolRead:
+    return S.LastVolWrite[E.var()] == Shape.OrigLastWriter[I];
+  case EventKind::Join: {
+    ThreadId C = Shape.Tr[I].childTid();
+    return S.Cursor[C] == Shape.ThreadEvents[C].size();
+  }
+  default:
+    return true;
+  }
+}
+
+void apply(const TraceShape &Shape, SearchState &S, size_t I) {
+  const Event &E = Shape.Tr[I];
+  ++S.Cursor[E.Tid];
+  switch (E.Kind) {
+  case EventKind::Acquire:
+    S.LockHolder[E.lock()] = E.Tid;
+    break;
+  case EventKind::Release:
+    S.LockHolder[E.lock()] = InvalidId;
+    break;
+  case EventKind::Write:
+    S.LastWrite[E.var()] = static_cast<long>(I);
+    break;
+  case EventKind::VolWrite:
+    S.LastVolWrite[E.var()] = static_cast<long>(I);
+    break;
+  case EventKind::Fork:
+    S.ForkDone[E.childTid()] = true;
+    break;
+  default:
+    break;
+  }
+}
+
+/// Is the adjacent pair (I1 then I2) schedulable and racy at state S?
+/// Both events must be their threads' next events.
+bool adjacentRace(const TraceShape &Shape, const SearchState &S, size_t I1,
+                  size_t I2) {
+  if (!conflict(Shape.Tr[I1], Shape.Tr[I2]))
+    return false;
+  if (!enabled(Shape, S, I1))
+    return false;
+  SearchState Next = S;
+  apply(Shape, Next, I1);
+  return enabled(Shape, Next, I2);
+}
+
+class Searcher {
+public:
+  Searcher(const Trace &Tr, long PairFirst, long PairSecond,
+           size_t MaxStates)
+      : Shape(Tr), PairFirst(PairFirst), PairSecond(PairSecond),
+        MaxStates(MaxStates) {}
+
+  std::optional<PredictableRaceWitness> run() {
+    SearchState S(Shape);
+    if (dfs(S))
+      return Found;
+    return std::nullopt;
+  }
+
+private:
+  bool checkRaceHere(const SearchState &S) {
+    if (PairFirst >= 0) {
+      ThreadId T1 = Shape.Tr[PairFirst].Tid, T2 = Shape.Tr[PairSecond].Tid;
+      if (nextOf(Shape, S, T1) != PairFirst ||
+          nextOf(Shape, S, T2) != PairSecond)
+        return false;
+      size_t A = static_cast<size_t>(PairFirst);
+      size_t B = static_cast<size_t>(PairSecond);
+      if (adjacentRace(Shape, S, A, B)) {
+        Found.First = A;
+        Found.Second = B;
+        return true;
+      }
+      if (adjacentRace(Shape, S, B, A)) {
+        Found.First = B;
+        Found.Second = A;
+        return true;
+      }
+      return false;
+    }
+    for (ThreadId T1 = 0; T1 < S.Cursor.size(); ++T1) {
+      long I1 = nextOf(Shape, S, T1);
+      if (I1 < 0 || !isAccess(Shape.Tr[I1].Kind))
+        continue;
+      for (ThreadId T2 = T1 + 1; T2 < S.Cursor.size(); ++T2) {
+        long I2 = nextOf(Shape, S, T2);
+        if (I2 < 0 || !isAccess(Shape.Tr[I2].Kind))
+          continue;
+        if (adjacentRace(Shape, S, static_cast<size_t>(I1),
+                         static_cast<size_t>(I2))) {
+          Found.First = static_cast<size_t>(I1);
+          Found.Second = static_cast<size_t>(I2);
+          return true;
+        }
+        if (adjacentRace(Shape, S, static_cast<size_t>(I2),
+                         static_cast<size_t>(I1))) {
+          Found.First = static_cast<size_t>(I2);
+          Found.Second = static_cast<size_t>(I1);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool dfs(SearchState &S) {
+    if (MaxStates && Visited.size() >= MaxStates)
+      return false;
+    if (!Visited.insert(S.encode()).second)
+      return false;
+    if (checkRaceHere(S)) {
+      Found.Prefix = Path;
+      return true;
+    }
+    for (ThreadId T = 0; T < S.Cursor.size(); ++T) {
+      long I = nextOf(Shape, S, T);
+      if (I < 0 || !enabled(Shape, S, static_cast<size_t>(I)))
+        continue;
+      if (PairFirst >= 0 && (I == PairFirst || I == PairSecond))
+        continue; // pair mode: the racing events only run as the final pair
+      SearchState Next = S;
+      apply(Shape, Next, static_cast<size_t>(I));
+      Path.push_back(static_cast<size_t>(I));
+      if (dfs(Next))
+        return true;
+      Path.pop_back();
+    }
+    return false;
+  }
+
+  TraceShape Shape;
+  long PairFirst, PairSecond;
+  size_t MaxStates;
+  std::unordered_set<std::string> Visited;
+  std::vector<size_t> Path;
+  PredictableRaceWitness Found;
+};
+
+} // namespace
+
+std::optional<PredictableRaceWitness>
+st::findPredictableRace(const Trace &Tr, size_t MaxStates) {
+  return Searcher(Tr, -1, -1, MaxStates).run();
+}
+
+std::optional<PredictableRaceWitness>
+st::findPredictableRaceForPair(const Trace &Tr, size_t I1, size_t I2,
+                               size_t MaxStates) {
+  assert(I1 < Tr.size() && I2 < Tr.size() && I1 != I2 &&
+         "pair indices out of range");
+  return Searcher(Tr, static_cast<long>(I1), static_cast<long>(I2),
+                  MaxStates)
+      .run();
+}
+
+bool st::checkWitness(const Trace &Tr, const PredictableRaceWitness &W,
+                      std::string *Error) {
+  auto Fail = [Error](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (W.First >= Tr.size() || W.Second >= Tr.size())
+    return Fail("racing event index out of range");
+  if (!conflict(Tr[W.First], Tr[W.Second]))
+    return Fail("witness pair does not conflict");
+
+  TraceShape Shape(Tr);
+  SearchState S(Shape);
+  for (size_t I : W.Prefix) {
+    if (I >= Tr.size())
+      return Fail("prefix event index out of range");
+    if (I == W.First || I == W.Second)
+      return Fail("racing event inside the prefix");
+    const Event &E = Tr[I];
+    if (nextOf(Shape, S, E.Tid) != static_cast<long>(I))
+      return Fail("prefix violates per-thread program order");
+    if (!enabled(Shape, S, I))
+      return Fail("prefix event not schedulable (locks, last writer, or "
+                  "fork/join)");
+    apply(Shape, S, I);
+  }
+
+  // Both racing events must now be their threads' next events and runnable
+  // back to back.
+  if (nextOf(Shape, S, Tr[W.First].Tid) != static_cast<long>(W.First))
+    return Fail("first racing event is not its thread's next event");
+  if (nextOf(Shape, S, Tr[W.Second].Tid) != static_cast<long>(W.Second))
+    return Fail("second racing event is not its thread's next event");
+  if (!adjacentRace(Shape, S, W.First, W.Second))
+    return Fail("racing pair is not schedulable back to back");
+  return true;
+}

@@ -1,0 +1,58 @@
+//===- runtime/Runtime.cpp - Online instrumentation runtime ---------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+using namespace st;
+
+Detector::Detector(std::unique_ptr<Analysis> ImplAnalysis, bool KeepTrace)
+    : Impl(std::move(ImplAnalysis)), KeepTrace(KeepTrace) {}
+
+void Detector::submit(const Event &E) {
+  std::lock_guard<std::mutex> Guard(IntakeMutex);
+  Impl->processEvent(E);
+  if (KeepTrace)
+    Recorded.push_back(E);
+}
+
+ThreadId Detector::forkThread(ThreadId Parent) {
+  ThreadId Child = NextThread.fetch_add(1);
+  submit(Event(EventKind::Fork, Parent, Child));
+  return Child;
+}
+
+void Detector::joinThread(ThreadId Parent, ThreadId Child) {
+  submit(Event(EventKind::Join, Parent, Child));
+}
+
+void Detector::onAcquire(ThreadId T, LockId M) {
+  submit(Event(EventKind::Acquire, T, M));
+}
+
+void Detector::onRelease(ThreadId T, LockId M) {
+  submit(Event(EventKind::Release, T, M));
+}
+
+void Detector::onRead(ThreadId T, VarId X, SiteId Site) {
+  submit(Event(EventKind::Read, T, X, Site));
+}
+
+void Detector::onWrite(ThreadId T, VarId X, SiteId Site) {
+  submit(Event(EventKind::Write, T, X, Site));
+}
+
+void Detector::onVolRead(ThreadId T, VarId V) {
+  submit(Event(EventKind::VolRead, T, V));
+}
+
+void Detector::onVolWrite(ThreadId T, VarId V) {
+  submit(Event(EventKind::VolWrite, T, V));
+}
+
+Trace Detector::recordedTrace() const {
+  std::lock_guard<std::mutex> Guard(IntakeMutex);
+  return Trace(Recorded);
+}

@@ -1,0 +1,62 @@
+//===- support/Epoch.h - FastTrack-style epochs -----------------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An epoch is a scalar c@t pairing a clock value c with a thread id t
+/// (Flanagan & Freund, PLDI 2009). FastTrack and its descendants (FTO,
+/// SmartTrack) use epochs to represent last-access times in constant space.
+/// The distinguished value "none" represents the uninitialized epoch ⊥.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_SUPPORT_EPOCH_H
+#define SMARTTRACK_SUPPORT_EPOCH_H
+
+#include "support/Types.h"
+
+#include <cassert>
+
+namespace st {
+
+/// A packed c@t epoch: thread id in the high 32 bits, clock in the low 32.
+/// Clock value 0 never names a real event (thread-local clocks start at 1),
+/// so the all-zero encoding doubles as the ⊥ epoch.
+class Epoch {
+public:
+  constexpr Epoch() = default;
+
+  static constexpr Epoch make(ThreadId T, ClockValue C) {
+    return Epoch((static_cast<uint64_t>(T) << 32) | C);
+  }
+
+  /// The uninitialized epoch ⊥.
+  static constexpr Epoch none() { return Epoch(); }
+
+  constexpr bool isNone() const { return Bits == 0; }
+
+  constexpr ThreadId tid() const {
+    return static_cast<ThreadId>(Bits >> 32);
+  }
+
+  constexpr ClockValue clock() const {
+    return static_cast<ClockValue>(Bits & 0xffffffffu);
+  }
+
+  constexpr bool operator==(const Epoch &O) const { return Bits == O.Bits; }
+  constexpr bool operator!=(const Epoch &O) const { return Bits != O.Bits; }
+
+  /// Raw encoded representation (for hashing / tracing).
+  constexpr uint64_t raw() const { return Bits; }
+
+private:
+  explicit constexpr Epoch(uint64_t Bits) : Bits(Bits) {}
+
+  uint64_t Bits = 0;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_SUPPORT_EPOCH_H

@@ -1,0 +1,64 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (SplitMix64) used by the workload
+/// generator and the property-test trace fuzzers. Determinism matters: every
+/// benchmark table and every property test must reproduce bit-for-bit from a
+/// seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_SUPPORT_RNG_H
+#define SMARTTRACK_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace st {
+
+/// SplitMix64: passes BigCrush, two ops per draw, trivially seedable.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform draw in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    // Multiply-shift bounded draw; bias is negligible for our bounds.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform draw in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Bernoulli draw with probability \p P (clamped to [0,1]).
+  bool nextBool(double P) {
+    if (P <= 0.0)
+      return false;
+    if (P >= 1.0)
+      return true;
+    return next() < static_cast<uint64_t>(P * 18446744073709551615.0);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_SUPPORT_RNG_H

@@ -1,0 +1,49 @@
+//===- support/Types.h - Core identifier and clock types -------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Core identifier types shared by every module: thread, variable, lock, and
+/// source-site identifiers, plus the scalar clock type used by vector clocks
+/// and epochs. All identifiers are dense, zero-based unsigned integers so
+/// metadata can live in flat vectors with deterministic iteration order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_SUPPORT_TYPES_H
+#define SMARTTRACK_SUPPORT_TYPES_H
+
+#include <cstdint>
+
+namespace st {
+
+/// Dense zero-based thread identifier. Thread 0 is the main thread.
+using ThreadId = uint32_t;
+
+/// Dense zero-based program-variable identifier (one per field / array
+/// element in the paper's Java setting; one per tracked address here).
+using VarId = uint32_t;
+
+/// Dense zero-based lock identifier.
+using LockId = uint32_t;
+
+/// Static source-location identifier. Two dynamic races with the same SiteId
+/// count as one "statically distinct" race (paper §5.1, Table 7).
+using SiteId = uint32_t;
+
+/// Scalar logical-clock value stored in vector clock entries and epochs.
+using ClockValue = uint32_t;
+
+/// Sentinel clock value representing "not yet released" in SmartTrack CS-list
+/// clocks (Algorithm 3 line 4 initializes the acquiring thread's entry to
+/// infinity so ordering queries fail until the release happens).
+inline constexpr ClockValue InfiniteClock = UINT32_MAX;
+
+/// Sentinel for "no such identifier".
+inline constexpr uint32_t InvalidId = UINT32_MAX;
+
+} // namespace st
+
+#endif // SMARTTRACK_SUPPORT_TYPES_H

@@ -1,0 +1,52 @@
+//===- support/VectorClock.cpp - Vector clocks ------------------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/VectorClock.h"
+
+#include <algorithm>
+
+using namespace st;
+
+VectorClock VectorClock::makeSingleton(ThreadId T, ClockValue C) {
+  VectorClock VC;
+  VC.set(T, C);
+  return VC;
+}
+
+void VectorClock::set(ThreadId T, ClockValue C) {
+  if (T >= Vals.size())
+    Vals.resize(T + 1, 0);
+  Vals[T] = C;
+}
+
+void VectorClock::joinWith(const VectorClock &O) {
+  if (O.Vals.size() > Vals.size())
+    Vals.resize(O.Vals.size(), 0);
+  for (size_t I = 0, E = O.Vals.size(); I != E; ++I)
+    Vals[I] = std::max(Vals[I], O.Vals[I]);
+}
+
+bool VectorClock::leq(const VectorClock &O) const {
+  for (size_t I = 0, E = Vals.size(); I != E; ++I)
+    if (Vals[I] > O.get(static_cast<ThreadId>(I)))
+      return false;
+  return true;
+}
+
+bool VectorClock::leqIgnoring(const VectorClock &O, ThreadId Skip) const {
+  for (size_t I = 0, E = Vals.size(); I != E; ++I)
+    if (I != Skip && Vals[I] > O.get(static_cast<ThreadId>(I)))
+      return false;
+  return true;
+}
+
+bool VectorClock::operator==(const VectorClock &O) const {
+  size_t N = std::max(Vals.size(), O.Vals.size());
+  for (size_t I = 0; I != N; ++I)
+    if (get(static_cast<ThreadId>(I)) != O.get(static_cast<ThreadId>(I)))
+      return false;
+  return true;
+}

@@ -1,0 +1,90 @@
+//===- support/VectorClock.h - Vector clocks --------------------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vector clocks (Mattern 1988) mapping thread ids to clock values, with the
+/// pointwise-join (⊔) and pointwise-ordering (⊑) operations the analyses use
+/// (paper §2.4). Entries for threads beyond the stored length are implicitly
+/// zero, so clocks grow lazily as threads appear.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_SUPPORT_VECTORCLOCK_H
+#define SMARTTRACK_SUPPORT_VECTORCLOCK_H
+
+#include "support/Epoch.h"
+#include "support/Types.h"
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace st {
+
+/// A dense vector clock C : Tid -> ClockValue with implicit-zero entries.
+class VectorClock {
+public:
+  VectorClock() = default;
+
+  /// Builds a clock that is zero everywhere except \p T, which maps to \p C.
+  static VectorClock makeSingleton(ThreadId T, ClockValue C);
+
+  /// Entry for thread \p T (zero if never set).
+  ClockValue get(ThreadId T) const {
+    return T < Vals.size() ? Vals[T] : 0;
+  }
+
+  /// Sets the entry for thread \p T, growing the clock as needed.
+  void set(ThreadId T, ClockValue C);
+
+  /// Increments the entry for thread \p T by one.
+  void increment(ThreadId T) {
+    assert(get(T) < InfiniteClock && "incrementing an infinite clock entry");
+    set(T, get(T) + 1);
+  }
+
+  /// Pointwise join: this := this ⊔ O.
+  void joinWith(const VectorClock &O);
+
+  /// Pointwise comparison: returns true iff this ⊑ O.
+  bool leq(const VectorClock &O) const;
+
+  /// Pointwise comparison skipping thread \p Skip's entry. WCP analyses use
+  /// this for race checks: the WCP relation does not include program order,
+  /// so the current thread's own entry must not participate (same-thread
+  /// accesses never race).
+  bool leqIgnoring(const VectorClock &O, ThreadId Skip) const;
+
+  /// Epoch-vs-clock ordering check e ⪯ C: c ≤ C(t) for e = c@t.
+  /// The ⊥ epoch is ordered before every clock.
+  bool epochLeq(Epoch E) const {
+    return E.isNone() || E.clock() <= get(E.tid());
+  }
+
+  /// The epoch naming thread \p T's entry of this clock.
+  Epoch epochOf(ThreadId T) const { return Epoch::make(T, get(T)); }
+
+  /// Resets every entry to zero (keeps capacity).
+  void clear() { Vals.clear(); }
+
+  /// Number of stored entries (trailing entries are implicitly zero).
+  size_t size() const { return Vals.size(); }
+
+  bool operator==(const VectorClock &O) const;
+  bool operator!=(const VectorClock &O) const { return !(*this == O); }
+
+  /// Heap bytes attributable to this clock, for footprint accounting.
+  size_t footprintBytes() const {
+    return Vals.capacity() * sizeof(ClockValue);
+  }
+
+private:
+  std::vector<ClockValue> Vals;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_SUPPORT_VECTORCLOCK_H

@@ -1,0 +1,105 @@
+//===- trace/Event.h - Execution trace events -------------------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single event of an execution trace (paper §2.1): a thread id plus an
+/// operation rd(x) / wr(x) / acq(m) / rel(m), extended with the additional
+/// synchronization events the implementations handle (§5.1): thread fork and
+/// join and volatile reads/writes. Access events carry a SiteId naming the
+/// static program location, used to count statically distinct races.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_TRACE_EVENT_H
+#define SMARTTRACK_TRACE_EVENT_H
+
+#include "support/Types.h"
+
+#include <cassert>
+
+namespace st {
+
+/// The operation an event performs. Read/Write target a VarId; Acquire/
+/// Release target a LockId; Fork/Join target the child's ThreadId; VolRead/
+/// VolWrite target a VarId in the (separate) volatile-variable namespace.
+enum class EventKind : uint8_t {
+  Read,
+  Write,
+  Acquire,
+  Release,
+  Fork,
+  Join,
+  VolRead,
+  VolWrite,
+};
+
+/// Returns true for rd(x)/wr(x) events on plain (non-volatile) variables.
+inline bool isAccess(EventKind K) {
+  return K == EventKind::Read || K == EventKind::Write;
+}
+
+/// Returns true for acq(m)/rel(m) events.
+inline bool isLockOp(EventKind K) {
+  return K == EventKind::Acquire || K == EventKind::Release;
+}
+
+/// Short lowercase mnemonic ("rd", "acq", ...) used by the trace DSL.
+const char *eventKindName(EventKind K);
+
+/// One totally-ordered trace event.
+struct Event {
+  EventKind Kind = EventKind::Read;
+  ThreadId Tid = 0;
+  /// VarId, LockId, or child ThreadId depending on Kind.
+  uint32_t Target = 0;
+  /// Static source site for access events (InvalidId elsewhere).
+  SiteId Site = InvalidId;
+
+  Event() = default;
+  Event(EventKind Kind, ThreadId Tid, uint32_t Target,
+        SiteId Site = InvalidId)
+      : Kind(Kind), Tid(Tid), Target(Target), Site(Site) {}
+
+  VarId var() const {
+    assert((isAccess(Kind) || Kind == EventKind::VolRead ||
+            Kind == EventKind::VolWrite) &&
+           "event has no variable");
+    return Target;
+  }
+
+  LockId lock() const {
+    assert(isLockOp(Kind) && "event has no lock");
+    return Target;
+  }
+
+  ThreadId childTid() const {
+    assert((Kind == EventKind::Fork || Kind == EventKind::Join) &&
+           "event has no child thread");
+    return Target;
+  }
+
+  bool isWriteLike() const {
+    return Kind == EventKind::Write || Kind == EventKind::VolWrite;
+  }
+
+  bool operator==(const Event &O) const {
+    return Kind == O.Kind && Tid == O.Tid && Target == O.Target;
+  }
+};
+
+/// Two access events conflict (e ≍ e', §2.2) iff they touch the same plain
+/// variable from different threads and at least one is a write.
+inline bool conflict(const Event &A, const Event &B) {
+  if (!isAccess(A.Kind) || !isAccess(B.Kind))
+    return false;
+  if (A.Tid == B.Tid || A.Target != B.Target)
+    return false;
+  return A.Kind == EventKind::Write || B.Kind == EventKind::Write;
+}
+
+} // namespace st
+
+#endif // SMARTTRACK_TRACE_EVENT_H

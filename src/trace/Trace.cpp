@@ -1,0 +1,212 @@
+//===- trace/Trace.cpp - Execution traces -----------------------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <unordered_map>
+
+using namespace st;
+
+const char *st::eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::Read:
+    return "rd";
+  case EventKind::Write:
+    return "wr";
+  case EventKind::Acquire:
+    return "acq";
+  case EventKind::Release:
+    return "rel";
+  case EventKind::Fork:
+    return "fork";
+  case EventKind::Join:
+    return "join";
+  case EventKind::VolRead:
+    return "vrd";
+  case EventKind::VolWrite:
+    return "vwr";
+  }
+  assert(false && "unknown event kind");
+  return "?";
+}
+
+Trace::Trace(std::vector<Event> Events) : Events(std::move(Events)) {
+  computeStats();
+}
+
+void Trace::computeStats() {
+  for (const Event &E : Events) {
+    NumThreads = std::max(NumThreads, E.Tid + 1);
+    switch (E.Kind) {
+    case EventKind::Read:
+    case EventKind::Write:
+      NumVars = std::max(NumVars, E.Target + 1);
+      break;
+    case EventKind::Acquire:
+    case EventKind::Release:
+      NumLocks = std::max(NumLocks, E.Target + 1);
+      break;
+    case EventKind::Fork:
+    case EventKind::Join:
+      NumThreads = std::max(NumThreads, E.Target + 1);
+      break;
+    case EventKind::VolRead:
+    case EventKind::VolWrite:
+      NumVolatiles = std::max(NumVolatiles, E.Target + 1);
+      break;
+    }
+  }
+}
+
+static std::string describeEvent(size_t Idx, const Event &E) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "event %zu: T%u %s(%u)", Idx, E.Tid,
+                eventKindName(E.Kind), E.Target);
+  return Buf;
+}
+
+bool Trace::validate(std::string *Error) const {
+  auto Fail = [&](size_t Idx, const char *Msg) {
+    if (Error)
+      *Error = describeEvent(Idx, Events[Idx]) + ": " + Msg;
+    return false;
+  };
+
+  // Lock -> holding thread (InvalidId when free).
+  std::unordered_map<LockId, ThreadId> Holder;
+  // Threads that have executed or been forked/joined.
+  std::vector<bool> Started(NumThreads, false), Joined(NumThreads, false),
+      Forked(NumThreads, false);
+
+  for (size_t I = 0, N = Events.size(); I != N; ++I) {
+    const Event &E = Events[I];
+    if (E.Tid < NumThreads) {
+      if (Joined[E.Tid])
+        return Fail(I, "thread runs after being joined");
+      if (Forked[E.Tid] && !Started[E.Tid])
+        Started[E.Tid] = true;
+      else if (!Started[E.Tid])
+        Started[E.Tid] = true; // unforked root thread: permitted
+    }
+    switch (E.Kind) {
+    case EventKind::Acquire: {
+      auto It = Holder.find(E.lock());
+      if (It != Holder.end() && It->second != InvalidId)
+        return Fail(I, "acquire of a held lock (no reentrancy)");
+      Holder[E.lock()] = E.Tid;
+      break;
+    }
+    case EventKind::Release: {
+      auto It = Holder.find(E.lock());
+      if (It == Holder.end() || It->second != E.Tid)
+        return Fail(I, "release of a lock the thread does not hold");
+      It->second = InvalidId;
+      break;
+    }
+    case EventKind::Fork: {
+      ThreadId C = E.childTid();
+      if (C == E.Tid)
+        return Fail(I, "thread forks itself");
+      if (Started[C] || Forked[C])
+        return Fail(I, "fork of a thread that already ran or was forked");
+      Forked[C] = true;
+      break;
+    }
+    case EventKind::Join: {
+      ThreadId C = E.childTid();
+      if (C == E.Tid)
+        return Fail(I, "thread joins itself");
+      if (Joined[C])
+        return Fail(I, "thread joined twice");
+      Joined[C] = true;
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  return true;
+}
+
+void Trace::computeLastWriters() const {
+  LastWriter.assign(Events.size(), -1);
+  std::unordered_map<VarId, long> Last;
+  for (size_t I = 0, N = Events.size(); I != N; ++I) {
+    const Event &E = Events[I];
+    if (E.Kind == EventKind::Read) {
+      auto It = Last.find(E.var());
+      LastWriter[I] = It == Last.end() ? -1 : It->second;
+    } else if (E.Kind == EventKind::Write) {
+      Last[E.var()] = static_cast<long>(I);
+    }
+  }
+}
+
+long Trace::lastWriterBefore(size_t I) const {
+  assert(I < Events.size() && "event index out of range");
+  if (LastWriter.size() != Events.size())
+    computeLastWriters();
+  return LastWriter[I];
+}
+
+TraceBuilder &TraceBuilder::read(ThreadId T, VarId X, SiteId Site) {
+  Events.emplace_back(EventKind::Read, T, X, Site);
+  return *this;
+}
+
+TraceBuilder &TraceBuilder::write(ThreadId T, VarId X, SiteId Site) {
+  Events.emplace_back(EventKind::Write, T, X, Site);
+  return *this;
+}
+
+TraceBuilder &TraceBuilder::acq(ThreadId T, LockId M) {
+  Events.emplace_back(EventKind::Acquire, T, M);
+  return *this;
+}
+
+TraceBuilder &TraceBuilder::rel(ThreadId T, LockId M) {
+  Events.emplace_back(EventKind::Release, T, M);
+  return *this;
+}
+
+TraceBuilder &TraceBuilder::fork(ThreadId Parent, ThreadId Child) {
+  Events.emplace_back(EventKind::Fork, Parent, Child);
+  return *this;
+}
+
+TraceBuilder &TraceBuilder::join(ThreadId Parent, ThreadId Child) {
+  Events.emplace_back(EventKind::Join, Parent, Child);
+  return *this;
+}
+
+TraceBuilder &TraceBuilder::volRead(ThreadId T, VarId V) {
+  Events.emplace_back(EventKind::VolRead, T, V);
+  return *this;
+}
+
+TraceBuilder &TraceBuilder::volWrite(ThreadId T, VarId V) {
+  Events.emplace_back(EventKind::VolWrite, T, V);
+  return *this;
+}
+
+TraceBuilder &TraceBuilder::sync(ThreadId T, LockId Lock, VarId Var) {
+  return acq(T, Lock).read(T, Var).write(T, Var).rel(T, Lock);
+}
+
+TraceBuilder &TraceBuilder::append(const Event &E) {
+  Events.push_back(E);
+  return *this;
+}
+
+Trace TraceBuilder::build() const {
+  Trace Tr(Events);
+  [[maybe_unused]] std::string Error;
+  assert(Tr.validate(&Error) && "trace is not well formed");
+  return Tr;
+}

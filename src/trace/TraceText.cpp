@@ -1,0 +1,240 @@
+//===- trace/TraceText.cpp - Textual trace DSL ------------------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceText.h"
+
+#include <cassert>
+#include <cstdio>
+#include <unordered_map>
+
+using namespace st;
+
+namespace {
+
+/// Interns names into dense ids in order of first appearance.
+class NameTable {
+public:
+  uint32_t idFor(std::string_view Name) {
+    auto It = Ids.find(std::string(Name));
+    if (It != Ids.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(Names.size());
+    Names.emplace_back(Name);
+    Ids.emplace(Names.back(), Id);
+    return Id;
+  }
+
+  std::vector<std::string> take() { return std::move(Names); }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, uint32_t> Ids;
+};
+
+struct Parser {
+  std::string_view Text;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  std::string ErrorMsg;
+
+  NameTable Threads, Vars, Locks, Volatiles;
+  std::vector<Event> Events;
+
+  bool fail(const std::string &Msg) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "line %u: ", Line);
+    ErrorMsg = Buf + Msg;
+    return false;
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipSpaces() {
+    while (!atEnd() && (peek() == ' ' || peek() == '\t'))
+      ++Pos;
+  }
+
+  void skipToEol() {
+    while (!atEnd() && peek() != '\n')
+      ++Pos;
+  }
+
+  static bool isIdentChar(char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+           (C >= '0' && C <= '9') || C == '_' || C == '.';
+  }
+
+  std::string_view lexIdent() {
+    size_t Start = Pos;
+    while (!atEnd() && isIdentChar(peek()))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  bool expect(char C, const char *What) {
+    skipSpaces();
+    if (atEnd() || peek() != C)
+      return fail(std::string("expected '") + C + "' " + What);
+    ++Pos;
+    return true;
+  }
+
+  bool parseLine();
+  bool parseAll();
+};
+
+bool Parser::parseLine() {
+  skipSpaces();
+  if (atEnd() || peek() == '\n' || peek() == '#' ||
+      (peek() == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/')) {
+    skipToEol();
+    return true;
+  }
+
+  std::string_view ThreadName = lexIdent();
+  if (ThreadName.empty())
+    return fail("expected a thread name");
+  ThreadId T = Threads.idFor(ThreadName);
+
+  if (!expect(':', "after thread name"))
+    return false;
+
+  skipSpaces();
+  std::string_view Op = lexIdent();
+  if (Op.empty())
+    return fail("expected an operation");
+  if (!expect('(', "after operation"))
+    return false;
+  skipSpaces();
+  std::string_view Arg = lexIdent();
+  if (Arg.empty())
+    return fail("expected an operand");
+  if (!expect(')', "after operand"))
+    return false;
+
+  SiteId Site = Line;
+  if (Op == "rd") {
+    Events.emplace_back(EventKind::Read, T, Vars.idFor(Arg), Site);
+  } else if (Op == "wr") {
+    Events.emplace_back(EventKind::Write, T, Vars.idFor(Arg), Site);
+  } else if (Op == "acq") {
+    Events.emplace_back(EventKind::Acquire, T, Locks.idFor(Arg));
+  } else if (Op == "rel") {
+    Events.emplace_back(EventKind::Release, T, Locks.idFor(Arg));
+  } else if (Op == "vrd") {
+    Events.emplace_back(EventKind::VolRead, T, Volatiles.idFor(Arg), Site);
+  } else if (Op == "vwr") {
+    Events.emplace_back(EventKind::VolWrite, T, Volatiles.idFor(Arg), Site);
+  } else if (Op == "fork") {
+    Events.emplace_back(EventKind::Fork, T, Threads.idFor(Arg));
+  } else if (Op == "join") {
+    Events.emplace_back(EventKind::Join, T, Threads.idFor(Arg));
+  } else if (Op == "sync") {
+    // The paper's shorthand: acq(o); rd(oVar); wr(oVar); rel(o).
+    LockId M = Locks.idFor(Arg);
+    VarId V = Vars.idFor(std::string(Arg) + "Var");
+    Events.emplace_back(EventKind::Acquire, T, M);
+    Events.emplace_back(EventKind::Read, T, V, Site);
+    Events.emplace_back(EventKind::Write, T, V, Site);
+    Events.emplace_back(EventKind::Release, T, M);
+  } else {
+    return fail("unknown operation '" + std::string(Op) + "'");
+  }
+
+  skipSpaces();
+  if (!atEnd() && peek() != '\n' && peek() != '#' &&
+      !(peek() == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/'))
+    return fail("trailing junk after event");
+  skipToEol();
+  return true;
+}
+
+bool Parser::parseAll() {
+  while (!atEnd()) {
+    if (!parseLine())
+      return false;
+    if (!atEnd() && peek() == '\n') {
+      ++Pos;
+      ++Line;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool st::parseTraceText(std::string_view Text, ParsedTrace &Out,
+                        std::string *Error) {
+  Parser P;
+  P.Text = Text;
+  if (!P.parseAll()) {
+    if (Error)
+      *Error = P.ErrorMsg;
+    return false;
+  }
+  Out.Tr = Trace(std::move(P.Events));
+  Out.ThreadNames = P.Threads.take();
+  Out.VarNames = P.Vars.take();
+  Out.LockNames = P.Locks.take();
+  Out.VolatileNames = P.Volatiles.take();
+  std::string ValidationError;
+  if (!Out.Tr.validate(&ValidationError)) {
+    if (Error)
+      *Error = "ill-formed trace: " + ValidationError;
+    return false;
+  }
+  return true;
+}
+
+Trace st::traceFromText(std::string_view Text) {
+  ParsedTrace P;
+  [[maybe_unused]] std::string Error;
+  [[maybe_unused]] bool OK = parseTraceText(Text, P, &Error);
+  assert(OK && "trace literal failed to parse");
+  return std::move(P.Tr);
+}
+
+static std::string nameOrNumber(const std::vector<std::string> *Names,
+                                const char *Prefix, uint32_t Id) {
+  if (Names && Id < Names->size())
+    return (*Names)[Id];
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%s%u", Prefix, Id);
+  return Buf;
+}
+
+std::string st::printTraceText(const Trace &Tr, const ParsedTrace *Names) {
+  std::string Out;
+  for (const Event &E : Tr.events()) {
+    Out += nameOrNumber(Names ? &Names->ThreadNames : nullptr, "T", E.Tid);
+    Out += ": ";
+    Out += eventKindName(E.Kind);
+    Out += '(';
+    switch (E.Kind) {
+    case EventKind::Read:
+    case EventKind::Write:
+      Out += nameOrNumber(Names ? &Names->VarNames : nullptr, "x", E.Target);
+      break;
+    case EventKind::Acquire:
+    case EventKind::Release:
+      Out += nameOrNumber(Names ? &Names->LockNames : nullptr, "m", E.Target);
+      break;
+    case EventKind::VolRead:
+    case EventKind::VolWrite:
+      Out += nameOrNumber(Names ? &Names->VolatileNames : nullptr, "v",
+                          E.Target);
+      break;
+    case EventKind::Fork:
+    case EventKind::Join:
+      Out +=
+          nameOrNumber(Names ? &Names->ThreadNames : nullptr, "T", E.Target);
+      break;
+    }
+    Out += ")\n";
+  }
+  return Out;
+}

@@ -1,0 +1,63 @@
+//===- trace/TraceText.h - Textual trace DSL --------------------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small text format for execution traces so tests and examples can state
+/// traces exactly as the paper's figures do:
+///
+/// \code
+///   T1: rd(x)
+///   T1: acq(m)
+///   T1: wr(y)
+///   T1: rel(m)
+///   T2: acq(m)     # comments run to end of line
+///   T2: rd(z)
+///   T2: rel(m)
+///   T2: wr(x)
+/// \endcode
+///
+/// Operations: rd wr acq rel vrd vwr fork join, plus the sync(o) shorthand
+/// which expands to acq(o); rd(oVar); wr(oVar); rel(o) as in the paper.
+/// Thread, variable, and lock names map to dense ids in order of first
+/// appearance; each source line becomes the SiteId of the events it emits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_TRACE_TRACETEXT_H
+#define SMARTTRACK_TRACE_TRACETEXT_H
+
+#include "trace/Trace.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace st {
+
+/// A parsed trace plus the symbol names for diagnostics and printing.
+struct ParsedTrace {
+  Trace Tr;
+  std::vector<std::string> ThreadNames;
+  std::vector<std::string> VarNames;
+  std::vector<std::string> LockNames;
+  std::vector<std::string> VolatileNames;
+};
+
+/// Parses the DSL in \p Text. Returns true on success; on failure returns
+/// false and stores a line-numbered diagnostic in \p Error if non-null.
+bool parseTraceText(std::string_view Text, ParsedTrace &Out,
+                    std::string *Error = nullptr);
+
+/// Convenience wrapper that asserts on parse errors; for test literals.
+Trace traceFromText(std::string_view Text);
+
+/// Renders \p Tr in the DSL (using the names in \p P when available).
+std::string printTraceText(const Trace &Tr,
+                           const ParsedTrace *Names = nullptr);
+
+} // namespace st
+
+#endif // SMARTTRACK_TRACE_TRACETEXT_H

@@ -1,0 +1,503 @@
+//===- vindicate/Vindicator.cpp - Race vindication ------------------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vindicate/Vindicator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+using namespace st;
+
+namespace {
+
+constexpr long None = -1;
+
+/// One critical section in the observed trace.
+struct CriticalSection {
+  LockId M = 0;
+  ThreadId Tid = 0;
+  size_t AcqIdx = 0;
+  long RelIdx = None; // None if never released in the observed trace
+};
+
+/// Precomputed trace structure for the constraint closure.
+struct VindicateShape {
+  const Trace &Tr;
+  std::vector<std::vector<size_t>> ThreadEvents;
+  std::vector<size_t> PosInThread;  // per event
+  std::vector<long> OrigLastWriter; // per read event (plain + volatile)
+  std::vector<long> ForkOf;         // per thread
+  std::vector<CriticalSection> Sections;
+  std::vector<long> SectionOf; // per event: enclosing-innermost is not
+                               // needed; this maps acquire/release events
+                               // to their section id
+  std::vector<std::vector<size_t>> SectionsOfLock;
+
+  explicit VindicateShape(const Trace &Tr) : Tr(Tr) {
+    ThreadEvents.resize(Tr.numThreads());
+    PosInThread.resize(Tr.size());
+    OrigLastWriter.assign(Tr.size(), None);
+    ForkOf.assign(Tr.numThreads(), None);
+    SectionOf.assign(Tr.size(), None);
+    SectionsOfLock.resize(Tr.numLocks());
+    std::unordered_map<uint64_t, long> LastPlain, LastVol;
+    // Per (thread, lock): currently open section id.
+    std::unordered_map<uint64_t, size_t> Open;
+    for (size_t I = 0, N = Tr.size(); I != N; ++I) {
+      const Event &E = Tr[I];
+      PosInThread[I] = ThreadEvents[E.Tid].size();
+      ThreadEvents[E.Tid].push_back(I);
+      switch (E.Kind) {
+      case EventKind::Read:
+        if (auto It = LastPlain.find(E.var()); It != LastPlain.end())
+          OrigLastWriter[I] = It->second;
+        break;
+      case EventKind::Write:
+        LastPlain[E.var()] = static_cast<long>(I);
+        break;
+      case EventKind::VolRead:
+        if (auto It = LastVol.find(E.var()); It != LastVol.end())
+          OrigLastWriter[I] = It->second;
+        break;
+      case EventKind::VolWrite:
+        LastVol[E.var()] = static_cast<long>(I);
+        break;
+      case EventKind::Fork:
+        ForkOf[E.childTid()] = static_cast<long>(I);
+        break;
+      case EventKind::Acquire: {
+        size_t Id = Sections.size();
+        Sections.push_back({E.lock(), E.Tid, I, None});
+        SectionsOfLock[E.lock()].push_back(Id);
+        SectionOf[I] = static_cast<long>(Id);
+        Open[(static_cast<uint64_t>(E.Tid) << 32) | E.lock()] = Id;
+        break;
+      }
+      case EventKind::Release: {
+        auto Key = (static_cast<uint64_t>(E.Tid) << 32) | E.lock();
+        auto It = Open.find(Key);
+        assert(It != Open.end() && "release without open section");
+        Sections[It->second].RelIdx = static_cast<long>(I);
+        SectionOf[I] = static_cast<long>(It->second);
+        Open.erase(It);
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+
+  /// Is event \p I program-ordered at-or-after event \p J (same thread)?
+  bool poAtOrAfter(size_t I, size_t J) const {
+    return Tr[I].Tid == Tr[J].Tid && PosInThread[I] >= PosInThread[J];
+  }
+};
+
+class VindicateSolver {
+public:
+  VindicateSolver(const Trace &Tr, size_t E1, size_t E2)
+      : Shape(Tr), E1(E1), E2(E2), InSet(Tr.size(), false) {}
+
+  VindicationResult solve();
+
+private:
+  bool fail(const std::string &Reason) {
+    Result.Vindicated = false;
+    Result.FailureReason = Reason;
+    Failed = true;
+    return false;
+  }
+
+  /// Adds event \p I (and its PO predecessors) to the prefix set.
+  bool require(size_t I) {
+    if (Failed || InSet[I])
+      return !Failed;
+    if (I == E1 || I == E2)
+      return fail("constraint closure requires a racing access inside the "
+                  "prefix");
+    if (Shape.poAtOrAfter(I, E1) || Shape.poAtOrAfter(I, E2))
+      return fail("constraint closure requires an event program-ordered "
+                  "after a racing access");
+    InSet[I] = true;
+    Worklist.push_back(I);
+    // PO predecessor.
+    size_t Pos = Shape.PosInThread[I];
+    if (Pos > 0)
+      return require(Shape.ThreadEvents[Shape.Tr[I].Tid][Pos - 1]);
+    return true;
+  }
+
+  void addEdge(size_t From, size_t To) { Edges.push_back({From, To}); }
+
+  /// Closure step for one newly included event.
+  bool processEvent(size_t I);
+
+  /// Serializes critical sections per lock and handles open sections.
+  bool serializeSections();
+
+  /// Adds last-writer and write-exclusion edges for reads in the set and
+  /// for the racing accesses; decides the pair order.
+  bool addReadConstraints();
+
+  bool topoSort(std::vector<size_t> &Order);
+
+  VindicateShape Shape;
+  size_t E1, E2;
+  std::vector<bool> InSet;
+  std::vector<size_t> Worklist;
+  std::vector<std::pair<size_t, size_t>> Edges;
+  bool PairFirstIsE1 = true, PairOrderForced = false;
+  bool Failed = false;
+  VindicationResult Result;
+};
+
+bool VindicateSolver::processEvent(size_t I) {
+  const Event &E = Shape.Tr[I];
+  // Forked threads need their fork.
+  if (Shape.ForkOf[E.Tid] >= 0) {
+    size_t F = static_cast<size_t>(Shape.ForkOf[E.Tid]);
+    if (!require(F))
+      return false;
+    addEdge(F, I);
+  }
+  switch (E.Kind) {
+  case EventKind::Read:
+  case EventKind::VolRead: {
+    long W = Shape.OrigLastWriter[I];
+    if (W >= 0) {
+      if (static_cast<size_t>(W) == E1 || static_cast<size_t>(W) == E2)
+        return fail("an included read observes a racing access");
+      if (!require(static_cast<size_t>(W)))
+        return false;
+      addEdge(static_cast<size_t>(W), I);
+    }
+    break;
+  }
+  case EventKind::Join: {
+    // A join needs the whole child thread.
+    ThreadId C = E.childTid();
+    const auto &Evs = Shape.ThreadEvents[C];
+    if (!Evs.empty()) {
+      if (!require(Evs.back()))
+        return false;
+      addEdge(Evs.back(), I);
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  return true;
+}
+
+bool VindicateSolver::serializeSections() {
+  // Open sections around the racing accesses: sections of the racing
+  // thread containing the access (acquired before, released after or
+  // never). Their releases cannot be in the prefix.
+  auto OpenAround = [&](size_t RaceEv, std::vector<size_t> &Out) {
+    for (size_t Id = 0; Id < Shape.Sections.size(); ++Id) {
+      const CriticalSection &CS = Shape.Sections[Id];
+      if (CS.Tid != Shape.Tr[RaceEv].Tid)
+        continue;
+      bool AcqBefore = Shape.PosInThread[CS.AcqIdx] <
+                       Shape.PosInThread[RaceEv];
+      bool RelAfter = CS.RelIdx == None ||
+                      Shape.PosInThread[static_cast<size_t>(CS.RelIdx)] >
+                          Shape.PosInThread[RaceEv];
+      if (AcqBefore && RelAfter)
+        Out.push_back(Id);
+    }
+  };
+  std::vector<size_t> OpenE1, OpenE2;
+  OpenAround(E1, OpenE1);
+  OpenAround(E2, OpenE2);
+  for (size_t A : OpenE1)
+    for (size_t B : OpenE2)
+      if (Shape.Sections[A].M == Shape.Sections[B].M)
+        return fail("both racing accesses hold the same lock");
+
+  auto IsOpenAtRace = [&](size_t Id) {
+    return std::find(OpenE1.begin(), OpenE1.end(), Id) != OpenE1.end() ||
+           std::find(OpenE2.begin(), OpenE2.end(), Id) != OpenE2.end();
+  };
+
+  // Iterate to fixpoint: serializing sections can pull releases into the
+  // set, which can open new obligations.
+  bool Changed = true;
+  while (Changed && !Failed) {
+    Changed = false;
+    for (unsigned M = 0; M < Shape.SectionsOfLock.size(); ++M) {
+      // Sections on lock M with their acquire included.
+      std::vector<size_t> Involved;
+      for (size_t Id : Shape.SectionsOfLock[M])
+        if (InSet[Shape.Sections[Id].AcqIdx] || IsOpenAtRace(Id))
+          Involved.push_back(Id);
+      for (size_t X = 0; X < Involved.size(); ++X) {
+        for (size_t Y = X + 1; Y < Involved.size(); ++Y) {
+          size_t A = Involved[X], B = Involved[Y]; // A acquired first
+          bool AOpen = IsOpenAtRace(A), BOpen = IsOpenAtRace(B);
+          if (AOpen && BOpen)
+            return fail("two sections on one lock are open at the race");
+          if (AOpen || BOpen) {
+            // The open section must come last: the closed one releases
+            // before the open one's acquire.
+            size_t Open = AOpen ? A : B;
+            size_t Closed = AOpen ? B : A;
+            if (!InSet[Shape.Sections[Closed].AcqIdx])
+              continue; // not part of the prefix; no constraint
+            if (Shape.Sections[Closed].RelIdx == None)
+              return fail("an unreleased section must precede an open one");
+            size_t Rel = static_cast<size_t>(Shape.Sections[Closed].RelIdx);
+            if (!InSet[Rel]) {
+              if (!require(Rel))
+                return false;
+              Changed = true;
+            }
+            addEdge(Rel, Shape.Sections[Open].AcqIdx);
+            continue;
+          }
+          // Two closed sections in the prefix: original acquisition order
+          // (prior work's non-backtracking choice).
+          if (Shape.Sections[A].RelIdx == None)
+            return fail("section without release must be ordered before "
+                        "another section on its lock");
+          size_t Rel = static_cast<size_t>(Shape.Sections[A].RelIdx);
+          if (!InSet[Rel]) {
+            if (!require(Rel))
+              return false;
+            Changed = true;
+          }
+          addEdge(Rel, Shape.Sections[B].AcqIdx);
+        }
+      }
+    }
+    // Drain the worklist through the closure rules again.
+    while (!Worklist.empty() && !Failed) {
+      size_t I = Worklist.back();
+      Worklist.pop_back();
+      if (!processEvent(I))
+        return false;
+      Changed = true;
+    }
+  }
+  return !Failed;
+}
+
+bool VindicateSolver::addReadConstraints() {
+  // Collect writes per variable in the prefix set.
+  std::unordered_map<uint64_t, std::vector<size_t>> PlainWrites, VolWrites;
+  for (size_t I = 0; I < InSet.size(); ++I) {
+    if (!InSet[I])
+      continue;
+    const Event &E = Shape.Tr[I];
+    if (E.Kind == EventKind::Write)
+      PlainWrites[E.var()].push_back(I);
+    else if (E.Kind == EventKind::VolWrite)
+      VolWrites[E.var()].push_back(I);
+  }
+
+  auto ConstrainRead = [&](size_t R, bool InPair) {
+    const Event &E = Shape.Tr[R];
+    auto &Writes = E.Kind == EventKind::Read ? PlainWrites : VolWrites;
+    long W = Shape.OrigLastWriter[R];
+    for (size_t Other : Writes[E.var()]) {
+      if (static_cast<long>(Other) == W)
+        continue;
+      if (W >= 0 && Other < static_cast<size_t>(W)) {
+        addEdge(Other, static_cast<size_t>(W)); // keep older writes older
+      } else if (!InPair) {
+        addEdge(R, Other); // defer the interloper past the read
+      } else {
+        // Prefix events always precede the pair; an interloping write
+        // cannot be deferred past a racing read.
+        return fail("prefix write would break the racing read's last "
+                    "writer");
+      }
+    }
+    return true;
+  };
+
+  for (size_t I = 0; I < InSet.size(); ++I)
+    if (InSet[I] && (Shape.Tr[I].Kind == EventKind::Read ||
+                     Shape.Tr[I].Kind == EventKind::VolRead))
+      if (!ConstrainRead(I, /*InPair=*/false))
+        return false;
+
+  // The racing accesses: decide the pair order.
+  auto PairReadOrder = [&](size_t R, size_t OtherAccess,
+                           bool &MustComeFirst) {
+    if (!isAccess(Shape.Tr[R].Kind) || Shape.Tr[R].Kind != EventKind::Read)
+      return true;
+    long W = Shape.OrigLastWriter[R];
+    if (W >= 0 && static_cast<size_t>(W) == OtherAccess) {
+      // The read observes the racing write: the write must come first.
+      MustComeFirst = false;
+      return true;
+    }
+    // The read must not see the racing write: the read comes first.
+    MustComeFirst = true;
+    return ConstrainRead(R, /*InPair=*/true);
+  };
+
+  bool E1First = false, E2First = false;
+  bool HasE1Pref = false, HasE2Pref = false;
+  if (Shape.Tr[E1].Kind == EventKind::Read) {
+    HasE1Pref = true;
+    if (!PairReadOrder(E1, E2, E1First))
+      return false;
+  }
+  if (Shape.Tr[E2].Kind == EventKind::Read) {
+    HasE2Pref = true;
+    if (!PairReadOrder(E2, E1, E2First))
+      return false;
+  }
+  if (Failed)
+    return false;
+  if (HasE1Pref && HasE2Pref)
+    return fail("read-read pairs do not race");
+  if (HasE1Pref) {
+    PairFirstIsE1 = E1First;
+    PairOrderForced = true;
+  } else if (HasE2Pref) {
+    PairFirstIsE1 = !E2First;
+    PairOrderForced = true;
+  } else {
+    PairFirstIsE1 = true; // write-write: either order; keep observed
+    PairOrderForced = false;
+  }
+  return true;
+}
+
+bool VindicateSolver::topoSort(std::vector<size_t> &Order) {
+  // Kahn's algorithm over the included events, trace order as tie-break.
+  std::unordered_map<size_t, std::vector<size_t>> Succ;
+  std::unordered_map<size_t, unsigned> InDeg;
+  std::vector<size_t> Members;
+  for (size_t I = 0; I < InSet.size(); ++I)
+    if (InSet[I]) {
+      Members.push_back(I);
+      InDeg[I] = 0;
+    }
+  // PO edges between consecutive included events of a thread.
+  for (const auto &Evs : Shape.ThreadEvents) {
+    long Prev = None;
+    for (size_t I : Evs) {
+      if (!InSet[I])
+        continue;
+      if (Prev >= 0)
+        Edges.push_back({static_cast<size_t>(Prev), I});
+      Prev = static_cast<long>(I);
+    }
+  }
+  for (const auto &[From, To] : Edges) {
+    if (!InSet[From] || !InSet[To])
+      continue; // edges to the racing pair handled by construction
+    Succ[From].push_back(To);
+    ++InDeg[To];
+  }
+  // Min-heap by trace index for deterministic output.
+  std::vector<size_t> Ready;
+  for (size_t I : Members)
+    if (InDeg[I] == 0)
+      Ready.push_back(I);
+  std::make_heap(Ready.begin(), Ready.end(), std::greater<>());
+  while (!Ready.empty()) {
+    std::pop_heap(Ready.begin(), Ready.end(), std::greater<>());
+    size_t I = Ready.back();
+    Ready.pop_back();
+    Order.push_back(I);
+    for (size_t S : Succ[I])
+      if (--InDeg[S] == 0) {
+        Ready.push_back(S);
+        std::push_heap(Ready.begin(), Ready.end(), std::greater<>());
+      }
+  }
+  if (Order.size() != Members.size())
+    return fail("ordering constraints form a cycle");
+  return true;
+}
+
+VindicationResult VindicateSolver::solve() {
+  Result.Vindicated = false;
+  if (!conflict(Shape.Tr[E1], Shape.Tr[E2])) {
+    Result.FailureReason = "events do not conflict";
+    return Result;
+  }
+
+  // Seed: PO predecessors of both racing accesses.
+  for (size_t Ev : {E1, E2}) {
+    size_t Pos = Shape.PosInThread[Ev];
+    if (Pos > 0 && !require(Shape.ThreadEvents[Shape.Tr[Ev].Tid][Pos - 1]))
+      return Result;
+    // Forked racing threads need their fork even with no predecessors.
+    if (Shape.ForkOf[Shape.Tr[Ev].Tid] >= 0 &&
+        !require(static_cast<size_t>(Shape.ForkOf[Shape.Tr[Ev].Tid])))
+      return Result;
+  }
+  while (!Worklist.empty() && !Failed) {
+    size_t I = Worklist.back();
+    Worklist.pop_back();
+    if (!processEvent(I))
+      return Result;
+  }
+  if (Failed)
+    return Result;
+
+  if (!serializeSections())
+    return Result;
+  if (!addReadConstraints())
+    return Result;
+
+  std::vector<size_t> Order;
+  if (!topoSort(Order))
+    return Result;
+
+  Result.Witness.Prefix = std::move(Order);
+  Result.Witness.First = PairFirstIsE1 ? E1 : E2;
+  Result.Witness.Second = PairFirstIsE1 ? E2 : E1;
+
+  // Authoritative validation; also covers the unforced write-write order.
+  std::string Error;
+  if (!checkWitness(Shape.Tr, Result.Witness, &Error)) {
+    if (!PairOrderForced) {
+      std::swap(Result.Witness.First, Result.Witness.Second);
+      if (checkWitness(Shape.Tr, Result.Witness, &Error)) {
+        Result.Vindicated = true;
+        return Result;
+      }
+    }
+    Result.FailureReason = "constructed witness failed validation: " + Error;
+    return Result;
+  }
+  Result.Vindicated = true;
+  return Result;
+}
+
+} // namespace
+
+VindicationResult st::vindicateRace(const Trace &Tr, size_t First,
+                                    size_t Second) {
+  assert(First < Tr.size() && Second < Tr.size() && First != Second &&
+         "race pair out of range");
+  return VindicateSolver(Tr, First, Second).solve();
+}
+
+VindicationResult st::vindicateRaceAtEvent(const Trace &Tr,
+                                           size_t RaceEvent) {
+  VindicationResult R;
+  if (RaceEvent >= Tr.size() || !isAccess(Tr[RaceEvent].Kind)) {
+    R.FailureReason = "race event is not an access";
+    return R;
+  }
+  for (size_t I = RaceEvent; I-- > 0;)
+    if (conflict(Tr[I], Tr[RaceEvent]))
+      return vindicateRace(Tr, I, RaceEvent);
+  R.FailureReason = "no prior conflicting access";
+  return R;
+}

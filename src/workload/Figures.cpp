@@ -1,0 +1,204 @@
+//===- workload/Figures.cpp - The paper's example traces ------------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Figures.h"
+
+#include "trace/TraceText.h"
+
+using namespace st;
+
+Trace figures::fig1a() {
+  return traceFromText(R"(
+    T1: rd(x)
+    T1: acq(m)
+    T1: wr(y)
+    T1: rel(m)
+    T2: acq(m)
+    T2: rd(z)
+    T2: rel(m)
+    T2: wr(x)
+  )");
+}
+
+Trace figures::fig1b() {
+  return traceFromText(R"(
+    T2: acq(m)
+    T2: rd(z)
+    T2: rel(m)
+    T1: rd(x)
+    T2: wr(x)
+  )");
+}
+
+Trace figures::fig2a() {
+  return traceFromText(R"(
+    T1: rd(x)
+    T1: acq(m)
+    T1: wr(y)
+    T1: rel(m)
+    T2: acq(m)
+    T2: rd(y)
+    T2: rel(m)
+    T2: acq(n)
+    T2: rel(n)
+    T3: acq(n)
+    T3: rel(n)
+    T3: wr(x)
+  )");
+}
+
+Trace figures::fig2b() {
+  return traceFromText(R"(
+    T3: acq(n)
+    T3: rel(n)
+    T1: rd(x)
+    T3: wr(x)
+  )");
+}
+
+Trace figures::fig3() {
+  return traceFromText(R"(
+    T1: acq(m)
+    T1: sync(o)
+    T1: rd(x)
+    T1: rel(m)
+    T2: sync(o)
+    T2: sync(p)
+    T3: acq(m)
+    T3: sync(p)
+    T3: rel(m)
+    T3: wr(x)
+  )");
+}
+
+Trace figures::fig4a() {
+  return traceFromText(R"(
+    T1: acq(p)
+    T1: acq(m)
+    T1: acq(n)
+    T1: wr(x)
+    T1: rel(n)
+    T1: rel(m)
+    T2: acq(m)
+    T2: rd(x)
+    T1: rel(p)
+    T2: rel(m)
+    T2: sync(o)
+    T3: sync(o)
+    T3: acq(p)
+    T3: wr(x)
+    T3: rel(p)
+  )");
+}
+
+Trace figures::fig4b() {
+  return traceFromText(R"(
+    T1: acq(m)
+    T1: rd(x)
+    T1: sync(o)
+    T2: sync(o)
+    T2: rd(x)
+    T2: sync(p)
+    T1: rel(m)
+    T3: sync(p)
+    T3: acq(m)
+    T3: wr(x)
+    T3: rel(m)
+  )");
+}
+
+Trace figures::fig4c() {
+  return traceFromText(R"(
+    T1: acq(m)
+    T1: wr(x)
+    T1: sync(o)
+    T2: sync(o)
+    T2: wr(x)
+    T2: sync(p)
+    T1: rel(m)
+    T3: sync(p)
+    T3: acq(m)
+    T3: rd(x)
+    T3: rel(m)
+  )");
+}
+
+Trace figures::fig4d() {
+  return traceFromText(R"(
+    T1: acq(m)
+    T1: rd(x)
+    T1: sync(o)
+    T2: sync(o)
+    T2: wr(x)
+    T2: sync(p)
+    T1: rel(m)
+    T3: sync(p)
+    T3: acq(m)
+    T3: wr(x)
+    T3: rel(m)
+  )");
+}
+
+// The extended variants insert wr(z) on Thread 1 between sync(o) and rel(m)
+// and append rd(z) on Thread 3 after rel(m). The only WDC ordering from
+// wr(z) to rd(z) runs through Thread 1's rel(m) and the conflicting-
+// critical-section edge on x into Thread 3's critical section — exactly the
+// edge each figure's discussion says a naive algorithm would lose. A lost
+// edge shows up as a spurious race on z.
+
+Trace figures::fig4bExtended() {
+  return traceFromText(R"(
+    T1: acq(m)
+    T1: rd(x)
+    T1: sync(o)
+    T1: wr(z)
+    T2: sync(o)
+    T2: rd(x)
+    T2: sync(p)
+    T1: rel(m)
+    T3: sync(p)
+    T3: acq(m)
+    T3: wr(x)
+    T3: rel(m)
+    T3: rd(z)
+  )");
+}
+
+Trace figures::fig4cExtended() {
+  return traceFromText(R"(
+    T1: acq(m)
+    T1: wr(x)
+    T1: sync(o)
+    T1: wr(z)
+    T2: sync(o)
+    T2: wr(x)
+    T2: sync(p)
+    T1: rel(m)
+    T3: sync(p)
+    T3: acq(m)
+    T3: rd(x)
+    T3: rel(m)
+    T3: rd(z)
+  )");
+}
+
+Trace figures::fig4dExtended() {
+  return traceFromText(R"(
+    T1: acq(m)
+    T1: rd(x)
+    T1: sync(o)
+    T1: wr(z)
+    T2: sync(o)
+    T2: wr(x)
+    T2: sync(p)
+    T1: rel(m)
+    T3: sync(p)
+    T3: acq(m)
+    T3: wr(x)
+    T3: rel(m)
+    T3: rd(z)
+  )");
+}

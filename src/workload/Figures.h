@@ -1,0 +1,79 @@
+//===- workload/Figures.h - The paper's example traces ----------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable versions of the paper's figure traces (Figures 1–4). Each
+/// returns the exact event sequence shown in the paper, and the extended
+/// variants append a discriminating access pair that turns the figure's
+/// "lost ordering" discussion into an observable race/no-race verdict (see
+/// the function comments). Used by tests, the figures bench, and examples.
+///
+/// Expected verdicts (from the paper's prose):
+///
+///   fig1a: no HB-race; WCP-, DC- and WDC-race on x (predictable).
+///   fig2a: no HB- or WCP-race; DC- and WDC-race on x (predictable).
+///   fig3:  no HB-, WCP- or DC-race; WDC-race on x — NOT predictable,
+///          vindication must fail.
+///   fig4a: no race under any relation (SmartTrack walkthrough).
+///   fig4b/c/d: no race under any relation; the extended variants stay
+///          race-free only if SmartTrack's [Read Share] / extra-metadata
+///          logic preserves critical-section information.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_WORKLOAD_FIGURES_H
+#define SMARTTRACK_WORKLOAD_FIGURES_H
+
+#include "trace/Trace.h"
+
+namespace st {
+namespace figures {
+
+/// Figure 1(a): predictable race on x that HB misses.
+Trace fig1a();
+
+/// Figure 1(b): the predicted trace of fig1a exposing the race (the witness
+/// shape vindication should find).
+Trace fig1b();
+
+/// Figure 2(a): DC-race that is not a WCP-race (WCP composes with HB).
+Trace fig2a();
+
+/// Figure 2(b): the predicted trace of fig2a exposing the race.
+Trace fig2b();
+
+/// Figure 3: WDC-race that is not a predictable race (rule (b) matters).
+Trace fig3();
+
+/// Figure 4(a): nested critical sections exercising SmartTrack's CS lists
+/// and MultiCheck; race-free under every relation.
+Trace fig4a();
+
+/// Figure 4(b): motivates SmartTrack taking [Read Share] where FTO takes
+/// [Read Exclusive].
+Trace fig4b();
+
+/// Figure 4(c): motivates the extra metadata E^w_x (write CS info lost at
+/// an uninstrumented-lock write).
+Trace fig4c();
+
+/// Figure 4(d): motivates the extra metadata E^r_x.
+Trace fig4d();
+
+/// fig4b plus a wr(z)/rd(z) pair whose WDC verdict (race-free) holds only
+/// if the [Read Share] behavior preserved Thread 1's critical section on m.
+Trace fig4bExtended();
+
+/// fig4c plus a wr(z)/rd(z) pair discriminating the E^w_x path.
+Trace fig4cExtended();
+
+/// fig4d plus a wr(z)/rd(z) pair discriminating the E^r_x path.
+Trace fig4dExtended();
+
+} // namespace figures
+} // namespace st
+
+#endif // SMARTTRACK_WORKLOAD_FIGURES_H

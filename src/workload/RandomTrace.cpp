@@ -1,0 +1,94 @@
+//===- workload/RandomTrace.cpp - Seeded random trace generation ----------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/RandomTrace.h"
+
+#include "support/Rng.h"
+
+#include <vector>
+
+using namespace st;
+
+Trace st::generateRandomTrace(const RandomTraceConfig &Config) {
+  Rng R(Config.Seed);
+  TraceBuilder B;
+
+  unsigned Threads = std::max(1u, Config.Threads);
+  unsigned Vars = std::max(1u, Config.Vars);
+
+  // Per-thread held-lock stacks; a global holder map keeps well-formedness.
+  std::vector<std::vector<LockId>> Held(Threads);
+  std::vector<ThreadId> Holder(Config.Locks, InvalidId);
+
+  if (Config.ForkJoin)
+    for (ThreadId T = 1; T < Threads; ++T)
+      B.fork(0, T);
+
+  for (unsigned Step = 0; Step < Config.Events; ++Step) {
+    ThreadId T = static_cast<ThreadId>(R.nextBelow(Threads));
+
+    bool DoSync = Config.Locks > 0 && R.nextBool(Config.PSync);
+    if (DoSync) {
+      bool CanAcquire = Held[T].size() < Config.MaxNesting;
+      bool CanRelease = !Held[T].empty();
+      // Prefer a balanced mix; fall through to an access if neither works.
+      if (CanRelease && (!CanAcquire || R.nextBool(0.5))) {
+        LockId M = Held[T].back();
+        Held[T].pop_back();
+        Holder[M] = InvalidId;
+        B.rel(T, M);
+        continue;
+      }
+      if (CanAcquire) {
+        // Pick a free lock, if any.
+        LockId M = static_cast<LockId>(R.nextBelow(Config.Locks));
+        bool Found = false;
+        for (unsigned Probe = 0; Probe < Config.Locks; ++Probe) {
+          LockId Cand = (M + Probe) % Config.Locks;
+          if (Holder[Cand] == InvalidId) {
+            M = Cand;
+            Found = true;
+            break;
+          }
+        }
+        if (Found) {
+          Holder[M] = T;
+          Held[T].push_back(M);
+          B.acq(T, M);
+          continue;
+        }
+      }
+    }
+
+    if (Config.Volatiles > 0 && R.nextBool(Config.PVolatile)) {
+      VarId V = static_cast<VarId>(R.nextBelow(Config.Volatiles));
+      if (R.nextBool(Config.PWrite))
+        B.volWrite(T, V);
+      else
+        B.volRead(T, V);
+      continue;
+    }
+
+    VarId X = static_cast<VarId>(R.nextBelow(Vars));
+    if (R.nextBool(Config.PWrite))
+      B.write(T, X, /*Site=*/X);
+    else
+      B.read(T, X, /*Site=*/X);
+  }
+
+  // Close every open critical section so the trace ends quiescent.
+  for (ThreadId T = 0; T < Threads; ++T)
+    while (!Held[T].empty()) {
+      B.rel(T, Held[T].back());
+      Held[T].pop_back();
+    }
+
+  if (Config.ForkJoin)
+    for (ThreadId T = 1; T < Threads; ++T)
+      B.join(0, T);
+
+  return B.build();
+}

@@ -1,0 +1,44 @@
+//===- workload/RandomTrace.h - Seeded random trace generation --*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random well-formed traces for property testing: race-set
+/// inclusion across relations, Unopt/FTO/SmartTrack agreement, soundness
+/// against the exhaustive oracle, and vindication validity. All draws come
+/// from a caller-provided seed, so failures reproduce exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_WORKLOAD_RANDOMTRACE_H
+#define SMARTTRACK_WORKLOAD_RANDOMTRACE_H
+
+#include "trace/Trace.h"
+
+#include <cstdint>
+
+namespace st {
+
+/// Knobs for random trace generation.
+struct RandomTraceConfig {
+  unsigned Threads = 3;
+  unsigned Vars = 3;
+  unsigned Locks = 2;
+  unsigned Volatiles = 0;
+  unsigned Events = 40;   ///< target event count (approximate)
+  unsigned MaxNesting = 2;
+  double PSync = 0.4;     ///< probability a step is a lock operation
+  double PWrite = 0.5;    ///< writes among accesses
+  double PVolatile = 0.0; ///< volatile ops among accesses
+  bool ForkJoin = false;  ///< fork workers at start, join at end
+  uint64_t Seed = 1;
+};
+
+/// Generates a well-formed trace per \p Config (validated in debug builds).
+Trace generateRandomTrace(const RandomTraceConfig &Config);
+
+} // namespace st
+
+#endif // SMARTTRACK_WORKLOAD_RANDOMTRACE_H

@@ -1,0 +1,331 @@
+//===- workload/Workload.cpp - DaCapo-like synthetic workloads ------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+using namespace st;
+
+namespace {
+
+/// SplitMix64 step (local copy to keep the generator self-contained).
+uint64_t nextRand(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t randBelow(uint64_t &State, uint64_t Bound) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(nextRand(State)) * Bound) >> 64);
+}
+
+bool randBool(uint64_t &State, double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextRand(State) < static_cast<uint64_t>(P * 18446744073709551615.0);
+}
+
+// Site-id layout: background sites are derived from the variable; racy
+// sites are stable small ids so Table 7's static counting is meaningful.
+constexpr SiteId RacySiteBase = 1000;
+constexpr SiteId BackgroundSiteBase = 1u << 20;
+
+} // namespace
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadProfile &Profile,
+                                     uint64_t TotalEvents, uint64_t Seed)
+    : Profile(Profile), TotalEvents(TotalEvents), Seed(Seed) {
+  assert(Profile.Threads >= 2 && "workloads need at least two threads");
+  // Block lock-depth distribution from the Table 2 held-lock targets.
+  double H1 = Profile.Held1, H2 = std::min(Profile.Held2, H1),
+         H3 = std::min(Profile.Held3, H2);
+  PDepth[3] = H3;
+  PDepth[2] = H2 - H3;
+  PDepth[1] = H1 - H2;
+  PDepth[0] = 1.0 - H1;
+  reset();
+}
+
+void WorkloadGenerator::reset() {
+  RngState = Seed * 0x9e3779b97f4a7c15ull + 1;
+  Emitted = 0;
+  EpisodeRotor = 0;
+  Prologue = true;
+  Pending.clear();
+  // Every block is one epoch: it begins with synchronization (its critical
+  // section, or a per-thread heartbeat lock for lock-free blocks, costing
+  // two events either way per level) and touches distinct variables, so
+  // NSEAs per block = VarsPerBlock exactly. Solve
+  //   NseaFraction = n / (n*r + 2*D̄)
+  // for the repeat count r, where D̄ is the mean lock-pair count per block.
+  double MeanLockPairs =
+      PDepth[0] + PDepth[1] + 2 * PDepth[2] + 3 * PDepth[3];
+  double F = std::clamp(Profile.NseaFraction, 1e-5, 0.9);
+  double MinVars = 2.0 * MeanLockPairs * F / (1.0 - F);
+  VarsPerBlock = static_cast<unsigned>(std::clamp(
+      std::ceil(MinVars), 1.0,
+      static_cast<double>(std::min(Profile.SharedVarsPerLock,
+                                   Profile.PrivateVarsPerThread))));
+  RepeatAvg =
+      std::max(1.0, 1.0 / F - 2.0 * MeanLockPairs / VarsPerBlock);
+  RepeatAvg = std::min(RepeatAvg, 4096.0);
+  double Interval = 1e6 / std::max(Profile.EpisodesPerMillion, 1e-3);
+  NextEpisodeAt = static_cast<uint64_t>(Interval);
+}
+
+VarId WorkloadGenerator::privateVar(ThreadId T, unsigned I) const {
+  return T * Profile.PrivateVarsPerThread + I;
+}
+
+VarId WorkloadGenerator::lockVar(LockId M, unsigned I) const {
+  return Profile.Threads * Profile.PrivateVarsPerThread +
+         M * Profile.SharedVarsPerLock + I;
+}
+
+VarId WorkloadGenerator::racyVar(unsigned Category, unsigned Site) const {
+  return Profile.Threads * Profile.PrivateVarsPerThread +
+         (Profile.Locks + 4) * Profile.SharedVarsPerLock + Category * 4096 +
+         Site;
+}
+
+LockId WorkloadGenerator::episodeLock(unsigned I) const {
+  return Profile.Locks + I; // beyond the background pool
+}
+
+void WorkloadGenerator::scheduleBackgroundBlock() {
+  ThreadId T = static_cast<ThreadId>(randBelow(RngState, Profile.Threads));
+  // Depth draw.
+  double P = static_cast<double>(nextRand(RngState)) / 1.8446744e19;
+  unsigned Depth = 0;
+  for (unsigned D = 3; D >= 1; --D) {
+    double Acc = 0;
+    for (unsigned K = D; K <= 3; ++K)
+      Acc += PDepth[K];
+    if (P < Acc) {
+      Depth = D;
+      break;
+    }
+  }
+  Depth = std::min<unsigned>(Depth, Profile.Locks);
+
+  LockId Locks[3] = {0, 0, 0};
+  if (Depth > 0) {
+    // Distinct locks in ascending order (lock hierarchy).
+    LockId Base = static_cast<LockId>(randBelow(
+        RngState, std::max(1u, Profile.Locks - Depth + 1)));
+    for (unsigned D = 0; D < Depth; ++D)
+      Locks[D] = Base + D;
+    for (unsigned D = 0; D < Depth; ++D)
+      Pending.emplace_back(EventKind::Acquire, T, Locks[D]);
+  } else {
+    // Lock-free block: a per-thread heartbeat lock starts a fresh epoch so
+    // the block's accesses are non-same-epoch, without affecting the
+    // locks-held-at-NSEA distribution.
+    LockId Hb = Profile.Locks + 4 + T;
+    Pending.emplace_back(EventKind::Acquire, T, Hb);
+    Pending.emplace_back(EventKind::Release, T, Hb);
+  }
+
+  // Distinct variables within the block (partial Fisher-Yates over the
+  // relevant pool).
+  unsigned PoolSize =
+      Depth > 0 ? Profile.SharedVarsPerLock : Profile.PrivateVarsPerThread;
+  unsigned Picks[8];
+  unsigned NVars = std::min(VarsPerBlock, PoolSize);
+  for (unsigned I = 0; I < NVars; ++I) {
+    unsigned J;
+    bool Fresh;
+    do {
+      J = static_cast<unsigned>(randBelow(RngState, PoolSize));
+      Fresh = true;
+      for (unsigned K = 0; K < I; ++K)
+        Fresh &= Picks[K] != J;
+    } while (!Fresh);
+    Picks[I] = J;
+  }
+
+  for (unsigned V = 0; V < NVars; ++V) {
+    VarId X = Depth > 0 ? lockVar(Locks[0], Picks[V]) : privateVar(T, Picks[V]);
+    bool Write = randBool(RngState, Profile.WriteFraction);
+    unsigned Repeats = static_cast<unsigned>(RepeatAvg);
+    if (randBool(RngState, RepeatAvg - Repeats))
+      ++Repeats;
+    Repeats = std::max(1u, Repeats);
+    EventKind K = Write ? EventKind::Write : EventKind::Read;
+    for (unsigned R = 0; R < Repeats; ++R)
+      Pending.emplace_back(K, T, X, BackgroundSiteBase + X);
+  }
+
+  for (unsigned D = Depth; D-- > 0;)
+    Pending.emplace_back(EventKind::Release, T, Locks[D]);
+}
+
+void WorkloadGenerator::scheduleHbEpisode() {
+  unsigned Slot = EpisodeRotor % std::max(1u, Profile.HbRacySites);
+  ThreadId T1 = static_cast<ThreadId>(EpisodeRotor % Profile.Threads);
+  ThreadId T2 = static_cast<ThreadId>((EpisodeRotor + 1) % Profile.Threads);
+  VarId V = racyVar(0, Slot);
+  SiteId S = RacySiteBase + Slot;
+  // Two adjacent unsynchronized writes: an HB-race (and thus a race under
+  // every relation).
+  Pending.emplace_back(EventKind::Write, T1, V, S);
+  Pending.emplace_back(EventKind::Write, T2, V, S);
+}
+
+void WorkloadGenerator::schedulePredictiveEpisode() {
+  unsigned Slot = EpisodeRotor % std::max(1u, Profile.PredictiveRacySites);
+  ThreadId T1 = static_cast<ThreadId>(EpisodeRotor % Profile.Threads);
+  ThreadId T2 = static_cast<ThreadId>((EpisodeRotor + 1) % Profile.Threads);
+  VarId V = racyVar(1, Slot);
+  VarId U1 = racyVar(3, 2 * Slot), U2 = racyVar(3, 2 * Slot + 1);
+  LockId L = episodeLock(0);
+  SiteId S = RacySiteBase + 4096 + Slot;
+  // Figure 1's shape: the critical sections on L do not conflict, so HB
+  // orders the v accesses but WCP/DC/WDC do not.
+  Pending.emplace_back(EventKind::Read, T1, V, S);
+  Pending.emplace_back(EventKind::Acquire, T1, L);
+  Pending.emplace_back(EventKind::Write, T1, U1,
+                       BackgroundSiteBase + U1);
+  Pending.emplace_back(EventKind::Release, T1, L);
+  Pending.emplace_back(EventKind::Acquire, T2, L);
+  Pending.emplace_back(EventKind::Read, T2, U2, BackgroundSiteBase + U2);
+  Pending.emplace_back(EventKind::Release, T2, L);
+  Pending.emplace_back(EventKind::Write, T2, V, S);
+}
+
+void WorkloadGenerator::scheduleDcOnlyEpisode() {
+  unsigned Slot = EpisodeRotor % std::max(1u, Profile.DcOnlyRacySites);
+  ThreadId T1 = static_cast<ThreadId>(EpisodeRotor % Profile.Threads);
+  ThreadId T2 = static_cast<ThreadId>((EpisodeRotor + 1) % Profile.Threads);
+  VarId V = racyVar(2, Slot);
+  VarId A = racyVar(4, Slot);
+  LockId L1 = episodeLock(1), La = episodeLock(2), L2 = episodeLock(3);
+  SiteId S = RacySiteBase + 8192 + Slot;
+  // Two-thread Figure 2 analogue: the WCP ordering of rd(v) before wr(v)
+  // composes a rule-(a) edge on La with HB lock edges on L1 and L2; DC
+  // composes with PO only and misses it.
+  Pending.emplace_back(EventKind::Read, T1, V, S);
+  Pending.emplace_back(EventKind::Acquire, T1, L1);
+  Pending.emplace_back(EventKind::Release, T1, L1);
+  Pending.emplace_back(EventKind::Acquire, T2, L1);
+  Pending.emplace_back(EventKind::Release, T2, L1);
+  Pending.emplace_back(EventKind::Acquire, T2, La);
+  Pending.emplace_back(EventKind::Write, T2, A, BackgroundSiteBase + A);
+  Pending.emplace_back(EventKind::Release, T2, La);
+  Pending.emplace_back(EventKind::Acquire, T1, La);
+  Pending.emplace_back(EventKind::Read, T1, A, BackgroundSiteBase + A);
+  Pending.emplace_back(EventKind::Release, T1, La);
+  Pending.emplace_back(EventKind::Acquire, T1, L2);
+  Pending.emplace_back(EventKind::Release, T1, L2);
+  Pending.emplace_back(EventKind::Acquire, T2, L2);
+  Pending.emplace_back(EventKind::Release, T2, L2);
+  Pending.emplace_back(EventKind::Write, T2, V, S);
+}
+
+void WorkloadGenerator::scheduleNext() {
+  if (Prologue) {
+    // Fork every worker from the main thread.
+    for (ThreadId T = 1; T < Profile.Threads; ++T)
+      Pending.emplace_back(EventKind::Fork, 0, T);
+    Prologue = false;
+    return;
+  }
+  if (Emitted >= NextEpisodeAt) {
+    double Interval = 1e6 / std::max(Profile.EpisodesPerMillion, 1e-3);
+    NextEpisodeAt = Emitted + static_cast<uint64_t>(Interval);
+    unsigned TotalSites = Profile.HbRacySites + Profile.PredictiveRacySites +
+                          Profile.DcOnlyRacySites;
+    if (TotalSites > 0) {
+      // Pick the category proportionally to its site count so every static
+      // site collects dynamic races.
+      uint64_t Pick = randBelow(RngState, TotalSites);
+      if (Pick < Profile.HbRacySites)
+        scheduleHbEpisode();
+      else if (Pick < Profile.HbRacySites + Profile.PredictiveRacySites)
+        schedulePredictiveEpisode();
+      else
+        scheduleDcOnlyEpisode();
+      ++EpisodeRotor;
+      return;
+    }
+  }
+  scheduleBackgroundBlock();
+}
+
+bool WorkloadGenerator::next(Event &E) {
+  if (Pending.empty()) {
+    if (Emitted >= TotalEvents)
+      return false;
+    while (Pending.empty())
+      scheduleNext();
+  }
+  E = Pending.front();
+  Pending.pop_front();
+  ++Emitted;
+  return true;
+}
+
+Trace WorkloadGenerator::materialize(uint64_t MaxEvents) {
+  std::vector<Event> Events;
+  Event E;
+  while (Events.size() < MaxEvents && next(E))
+    Events.push_back(E);
+  return Trace(std::move(Events));
+}
+
+const std::vector<WorkloadProfile> &st::dacapoProfiles() {
+  // Tuned to Table 2 (threads, events, NSEA fraction, locks held at NSEAs)
+  // and Table 7 (statically distinct races per relation family).
+  static const std::vector<WorkloadProfile> Profiles = [] {
+    std::vector<WorkloadProfile> P;
+    auto Add = [&P](const char *Name, unsigned Threads, uint64_t Events,
+                    double Nsea, double H1, double H2, double H3,
+                    unsigned Hb, unsigned Pred, unsigned DcOnly,
+                    double Episodes) {
+      WorkloadProfile W;
+      W.Name = Name;
+      W.Threads = Threads;
+      W.PaperTotalEvents = Events;
+      W.NseaFraction = Nsea;
+      W.Held1 = H1;
+      W.Held2 = H2;
+      W.Held3 = H3;
+      W.HbRacySites = Hb;
+      W.PredictiveRacySites = Pred;
+      W.DcOnlyRacySites = DcOnly;
+      W.EpisodesPerMillion = Episodes;
+      P.push_back(W);
+    };
+    //   name       thr events        nsea    >=1     >=2     >=3    hb pred dc  eps/M
+    Add("avrora",   7, 1400000000, 0.100, 0.0589, 0.001,  0.0,    6,  0,  0, 300);
+    Add("batik",    7,  160000000, 0.036, 0.461,  0.001,  0.001,  0,  0,  0,   0);
+    Add("h2",      10, 3800000000, 0.079, 0.828,  0.801,  0.0017, 13, 0,  0, 250);
+    Add("jython",   2,  730000000, 0.230, 0.0382, 0.0023, 0.0,   21,  2,  8,  60);
+    Add("luindex",  3,  400000000, 0.103, 0.258,  0.254,  0.253,  1,  0,  0,   5);
+    Add("lusearch",10, 1400000000, 0.100, 0.0379, 0.0039, 0.0,    0,  0,  0,   0);
+    Add("pmd",      9,  200000000, 0.040, 0.0113, 0.0,    0.0,    6,  0,  4, 120);
+    Add("sunflow", 17, 9700000000, 0.0004,0.0078, 0.001,  0.0,    6, 12,  1,   6);
+    Add("tomcat",  37,   49000000, 0.224, 0.140,  0.0845, 0.0395,585, 10,  5, 4000);
+    Add("xalan",    9,  630000000, 0.380, 0.999,  0.997,  0.0127, 8, 55, 11, 900);
+    return P;
+  }();
+  return Profiles;
+}
+
+const WorkloadProfile *st::findProfile(const char *Name) {
+  for (const WorkloadProfile &P : dacapoProfiles())
+    if (std::strcmp(P.Name, Name) == 0)
+      return &P;
+  return nullptr;
+}

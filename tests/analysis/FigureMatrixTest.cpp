@@ -1,0 +1,89 @@
+//===- tests/analysis/FigureMatrixTest.cpp - Paper figures × analyses -----===//
+//
+// The central conformance test: every analysis configuration from Table 1
+// is run over every figure trace from the paper, and the race verdicts must
+// match the paper's prose (per relation, identical across optimization
+// levels: Unopt, FTO, and SmartTrack compute the same relation).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisRegistry.h"
+#include "graph/EdgeRecorder.h"
+#include "workload/Figures.h"
+
+#include <gtest/gtest.h>
+
+using namespace st;
+
+namespace {
+
+struct FigureCase {
+  const char *Name;
+  Trace (*Make)();
+  // Expected dynamic races per relation.
+  uint64_t HB, WCP, DC, WDC;
+};
+
+const FigureCase Cases[] = {
+    {"fig1a", figures::fig1a, 0, 1, 1, 1},
+    {"fig2a", figures::fig2a, 0, 0, 1, 1},
+    {"fig3", figures::fig3, 0, 0, 0, 1},
+    {"fig4a", figures::fig4a, 0, 0, 0, 0},
+    {"fig4b", figures::fig4b, 0, 0, 0, 0},
+    {"fig4c", figures::fig4c, 0, 0, 0, 0},
+    {"fig4d", figures::fig4d, 0, 0, 0, 0},
+    {"fig4bExtended", figures::fig4bExtended, 0, 0, 0, 0},
+    {"fig4cExtended", figures::fig4cExtended, 0, 0, 0, 0},
+    {"fig4dExtended", figures::fig4dExtended, 0, 0, 0, 0},
+};
+
+uint64_t expectedRaces(const FigureCase &C, RelationKind R) {
+  switch (R) {
+  case RelationKind::HB:
+    return C.HB;
+  case RelationKind::WCP:
+    return C.WCP;
+  case RelationKind::DC:
+    return C.DC;
+  case RelationKind::WDC:
+    return C.WDC;
+  }
+  return 0;
+}
+
+class FigureMatrix : public ::testing::TestWithParam<AnalysisKind> {};
+
+TEST_P(FigureMatrix, VerdictsMatchPaper) {
+  AnalysisKind K = GetParam();
+  for (const FigureCase &C : Cases) {
+    EdgeRecorder Graph;
+    auto A = createAnalysis(K, &Graph);
+    ASSERT_NE(A, nullptr);
+    A->processTrace(C.Make());
+    EXPECT_EQ(A->dynamicRaces(), expectedRaces(C, relationOf(K)))
+        << analysisKindName(K) << " on " << C.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAnalyses, FigureMatrix, ::testing::ValuesIn(allAnalysisKinds()),
+    [](const ::testing::TestParamInfo<AnalysisKind> &Info) {
+      std::string Name = analysisKindName(Info.param);
+      for (char &C : Name)
+        if (C == '-' || C == ' ' || C == '/')
+          C = '_';
+      return Name;
+    });
+
+TEST(FigureMatrixMeta, RegistryIsComplete) {
+  EXPECT_EQ(allAnalysisKinds().size(), 14u);
+  EXPECT_EQ(mainTableAnalysisKinds().size(), 11u);
+  for (AnalysisKind K : allAnalysisKinds()) {
+    EdgeRecorder Graph;
+    auto A = createAnalysis(K, &Graph);
+    ASSERT_NE(A, nullptr);
+    EXPECT_STREQ(A->name(), analysisKindName(K));
+  }
+}
+
+} // namespace

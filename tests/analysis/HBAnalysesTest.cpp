@@ -1,0 +1,336 @@
+//===- tests/analysis/HBAnalysesTest.cpp - HB analysis tests --------------===//
+//
+// Covers Unopt-HB, FT2, and FTO-HB: agreement on race verdicts, the HB
+// ordering rules (locks, fork/join, volatiles), epoch case handling, and the
+// paper's race-accounting rules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FT2.h"
+#include "analysis/FTOHB.h"
+#include "analysis/UnoptHB.h"
+#include "trace/TraceText.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+using namespace st;
+
+namespace {
+
+using Factory = std::function<std::unique_ptr<Analysis>()>;
+
+struct HBParam {
+  const char *Name;
+  Factory Make;
+};
+
+class HBAnalyses : public ::testing::TestWithParam<HBParam> {
+protected:
+  std::unique_ptr<Analysis> run(const char *Text) {
+    auto A = GetParam().Make();
+    A->processTrace(traceFromText(Text));
+    return A;
+  }
+};
+
+TEST_P(HBAnalyses, NoRaceOnLockProtectedAccesses) {
+  auto A = run(R"(
+    T1: acq(m)
+    T1: wr(x)
+    T1: rel(m)
+    T2: acq(m)
+    T2: wr(x)
+    T2: rel(m)
+  )");
+  EXPECT_EQ(A->dynamicRaces(), 0u);
+}
+
+TEST_P(HBAnalyses, WriteWriteRaceWithoutSync) {
+  auto A = run("T1: wr(x)\nT2: wr(x)\n");
+  EXPECT_EQ(A->dynamicRaces(), 1u);
+}
+
+TEST_P(HBAnalyses, WriteReadRaceWithoutSync) {
+  auto A = run("T1: wr(x)\nT2: rd(x)\n");
+  EXPECT_EQ(A->dynamicRaces(), 1u);
+}
+
+TEST_P(HBAnalyses, ReadWriteRaceWithoutSync) {
+  auto A = run("T1: rd(x)\nT2: wr(x)\n");
+  EXPECT_EQ(A->dynamicRaces(), 1u);
+}
+
+TEST_P(HBAnalyses, NoRaceOnReadRead) {
+  auto A = run("T1: rd(x)\nT2: rd(x)\nT3: rd(x)\n");
+  EXPECT_EQ(A->dynamicRaces(), 0u);
+}
+
+TEST_P(HBAnalyses, Figure1aHasNoHBRace) {
+  // Paper Figure 1(a): rd(x) ≺HB wr(x) through the critical sections on m,
+  // so HB analysis misses the predictable race.
+  auto A = run(R"(
+    T1: rd(x)
+    T1: acq(m)
+    T1: wr(y)
+    T1: rel(m)
+    T2: acq(m)
+    T2: rd(z)
+    T2: rel(m)
+    T2: wr(x)
+  )");
+  EXPECT_EQ(A->dynamicRaces(), 0u);
+}
+
+TEST_P(HBAnalyses, ForkOrdersParentBeforeChild) {
+  auto A = run(R"(
+    T1: wr(x)
+    T1: fork(T2)
+    T2: wr(x)
+  )");
+  EXPECT_EQ(A->dynamicRaces(), 0u);
+}
+
+TEST_P(HBAnalyses, JoinOrdersChildBeforeParent) {
+  auto A = run(R"(
+    T1: fork(T2)
+    T2: wr(x)
+    T1: join(T2)
+    T1: wr(x)
+  )");
+  EXPECT_EQ(A->dynamicRaces(), 0u);
+}
+
+TEST_P(HBAnalyses, SiblingsWithoutJoinRace) {
+  auto A = run(R"(
+    T1: fork(T2)
+    T1: fork(T3)
+    T2: wr(x)
+    T3: wr(x)
+  )");
+  EXPECT_EQ(A->dynamicRaces(), 1u);
+}
+
+TEST_P(HBAnalyses, VolatileWriteReadOrders) {
+  auto A = run(R"(
+    T1: wr(x)
+    T1: vwr(f)
+    T2: vrd(f)
+    T2: wr(x)
+  )");
+  EXPECT_EQ(A->dynamicRaces(), 0u);
+}
+
+TEST_P(HBAnalyses, VolatileReadDoesNotOrderWithoutWrite) {
+  // Two volatile reads do not synchronize the threads.
+  auto A = run(R"(
+    T1: wr(x)
+    T1: vrd(f)
+    T2: vrd(f)
+    T2: wr(x)
+  )");
+  EXPECT_EQ(A->dynamicRaces(), 1u);
+}
+
+TEST_P(HBAnalyses, VolatileWriteAfterReadOrders) {
+  // vrd(f) by T1 then vwr(f) by T2: conflicting volatile accesses order
+  // T1's earlier events before T2's later ones.
+  auto A = run(R"(
+    T1: wr(x)
+    T1: vrd(f)
+    T2: vwr(f)
+    T2: wr(x)
+  )");
+  EXPECT_EQ(A->dynamicRaces(), 0u);
+}
+
+TEST_P(HBAnalyses, TransitiveOrderingThroughThirdThread) {
+  // T1 -> T2 via lock m, T2 -> T3 via lock n; HB orders T1's write before
+  // T3's transitively.
+  auto A = run(R"(
+    T1: wr(x)
+    T1: acq(m)
+    T1: rel(m)
+    T2: acq(m)
+    T2: rel(m)
+    T2: acq(n)
+    T2: rel(n)
+    T3: acq(n)
+    T3: rel(n)
+    T3: wr(x)
+  )");
+  EXPECT_EQ(A->dynamicRaces(), 0u);
+}
+
+TEST_P(HBAnalyses, RaceCountsOncePerAccessEvent) {
+  // A write racing with two concurrent last readers is one dynamic race
+  // (paper §5.1).
+  auto A = run(R"(
+    T1: rd(x)
+    T2: rd(x)
+    T3: wr(x)
+  )");
+  EXPECT_EQ(A->dynamicRaces(), 1u);
+}
+
+TEST_P(HBAnalyses, DynamicVsStaticRaceCounting) {
+  // The same static site races twice dynamically.
+  auto A = GetParam().Make();
+  TraceBuilder B;
+  B.write(0, 0, /*Site=*/7);
+  B.write(1, 0, /*Site=*/7);
+  B.write(2, 0, /*Site=*/7);
+  A->processTrace(B.build());
+  EXPECT_EQ(A->dynamicRaces(), 2u);
+  EXPECT_EQ(A->staticRaces(), 1u);
+}
+
+TEST_P(HBAnalyses, AnalysisContinuesAfterRace) {
+  auto A = run(R"(
+    T1: wr(x)
+    T2: wr(x)
+    T1: wr(y)
+    T2: wr(y)
+  )");
+  EXPECT_EQ(A->dynamicRaces(), 2u);
+  EXPECT_EQ(A->staticRaces(), 2u);
+}
+
+TEST_P(HBAnalyses, MaxStoredRacesCapsRecordsNotCounts) {
+  auto A = GetParam().Make();
+  A->setMaxStoredRaces(1);
+  A->processTrace(traceFromText("T1: wr(x)\nT2: wr(x)\nT1: wr(y)\nT2: wr(y)\n"));
+  EXPECT_EQ(A->dynamicRaces(), 2u);
+  EXPECT_EQ(A->raceRecords().size(), 1u);
+}
+
+TEST_P(HBAnalyses, RaceAfterLockOnlyOnUnorderedAccess) {
+  // T2's write is lock-ordered after T1's, but T3's is unordered: race.
+  auto A = run(R"(
+    T1: acq(m)
+    T1: wr(x)
+    T1: rel(m)
+    T2: acq(m)
+    T2: wr(x)
+    T2: rel(m)
+    T3: wr(x)
+  )");
+  EXPECT_EQ(A->dynamicRaces(), 1u);
+}
+
+TEST_P(HBAnalyses, ReadSharedThenOrderedWriteNoRace) {
+  // Multiple readers inflate the read metadata; a write ordered after all
+  // of them (via joins) must not race.
+  auto A = run(R"(
+    main: fork(T2)
+    main: fork(T3)
+    T2: rd(x)
+    T3: rd(x)
+    main: join(T2)
+    main: join(T3)
+    main: wr(x)
+  )");
+  EXPECT_EQ(A->dynamicRaces(), 0u);
+}
+
+TEST_P(HBAnalyses, ReadSharedUnorderedWriteRaces) {
+  auto A = run(R"(
+    main: fork(T2)
+    main: fork(T3)
+    T2: rd(x)
+    T3: rd(x)
+    main: join(T2)
+    main: wr(x)
+  )");
+  EXPECT_EQ(A->dynamicRaces(), 1u);
+}
+
+TEST_P(HBAnalyses, FootprintGrowsWithState) {
+  auto A = GetParam().Make();
+  size_t Before = A->footprintBytes();
+  TraceBuilder B;
+  for (VarId X = 0; X < 64; ++X)
+    B.write(0, X);
+  A->processTrace(B.build());
+  EXPECT_GT(A->footprintBytes(), Before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, HBAnalyses,
+    ::testing::Values(
+        HBParam{"UnoptHB", [] { return std::make_unique<UnoptHB>(); }},
+        HBParam{"FT2", [] { return std::make_unique<FT2>(); }},
+        HBParam{"FTOHB", [] { return std::make_unique<FTOHB>(); }}),
+    [](const ::testing::TestParamInfo<HBParam> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(FTOHBTest, CaseStatsClassifyAccesses) {
+  FTOHB A;
+  A.processTrace(traceFromText(R"(
+    T1: wr(x)
+    T1: wr(x)
+    T1: rd(x)
+    T1: acq(m)
+    T1: rd(x)
+    T1: rel(m)
+    T2: rd(x)
+  )"));
+  const CaseStats *S = A.caseStats();
+  ASSERT_NE(S, nullptr);
+  // First wr(x): exclusive (R_x = ⊥). Second: same epoch. rd(x): owned
+  // (same epoch actually: same epoch since R updated by write). After acq
+  // the epoch changed: rd(x) owned. T2's rd: unowned.
+  EXPECT_EQ(S->WriteSameEpoch, 1u);
+  EXPECT_EQ(S->WriteExclusive, 1u);
+  EXPECT_GE(S->ReadSameEpoch, 1u);
+  EXPECT_EQ(S->ReadOwned, 1u);
+  EXPECT_EQ(S->ReadShare + S->ReadShared + S->ReadExclusive, 1u);
+}
+
+TEST(FTOHBTest, OwnedCasesSkipRaceChecks) {
+  // The owner keeps accessing x across sync operations without races.
+  FTOHB A;
+  A.processTrace(traceFromText(R"(
+    T1: wr(x)
+    T1: acq(m)
+    T1: rd(x)
+    T1: wr(x)
+    T1: rel(m)
+    T1: rd(x)
+  )"));
+  EXPECT_EQ(A.dynamicRaces(), 0u);
+  EXPECT_GE(A.caseStats()->ReadOwned + A.caseStats()->WriteOwned, 1u);
+}
+
+TEST(UnoptHBTest, LastWriteOrderedQueryReflectsHB) {
+  UnoptHB A;
+  A.processTrace(traceFromText(R"(
+    T1: wr(x)
+    T1: acq(m)
+    T1: rel(m)
+    T2: acq(m)
+    T2: rel(m)
+  )"));
+  EXPECT_TRUE(A.lastWriteOrderedBefore(/*x=*/0, /*T2=*/1))
+      << "lock edge orders T1's write before T2";
+  EXPECT_FALSE(A.lastWriteOrderedBefore(/*x=*/0, /*T3=*/2))
+      << "T3 never synchronized with T1";
+}
+
+TEST(FT2Test, ReadSharedSameEpochFastPath) {
+  FT2 A;
+  // Two reads by the same thread in one epoch after sharing: second is a
+  // fast-path hit and must not be re-recorded.
+  A.processTrace(traceFromText(R"(
+    T1: rd(x)
+    T2: rd(x)
+    T2: rd(x)
+    T1: rd(x)
+  )"));
+  EXPECT_EQ(A.dynamicRaces(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,219 @@
+//===- tests/analysis/SmartTrackTest.cpp - SmartTrack-specific tests ------===//
+//
+// Exercises Algorithm 3's machinery directly: CS lists and deferred release
+// clocks, MultiCheck's held-lock joins, the [Read Share]-over-[Read
+// Exclusive] behavior (Figure 4(b)), the extra metadata E^r/E^w (Figures
+// 4(c,d)), the epoch acquire-queue optimization, and case statistics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FTOPredictive.h"
+#include "analysis/SmartTrack.h"
+#include "analysis/SmartTrackWCP.h"
+#include "trace/TraceText.h"
+#include "workload/Figures.h"
+
+#include <gtest/gtest.h>
+
+using namespace st;
+
+namespace {
+
+TEST(SmartTrackTest, Fig4aWalkthroughIsRaceFree) {
+  // The paper's §4.2 walkthrough: nested critical sections on p/m/n; the
+  // deferred release clocks and MultiCheck joins must order everything.
+  SmartTrack A(/*RuleB=*/true);
+  A.processTrace(figures::fig4a());
+  EXPECT_EQ(A.dynamicRaces(), 0u);
+}
+
+TEST(SmartTrackTest, Fig4aTakesReadShareWhereFTOTakesReadExclusive) {
+  // At Thread 2's rd(x), the prior write's outermost critical section on p
+  // is still unreleased, so SmartTrack must take [Read Share]; FTO-DC takes
+  // [Read Exclusive] because the access itself is DC-ordered.
+  // fig4a has three reads: rd(x) by T2 plus the rd(oVar) of each sync(o).
+  // ST: rd(x) and T3's rd(oVar) take [Read Share] (their predecessors'
+  // sections are unreleased or DC-unordered); T2's rd(oVar) is the first
+  // access (exclusive). FTO orders all three accesses directly and never
+  // shares.
+  SmartTrack ST(/*RuleB=*/true);
+  ST.processTrace(figures::fig4a());
+  EXPECT_EQ(ST.caseStats()->ReadShare, 2u);
+  EXPECT_EQ(ST.caseStats()->ReadExclusive, 1u);
+
+  FTOPredictive FTO(/*RuleB=*/true);
+  FTO.processTrace(figures::fig4a());
+  EXPECT_EQ(FTO.caseStats()->ReadExclusive, 3u);
+  EXPECT_EQ(FTO.caseStats()->ReadShare, 0u);
+}
+
+TEST(SmartTrackTest, Fig4bExtendedNeedsReadShareBehavior) {
+  // Without the [Read Share] behavior, ST-WDC would lose Thread 1's
+  // critical section on m and report a spurious race on z (Figure 4(b)).
+  SmartTrack A(/*RuleB=*/false);
+  A.processTrace(figures::fig4bExtended());
+  EXPECT_EQ(A.dynamicRaces(), 0u);
+}
+
+TEST(SmartTrackTest, Fig4cExtendedNeedsExtraWriteMetadata) {
+  // Thread 2's un-locked wr(x) overwrites L^w_x; E^w_x must preserve
+  // Thread 1's critical section (Figure 4(c)).
+  SmartTrack A(/*RuleB=*/false);
+  A.processTrace(figures::fig4cExtended());
+  EXPECT_EQ(A.dynamicRaces(), 0u);
+}
+
+TEST(SmartTrackTest, Fig4dExtendedNeedsExtraReadMetadata) {
+  // Same as fig4c but the lost section contains a read: E^r_x (Figure 4(d)).
+  SmartTrack A(/*RuleB=*/false);
+  A.processTrace(figures::fig4dExtended());
+  EXPECT_EQ(A.dynamicRaces(), 0u);
+}
+
+TEST(SmartTrackTest, DeferredReleaseClockResolvesAcrossThreads) {
+  // T2 conflicts with T1's still-open critical section on m at the time of
+  // T1's wr(x); the CS-list entry is filled at rel(m) and T2's MultiCheck
+  // must pick up the final clock, ordering everything.
+  SmartTrack A(/*RuleB=*/true);
+  A.processTrace(traceFromText(R"(
+    T1: acq(m)
+    T1: wr(x)
+    T1: rel(m)
+    T2: acq(m)
+    T2: wr(x)
+    T2: wr(y)
+    T2: rel(m)
+    T1x: rd(y)
+  )"));
+  // T1x never synchronized: rd(y) races with T2's wr(y).
+  EXPECT_EQ(A.dynamicRaces(), 1u);
+}
+
+TEST(SmartTrackTest, UnreleasedSectionNeverOrders) {
+  // T1 still holds m when T2 writes x without the lock: the ∞ sentinel in
+  // the CS-list clock must make the ordering check fail, and the write must
+  // race with T1's read.
+  SmartTrack A(/*RuleB=*/true);
+  A.processTrace(traceFromText(R"(
+    T1: acq(m)
+    T1: rd(x)
+    T2: wr(x)
+  )"));
+  EXPECT_EQ(A.dynamicRaces(), 1u);
+}
+
+TEST(SmartTrackTest, MultiCheckJoinsInnerSectionWhenOuterUnmatched) {
+  // T1's wr(x) sits in nested sections on p (outer) and m (inner); T2 holds
+  // only m. MultiCheck walks outermost-to-innermost: p is unmatched (and
+  // unordered), m matches and joins. No race.
+  SmartTrack A(/*RuleB=*/true);
+  A.processTrace(traceFromText(R"(
+    T1: acq(p)
+    T1: acq(m)
+    T1: wr(x)
+    T1: rel(m)
+    T1: rel(p)
+    T2: acq(m)
+    T2: wr(x)
+    T2: rel(m)
+  )"));
+  EXPECT_EQ(A.dynamicRaces(), 0u);
+}
+
+TEST(SmartTrackTest, CaseStatsMatchFTOOnOwnedPatterns) {
+  const char *Text = R"(
+    T1: wr(x)
+    T1: acq(m)
+    T1: rd(x)
+    T1: wr(x)
+    T1: rel(m)
+  )";
+  SmartTrack ST(/*RuleB=*/true);
+  FTOPredictive FTO(/*RuleB=*/true);
+  ST.processTrace(traceFromText(Text));
+  FTO.processTrace(traceFromText(Text));
+  EXPECT_EQ(ST.caseStats()->ReadOwned, FTO.caseStats()->ReadOwned);
+  EXPECT_EQ(ST.caseStats()->WriteOwned, FTO.caseStats()->WriteOwned);
+  EXPECT_EQ(ST.caseStats()->WriteExclusive,
+            FTO.caseStats()->WriteExclusive);
+}
+
+TEST(SmartTrackTest, STWCPComposesWithHB) {
+  SmartTrackWCP A;
+  A.processTrace(figures::fig2a());
+  EXPECT_EQ(A.dynamicRaces(), 0u) << "WCP composes with HB: no race";
+  SmartTrack DC(/*RuleB=*/true);
+  DC.processTrace(figures::fig2a());
+  EXPECT_EQ(DC.dynamicRaces(), 1u) << "DC composes with PO only: race";
+}
+
+TEST(SmartTrackTest, STDCRuleBOrdersFig3) {
+  SmartTrack DC(/*RuleB=*/true);
+  DC.processTrace(figures::fig3());
+  EXPECT_EQ(DC.dynamicRaces(), 0u);
+  SmartTrack WDC(/*RuleB=*/false);
+  WDC.processTrace(figures::fig3());
+  EXPECT_EQ(WDC.dynamicRaces(), 1u);
+}
+
+TEST(SmartTrackTest, ExtraMetadataConsumedAtWrites) {
+  // After fig4c's pattern, a later same-thread write holding m should have
+  // consumed (and cleared) the extra metadata without changing verdicts.
+  SmartTrack A(/*RuleB=*/false);
+  Trace Tr = figures::fig4cExtended();
+  A.processTrace(Tr);
+  EXPECT_EQ(A.dynamicRaces(), 0u);
+}
+
+TEST(SmartTrackTest, SameEpochFastPathsCount) {
+  SmartTrack A(/*RuleB=*/true);
+  A.processTrace(traceFromText(R"(
+    T1: wr(x)
+    T1: wr(x)
+    T1: rd(x)
+    T1: rd(x)
+  )"));
+  EXPECT_EQ(A.caseStats()->WriteSameEpoch, 1u);
+  // After a write by the same thread in the same epoch, reads hit the
+  // same-epoch path too (R_x was updated by the write).
+  EXPECT_EQ(A.caseStats()->ReadSameEpoch, 2u);
+}
+
+TEST(SmartTrackTest, LocksReleasedOutOfOrderStillTracked) {
+  // Hand-over-hand (non-nested) locking: acq(a); acq(b); rel(a); rel(b).
+  SmartTrack A(/*RuleB=*/true);
+  A.processTrace(traceFromText(R"(
+    T1: acq(a)
+    T1: acq(b)
+    T1: wr(x)
+    T1: rel(a)
+    T1: rel(b)
+    T2: acq(b)
+    T2: wr(x)
+    T2: rel(b)
+  )"));
+  EXPECT_EQ(A.dynamicRaces(), 0u);
+}
+
+TEST(SmartTrackTest, WriteSharedChecksEveryReader) {
+  // Two unordered readers, then an unordered writer: exactly one dynamic
+  // race is counted at the write (paper §5.1), and the verdict matches FTO.
+  SmartTrack ST(/*RuleB=*/true);
+  FTOPredictive FTO(/*RuleB=*/true);
+  Trace Tr = traceFromText("T1: rd(x)\nT2: rd(x)\nT3: wr(x)\n");
+  ST.processTrace(Tr);
+  FTO.processTrace(Tr);
+  EXPECT_EQ(ST.dynamicRaces(), 1u);
+  EXPECT_EQ(FTO.dynamicRaces(), 1u);
+}
+
+TEST(SmartTrackTest, FootprintTracksCSLists) {
+  SmartTrack A(/*RuleB=*/true);
+  size_t Empty = A.footprintBytes();
+  TraceBuilder B;
+  B.acq(0, 0).acq(0, 1).acq(0, 2).write(0, 0);
+  A.processTrace(B.build());
+  EXPECT_GT(A.footprintBytes(), Empty);
+}
+
+} // namespace

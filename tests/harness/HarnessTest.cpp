@@ -1,0 +1,149 @@
+//===- tests/harness/HarnessTest.cpp - Bench harness unit tests -----------===//
+
+#include "harness/BenchRunner.h"
+#include "harness/Characteristics.h"
+#include "harness/GridBench.h"
+#include "harness/Stats.h"
+#include "harness/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace st;
+
+namespace {
+
+TEST(StatsTest, MeanAndGeomean) {
+  EXPECT_DOUBLE_EQ(mean({2, 4, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_NEAR(geomean({1, 100}), 10.0, 1e-9);
+  EXPECT_NEAR(geomean({7}), 7.0, 1e-9);
+}
+
+TEST(StatsTest, CiHalfWidthMatchesHandComputation) {
+  // n=10 samples 1..10: mean 5.5, sd ≈ 3.0277, t=2.262.
+  std::vector<double> Xs;
+  for (int I = 1; I <= 10; ++I)
+    Xs.push_back(I);
+  double Hw = ciHalfWidth95(Xs);
+  EXPECT_NEAR(Hw, 2.262 * 3.02765 / std::sqrt(10.0), 1e-3);
+  EXPECT_DOUBLE_EQ(ciHalfWidth95({5.0}), 0.0) << "one sample: no interval";
+}
+
+TEST(StatsTest, TCriticalValues) {
+  EXPECT_NEAR(tCritical95(2), 12.706, 1e-3);
+  EXPECT_NEAR(tCritical95(10), 2.262, 1e-3);
+  EXPECT_NEAR(tCritical95(1000), 1.96, 1e-3);
+}
+
+TEST(BenchConfigTest, EventScalingWithFloors) {
+  BenchConfig C;
+  C.EventScale = 4000;
+  C.MinEvents = 100000;
+  WorkloadProfile P;
+  P.PaperTotalEvents = 49000000; // tomcat-like
+  EXPECT_EQ(C.eventsFor(P), 100000u) << "floor applies";
+  P.PaperTotalEvents = 3800000000ull; // h2-like
+  EXPECT_EQ(C.eventsFor(P), 950000u);
+}
+
+TEST(BenchConfigTest, ParseArgs) {
+  BenchConfig C;
+  const char *Argv[] = {"bench", "--events-scale=100", "--trials=5",
+                        "--seed=9", "--programs=h2,xalan"};
+  ASSERT_TRUE(parseBenchArgs(5, const_cast<char **>(Argv), C));
+  EXPECT_EQ(C.EventScale, 100u);
+  EXPECT_EQ(C.Trials, 5u);
+  EXPECT_EQ(C.Seed, 9u);
+  EXPECT_TRUE(C.wantsProgram("h2"));
+  EXPECT_TRUE(C.wantsProgram("xalan"));
+  EXPECT_FALSE(C.wantsProgram("avrora"));
+
+  BenchConfig D;
+  const char *Bad[] = {"bench", "--frobnicate"};
+  EXPECT_FALSE(parseBenchArgs(2, const_cast<char **>(Bad), D));
+  EXPECT_TRUE(D.wantsProgram("anything")) << "empty filter accepts all";
+}
+
+TEST(BenchRunnerTest, FormatFactor) {
+  EXPECT_EQ(formatFactor(4.23), "4.2x");
+  EXPECT_EQ(formatFactor(12.7), "13x");
+  EXPECT_EQ(formatFactor(9.94), "9.9x");
+  EXPECT_NE(formatFactor(4.2, 0.3).find("±"), std::string::npos);
+}
+
+TEST(BenchRunnerTest, FormatRaces) {
+  EXPECT_EQ(formatRaces(6, 425515), "6 (425,515)");
+  EXPECT_EQ(formatRaces(1, 1), "1 (1)");
+  EXPECT_EQ(formatRaces(0, 0), "0 (0)");
+}
+
+TEST(BenchRunnerTest, RunOnceMeasuresRealRun) {
+  const WorkloadProfile &P = *findProfile("pmd");
+  BenchConfig C;
+  C.EventScale = 4000;
+  C.MinEvents = 20000;
+  double Base = measureBaseline(P, C);
+  EXPECT_GT(Base, 0.0);
+  RunResult R = runOnce(AnalysisKind::FTOHB, P, C, Base, 42);
+  EXPECT_GE(R.Events, 20000u);
+  EXPECT_GT(R.Seconds, 0.0);
+  EXPECT_GT(R.PeakFootprintBytes, 0u);
+  EXPECT_GT(R.slowdown(), 0.0);
+  EXPECT_GT(R.memoryFactor(C.UninstrumentedBytes), 1.0);
+}
+
+TEST(BenchRunnerTest, CellAggregatesTrials) {
+  const WorkloadProfile &P = *findProfile("pmd");
+  BenchConfig C;
+  C.MinEvents = 10000;
+  C.Trials = 3;
+  double Base = measureBaseline(P, C);
+  CellResult Cell = runCell(AnalysisKind::FTOHB, P, C, Base);
+  EXPECT_EQ(Cell.Slowdowns.size(), 3u);
+  EXPECT_EQ(Cell.StaticRaces.size(), 3u);
+}
+
+TEST(GridBenchTest, KindIndexLayoutMatchesPaper) {
+  const auto &Kinds = mainTableAnalysisKinds();
+  EXPECT_EQ(Kinds[gridKindIndex(0, 0)], AnalysisKind::UnoptHB);
+  EXPECT_EQ(Kinds[gridKindIndex(0, 1)], AnalysisKind::FTOHB);
+  EXPECT_EQ(gridKindIndex(0, 2), -1) << "ST-HB is N/A";
+  EXPECT_EQ(Kinds[gridKindIndex(1, 2)], AnalysisKind::STWCP);
+  EXPECT_EQ(Kinds[gridKindIndex(2, 0)], AnalysisKind::UnoptDC);
+  EXPECT_EQ(Kinds[gridKindIndex(3, 2)], AnalysisKind::STWDC);
+  EXPECT_EQ(gridKindIndex(4, 0), -1);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter T({"A", "LongHeader"});
+  T.addRow({"wide-cell", "x"});
+  T.addRow({"y", "z"});
+  // Print to a memstream and inspect alignment.
+  char *Buf = nullptr;
+  size_t Len = 0;
+  FILE *F = open_memstream(&Buf, &Len);
+  T.print(F);
+  std::fclose(F);
+  std::string Out(Buf, Len);
+  free(Buf);
+  EXPECT_NE(Out.find("A          LongHeader"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("wide-cell  x"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+TEST(CharacteristicsTest, CountsSameEpochAccessesLikeFTO) {
+  // Hand-built stream: wr(x); wr(x) same epoch; sync; wr(x) new epoch.
+  WorkloadProfile P;
+  P.Threads = 2;
+  P.EpisodesPerMillion = 0;
+  WorkloadGenerator G(P, 200, 3);
+  WorkloadCharacteristics C = measureCharacteristics(G);
+  EXPECT_GT(C.AllEvents, 0u);
+  EXPECT_GT(C.Nseas, 0u);
+  EXPECT_LE(C.Nseas, C.AllEvents);
+  EXPECT_LE(C.NseaHeld3, C.NseaHeld2);
+  EXPECT_LE(C.NseaHeld2, C.NseaHeld1);
+  EXPECT_LE(C.NseaHeld1, C.Nseas);
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+//===- tests/oracle/OracleTest.cpp - Predictable-race oracle tests --------===//
+
+#include "oracle/PredictableRace.h"
+#include "trace/TraceText.h"
+#include "workload/Figures.h"
+
+#include <gtest/gtest.h>
+
+using namespace st;
+
+namespace {
+
+TEST(OracleTest, Fig1aHasPredictableRace) {
+  Trace Tr = figures::fig1a();
+  auto W = findPredictableRace(Tr);
+  ASSERT_TRUE(W.has_value());
+  std::string Error;
+  EXPECT_TRUE(checkWitness(Tr, *W, &Error)) << Error;
+  // The race is on x: events 0 (rd x by T1) and 7 (wr x by T2).
+  EXPECT_EQ(std::min(W->First, W->Second), 0u);
+  EXPECT_EQ(std::max(W->First, W->Second), 7u);
+}
+
+TEST(OracleTest, Fig2aHasPredictableRace) {
+  Trace Tr = figures::fig2a();
+  auto W = findPredictableRace(Tr);
+  ASSERT_TRUE(W.has_value());
+  std::string Error;
+  EXPECT_TRUE(checkWitness(Tr, *W, &Error)) << Error;
+}
+
+TEST(OracleTest, Fig3HasNoPredictableRace) {
+  // The paper's key negative example: a WDC-race that cannot be realized.
+  EXPECT_FALSE(findPredictableRace(figures::fig3()).has_value());
+}
+
+TEST(OracleTest, Fig4TracesAreRaceFree) {
+  EXPECT_FALSE(findPredictableRace(figures::fig4a()).has_value());
+  EXPECT_FALSE(findPredictableRace(figures::fig4bExtended()).has_value());
+  EXPECT_FALSE(findPredictableRace(figures::fig4cExtended()).has_value());
+  EXPECT_FALSE(findPredictableRace(figures::fig4dExtended()).has_value());
+}
+
+TEST(OracleTest, LockProtectedAccessesDoNotRace) {
+  Trace Tr = traceFromText(R"(
+    T1: acq(m)
+    T1: wr(x)
+    T1: rel(m)
+    T2: acq(m)
+    T2: wr(x)
+    T2: rel(m)
+  )");
+  EXPECT_FALSE(findPredictableRace(Tr).has_value());
+}
+
+TEST(OracleTest, UnprotectedConflictRaces) {
+  Trace Tr = traceFromText("T1: wr(x)\nT2: wr(x)\n");
+  auto W = findPredictableRace(Tr);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_TRUE(W->Prefix.empty()) << "both writes are first events";
+  EXPECT_TRUE(checkWitness(Tr, *W));
+}
+
+TEST(OracleTest, LastWriterConstraintBlocksReordering) {
+  // Pair (wr(y)T1, wr(y)T2): T2's rd(y) must run between them (PO before
+  // the write, last-writer after T1's write), so that specific pair can
+  // never be adjacent — while (wr(y)T1, rd(y)T2) can.
+  Trace Tr = traceFromText(R"(
+    T1: wr(y)
+    T2: rd(y)
+    T2: wr(y)
+  )");
+  EXPECT_FALSE(findPredictableRaceForPair(Tr, 0, 2).has_value());
+  auto W = findPredictableRaceForPair(Tr, 0, 1);
+  ASSERT_TRUE(W.has_value());
+  std::string Error;
+  EXPECT_TRUE(checkWitness(Tr, *W, &Error)) << Error;
+}
+
+TEST(OracleTest, ReadKeepsItsObservedWriter) {
+  // T2's rd(x) observed T1's wr(x) as its last writer, so the only valid
+  // adjacency is write then read.
+  Trace Tr = traceFromText("T1: wr(x)\nT2: rd(x)\n");
+  auto W = findPredictableRace(Tr);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ(W->First, 0u) << "write must come first";
+  EXPECT_EQ(W->Second, 1u);
+
+  // Flip the observation: a read that saw no writer cannot follow the
+  // write, so the read must come first.
+  Trace Tr2 = traceFromText("T2: rd(x)\nT1: wr(x)\n");
+  auto W2 = findPredictableRace(Tr2);
+  ASSERT_TRUE(W2.has_value());
+  EXPECT_EQ(W2->First, 0u) << "the writerless read stays first";
+  EXPECT_EQ(W2->Second, 1u);
+}
+
+TEST(OracleTest, ForkBlocksChildBeforeParent) {
+  Trace Tr = traceFromText(R"(
+    T1: wr(x)
+    T1: fork(T2)
+    T2: wr(x)
+  )");
+  EXPECT_FALSE(findPredictableRace(Tr).has_value());
+}
+
+TEST(OracleTest, JoinRequiresChildCompletion) {
+  Trace Tr = traceFromText(R"(
+    T1: fork(T2)
+    T2: wr(x)
+    T1: join(T2)
+    T1: wr(x)
+  )");
+  EXPECT_FALSE(findPredictableRace(Tr).has_value());
+}
+
+TEST(OracleTest, SiblingsRace) {
+  Trace Tr = traceFromText(R"(
+    T1: fork(T2)
+    T1: fork(T3)
+    T2: wr(x)
+    T3: wr(x)
+  )");
+  auto W = findPredictableRace(Tr);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_TRUE(checkWitness(Tr, *W));
+}
+
+TEST(OracleTest, VolatileLastWriterRespected) {
+  // The volatile read saw T1's volatile write: T2's wr(x) cannot move
+  // before T1's wr(x).
+  Trace Tr = traceFromText(R"(
+    T1: wr(x)
+    T1: vwr(f)
+    T2: vrd(f)
+    T2: wr(x)
+  )");
+  EXPECT_FALSE(findPredictableRace(Tr).has_value());
+}
+
+TEST(OracleTest, PairSpecificSearch) {
+  Trace Tr = traceFromText(R"(
+    T1: wr(x)
+    T1: wr(y)
+    T2: wr(y)
+    T2: wr(x)
+  )");
+  // (wr(x)T1, wr(x)T2) = (0, 3): schedulable adjacent? wr(y)T2 must run
+  // before wr(x)T2 (PO) and nothing blocks it: prefix {wr(y)T2... but
+  // wr(y)T2 conflicts with wr(y)T1 — conflicts don't block scheduling.
+  auto W = findPredictableRaceForPair(Tr, 0, 3);
+  ASSERT_TRUE(W.has_value());
+  std::string Error;
+  EXPECT_TRUE(checkWitness(Tr, *W, &Error)) << Error;
+  EXPECT_TRUE((W->First == 0 && W->Second == 3) ||
+              (W->First == 3 && W->Second == 0));
+  // Same-thread pair: never a race.
+  EXPECT_FALSE(findPredictableRaceForPair(Tr, 0, 1).has_value());
+}
+
+TEST(OracleTest, WitnessCheckerRejectsBadWitnesses) {
+  Trace Tr = traceFromText("T1: wr(x)\nT1: wr(y)\nT2: wr(x)\n");
+  PredictableRaceWitness W;
+  W.First = 0;
+  W.Second = 2;
+  std::string Error;
+  EXPECT_TRUE(checkWitness(Tr, W, &Error)) << Error;
+
+  // Conflicting pair required.
+  PredictableRaceWitness Bad = W;
+  Bad.Second = 1;
+  EXPECT_FALSE(checkWitness(Tr, Bad, &Error));
+
+  // Prefix must respect program order.
+  Bad = W;
+  Bad.Prefix = {1}; // wr(y) before wr(x) violates T1's PO
+  EXPECT_FALSE(checkWitness(Tr, Bad, &Error));
+
+  // Racing events may not appear in the prefix.
+  Bad = W;
+  Bad.Prefix = {0};
+  EXPECT_FALSE(checkWitness(Tr, Bad, &Error));
+}
+
+TEST(OracleTest, DocumentedWdcIncompletenessExample) {
+  // A predictable race that every relation in the paper orders away:
+  // write-write conflicting critical sections can swap in a predicted trace
+  // when no read observes them, so rule (a)'s edge is not mandatory. The
+  // partial-order analyses (including WDC) miss this race by design; the
+  // oracle finds it. Kept as an executable record of the coverage limit.
+  Trace Tr = traceFromText(R"(
+    T1: wr(x)
+    T1: acq(m)
+    T1: wr(y)
+    T1: rel(m)
+    T2: acq(m)
+    T2: wr(y)
+    T2: wr(x)
+    T2: rel(m)
+  )");
+  auto W = findPredictableRace(Tr);
+  ASSERT_TRUE(W.has_value());
+  std::string Error;
+  EXPECT_TRUE(checkWitness(Tr, *W, &Error)) << Error;
+}
+
+TEST(OracleTest, MaxStatesCapReturnsNoRace) {
+  Trace Tr = figures::fig1a();
+  EXPECT_FALSE(findPredictableRace(Tr, /*MaxStates=*/1).has_value());
+}
+
+} // namespace

@@ -1,0 +1,218 @@
+//===- tests/property/PropertyTest.cpp - Cross-analysis properties --------===//
+//
+// Property-based validation on seeded random traces:
+//
+//  1. Race-set inclusion HB ⊆ WCP ⊆ DC ⊆ WDC (relations weaken top to
+//     bottom, so race sets grow).
+//  2. Per relation, Unopt / FTO / SmartTrack agree on the first race (and
+//     on racelessness) — the optimizations must not change the computed
+//     relation. (After the first race the paper itself documents count
+//     divergence, §5.6.)
+//  3. Soundness against the exhaustive oracle on small traces: every
+//     WCP-race (and HB-race) implies a predictable race. (With lock
+//     nesting 1 there are no predictable deadlocks, so the WCP theorem
+//     specializes to races.)
+//  4. Oracle witnesses always pass the independent witness checker.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisRegistry.h"
+#include "graph/EdgeRecorder.h"
+#include "oracle/PredictableRace.h"
+#include "workload/RandomTrace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace st;
+
+namespace {
+
+std::set<uint64_t> raceEvents(AnalysisKind K, const Trace &Tr) {
+  auto A = createAnalysis(K);
+  A->processTrace(Tr);
+  std::set<uint64_t> Events;
+  for (const RaceRecord &R : A->raceRecords())
+    Events.insert(R.EventIdx);
+  return Events;
+}
+
+long firstRace(AnalysisKind K, const Trace &Tr) {
+  auto A = createAnalysis(K);
+  A->processTrace(Tr);
+  const auto &Records = A->raceRecords();
+  return Records.empty() ? -1 : static_cast<long>(Records.front().EventIdx);
+}
+
+class RandomTraceProperty : public ::testing::TestWithParam<uint64_t> {
+protected:
+  RandomTraceConfig baseConfig() const {
+    RandomTraceConfig C;
+    C.Seed = GetParam();
+    C.Threads = 2 + GetParam() % 3; // 2-4 threads
+    C.Vars = 2 + GetParam() % 3;
+    C.Locks = 1 + GetParam() % 2;
+    C.Events = 120;
+    C.MaxNesting = 1 + GetParam() % 2;
+    C.PSync = 0.3 + 0.05 * (GetParam() % 5);
+    return C;
+  }
+};
+
+TEST_P(RandomTraceProperty, RaceSetInclusionAcrossRelations) {
+  Trace Tr = generateRandomTrace(baseConfig());
+  std::set<uint64_t> HB = raceEvents(AnalysisKind::UnoptHB, Tr);
+  std::set<uint64_t> WCP = raceEvents(AnalysisKind::UnoptWCP, Tr);
+  std::set<uint64_t> DC = raceEvents(AnalysisKind::UnoptDC, Tr);
+  std::set<uint64_t> WDC = raceEvents(AnalysisKind::UnoptWDC, Tr);
+  EXPECT_TRUE(std::includes(WCP.begin(), WCP.end(), HB.begin(), HB.end()))
+      << "HB-races must be WCP-races (seed " << GetParam() << ")";
+  EXPECT_TRUE(std::includes(DC.begin(), DC.end(), WCP.begin(), WCP.end()))
+      << "WCP-races must be DC-races (seed " << GetParam() << ")";
+  EXPECT_TRUE(std::includes(WDC.begin(), WDC.end(), DC.begin(), DC.end()))
+      << "DC-races must be WDC-races (seed " << GetParam() << ")";
+}
+
+TEST_P(RandomTraceProperty, OptimizationLevelsAgreeOnFirstRace) {
+  Trace Tr = generateRandomTrace(baseConfig());
+  const struct {
+    AnalysisKind Unopt, FTO, ST;
+  } Families[] = {
+      {AnalysisKind::UnoptWCP, AnalysisKind::FTOWCP, AnalysisKind::STWCP},
+      {AnalysisKind::UnoptDC, AnalysisKind::FTODC, AnalysisKind::STDC},
+      {AnalysisKind::UnoptWDC, AnalysisKind::FTOWDC, AnalysisKind::STWDC},
+  };
+  for (const auto &F : Families) {
+    long U = firstRace(F.Unopt, Tr);
+    long FT = firstRace(F.FTO, Tr);
+    long ST = firstRace(F.ST, Tr);
+    EXPECT_EQ(U, FT) << analysisKindName(F.Unopt) << " vs "
+                     << analysisKindName(F.FTO) << " (seed " << GetParam()
+                     << ")";
+    EXPECT_EQ(U, ST) << analysisKindName(F.Unopt) << " vs "
+                     << analysisKindName(F.ST) << " (seed " << GetParam()
+                     << ")";
+  }
+  // HB family too.
+  long U = firstRace(AnalysisKind::UnoptHB, Tr);
+  EXPECT_EQ(U, firstRace(AnalysisKind::FT2, Tr));
+  EXPECT_EQ(U, firstRace(AnalysisKind::FTOHB, Tr));
+}
+
+TEST_P(RandomTraceProperty, RaceFreeTracesAgreeEverywhere) {
+  RandomTraceConfig C = baseConfig();
+  C.Events = 60;
+  Trace Tr = generateRandomTrace(C);
+  if (firstRace(AnalysisKind::UnoptWDC, Tr) != -1)
+    GTEST_SKIP() << "trace has WDC races; covered by other properties";
+  for (AnalysisKind K : mainTableAnalysisKinds()) {
+    auto A = createAnalysis(K);
+    A->processTrace(Tr);
+    EXPECT_EQ(A->dynamicRaces(), 0u) << analysisKindName(K);
+  }
+}
+
+TEST_P(RandomTraceProperty, ForkJoinTracesStayConsistent) {
+  RandomTraceConfig C = baseConfig();
+  C.ForkJoin = true;
+  C.Events = 100;
+  Trace Tr = generateRandomTrace(C);
+  std::set<uint64_t> WCP = raceEvents(AnalysisKind::UnoptWCP, Tr);
+  std::set<uint64_t> DC = raceEvents(AnalysisKind::UnoptDC, Tr);
+  EXPECT_TRUE(std::includes(DC.begin(), DC.end(), WCP.begin(), WCP.end()));
+}
+
+TEST_P(RandomTraceProperty, VolatileTracesStayConsistent) {
+  RandomTraceConfig C = baseConfig();
+  C.Volatiles = 1;
+  C.PVolatile = 0.15;
+  C.Events = 100;
+  Trace Tr = generateRandomTrace(C);
+  std::set<uint64_t> HB = raceEvents(AnalysisKind::UnoptHB, Tr);
+  std::set<uint64_t> WCP = raceEvents(AnalysisKind::UnoptWCP, Tr);
+  std::set<uint64_t> WDC = raceEvents(AnalysisKind::UnoptWDC, Tr);
+  EXPECT_TRUE(std::includes(WCP.begin(), WCP.end(), HB.begin(), HB.end()));
+  EXPECT_TRUE(std::includes(WDC.begin(), WDC.end(), WCP.begin(), WCP.end()));
+}
+
+TEST_P(RandomTraceProperty, GraphRecordingNeverChangesVerdicts) {
+  // The w/G configurations must report exactly the races of their w/o G
+  // twins — recording is a side effect (Table 3 compares their costs).
+  Trace Tr = generateRandomTrace(baseConfig());
+  const struct {
+    AnalysisKind Plain, WithGraph;
+  } Pairs[] = {
+      {AnalysisKind::UnoptDC, AnalysisKind::UnoptDCwG},
+      {AnalysisKind::UnoptWDC, AnalysisKind::UnoptWDCwG},
+  };
+  for (const auto &Pair : Pairs) {
+    EdgeRecorder Graph;
+    auto Plain = createAnalysis(Pair.Plain);
+    auto WithG = createAnalysis(Pair.WithGraph, &Graph);
+    Plain->processTrace(Tr);
+    WithG->processTrace(Tr);
+    EXPECT_EQ(Plain->dynamicRaces(), WithG->dynamicRaces());
+    EXPECT_EQ(Plain->staticRaces(), WithG->staticRaces());
+    if (Plain->dynamicRaces() > 0)
+      EXPECT_GT(Graph.size(), 0u)
+          << "a racy random trace should produce some recorded edges";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraceProperty,
+                         ::testing::Range<uint64_t>(1, 41));
+
+class TinyTraceSoundness : public ::testing::TestWithParam<uint64_t> {
+protected:
+  Trace makeTinyTrace() const {
+    RandomTraceConfig C;
+    C.Seed = GetParam() * 7919;
+    C.Threads = 2 + GetParam() % 2;
+    C.Vars = 2;
+    C.Locks = 1 + GetParam() % 2;
+    C.Events = 12;
+    C.MaxNesting = 1; // no nested locking: no predictable deadlocks
+    C.PSync = 0.45;
+    return generateRandomTrace(C);
+  }
+};
+
+TEST_P(TinyTraceSoundness, WcpRacesArePredictable) {
+  Trace Tr = makeTinyTrace();
+  auto A = createAnalysis(AnalysisKind::UnoptWCP);
+  A->processTrace(Tr);
+  if (A->dynamicRaces() == 0)
+    return;
+  auto W = findPredictableRace(Tr);
+  ASSERT_TRUE(W.has_value())
+      << "WCP reported a race but no predictable race exists (seed "
+      << GetParam() << ")";
+  std::string Error;
+  EXPECT_TRUE(checkWitness(Tr, *W, &Error)) << Error;
+}
+
+TEST_P(TinyTraceSoundness, HbRacesArePredictable) {
+  Trace Tr = makeTinyTrace();
+  auto A = createAnalysis(AnalysisKind::UnoptHB);
+  A->processTrace(Tr);
+  if (A->dynamicRaces() == 0)
+    return;
+  EXPECT_TRUE(findPredictableRace(Tr).has_value())
+      << "HB race without a predictable race (seed " << GetParam() << ")";
+}
+
+TEST_P(TinyTraceSoundness, OracleWitnessesAlwaysCheck) {
+  Trace Tr = makeTinyTrace();
+  auto W = findPredictableRace(Tr);
+  if (!W)
+    return;
+  std::string Error;
+  EXPECT_TRUE(checkWitness(Tr, *W, &Error))
+      << Error << " (seed " << GetParam() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TinyTraceSoundness,
+                         ::testing::Range<uint64_t>(1, 61));
+
+} // namespace

@@ -1,0 +1,40 @@
+//===- tests/support/EpochTest.cpp - Epoch unit tests ---------------------===//
+
+#include "support/Epoch.h"
+
+#include <gtest/gtest.h>
+
+using namespace st;
+
+TEST(EpochTest, DefaultIsNone) {
+  Epoch E;
+  EXPECT_TRUE(E.isNone());
+  EXPECT_EQ(E, Epoch::none());
+}
+
+TEST(EpochTest, MakeRoundTrips) {
+  Epoch E = Epoch::make(7, 42);
+  EXPECT_EQ(E.tid(), 7u);
+  EXPECT_EQ(E.clock(), 42u);
+  EXPECT_FALSE(E.isNone());
+}
+
+TEST(EpochTest, ZeroClockOfThreadZeroIsNone) {
+  // Thread-local clocks start at 1, so 0@0 never names a real access and
+  // doubles as the ⊥ encoding.
+  EXPECT_TRUE(Epoch::make(0, 0).isNone());
+  EXPECT_FALSE(Epoch::make(0, 1).isNone());
+  EXPECT_FALSE(Epoch::make(1, 0).isNone());
+}
+
+TEST(EpochTest, EqualityComparesTidAndClock) {
+  EXPECT_EQ(Epoch::make(3, 9), Epoch::make(3, 9));
+  EXPECT_NE(Epoch::make(3, 9), Epoch::make(3, 10));
+  EXPECT_NE(Epoch::make(3, 9), Epoch::make(4, 9));
+}
+
+TEST(EpochTest, LargeValuesSurvivePacking) {
+  Epoch E = Epoch::make(0xfffffffeu, 0xfffffffdu);
+  EXPECT_EQ(E.tid(), 0xfffffffeu);
+  EXPECT_EQ(E.clock(), 0xfffffffdu);
+}

@@ -1,0 +1,67 @@
+//===- tests/support/RngTest.cpp - Rng unit tests -------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace st;
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  bool Differs = false;
+  for (int I = 0; I < 10 && !Differs; ++I)
+    Differs = A.next() != B.next();
+  EXPECT_TRUE(Differs);
+}
+
+TEST(RngTest, NextBelowStaysInBounds) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(13), 13u);
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng R(7);
+  bool Seen[5] = {};
+  for (int I = 0; I < 1000; ++I)
+    Seen[R.nextBelow(5)] = true;
+  for (bool S : Seen)
+    EXPECT_TRUE(S);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(11);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    uint64_t V = R.nextInRange(3, 5);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 5u);
+    SawLo |= V == 3;
+    SawHi |= V == 5;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng R(3);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_FALSE(R.nextBool(0.0));
+    EXPECT_TRUE(R.nextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolRoughlyCalibrated) {
+  Rng R(5);
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    Hits += R.nextBool(0.3);
+  EXPECT_GT(Hits, 2500);
+  EXPECT_LT(Hits, 3500);
+}

@@ -1,0 +1,108 @@
+//===- tests/support/VectorClockTest.cpp - VectorClock unit tests ---------===//
+
+#include "support/VectorClock.h"
+
+#include <gtest/gtest.h>
+
+using namespace st;
+
+TEST(VectorClockTest, DefaultIsAllZero) {
+  VectorClock C;
+  EXPECT_EQ(C.get(0), 0u);
+  EXPECT_EQ(C.get(100), 0u);
+  EXPECT_EQ(C.size(), 0u);
+}
+
+TEST(VectorClockTest, SetAndGet) {
+  VectorClock C;
+  C.set(3, 7);
+  EXPECT_EQ(C.get(3), 7u);
+  EXPECT_EQ(C.get(2), 0u);
+  EXPECT_EQ(C.get(4), 0u);
+  EXPECT_EQ(C.size(), 4u);
+}
+
+TEST(VectorClockTest, IncrementGrowsEntry) {
+  VectorClock C;
+  C.increment(2);
+  C.increment(2);
+  EXPECT_EQ(C.get(2), 2u);
+}
+
+TEST(VectorClockTest, JoinTakesPointwiseMax) {
+  VectorClock A, B;
+  A.set(0, 5);
+  A.set(1, 1);
+  B.set(1, 9);
+  B.set(2, 3);
+  A.joinWith(B);
+  EXPECT_EQ(A.get(0), 5u);
+  EXPECT_EQ(A.get(1), 9u);
+  EXPECT_EQ(A.get(2), 3u);
+}
+
+TEST(VectorClockTest, JoinWithShorterClockKeepsTail) {
+  VectorClock A, B;
+  A.set(5, 4);
+  B.set(0, 2);
+  A.joinWith(B);
+  EXPECT_EQ(A.get(0), 2u);
+  EXPECT_EQ(A.get(5), 4u);
+}
+
+TEST(VectorClockTest, LeqIsPointwise) {
+  VectorClock A, B;
+  A.set(0, 1);
+  A.set(1, 2);
+  B.set(0, 1);
+  B.set(1, 3);
+  EXPECT_TRUE(A.leq(B));
+  EXPECT_FALSE(B.leq(A));
+}
+
+TEST(VectorClockTest, LeqHandlesImplicitZeros) {
+  VectorClock A, B;
+  A.set(4, 1);
+  EXPECT_FALSE(A.leq(B));
+  EXPECT_TRUE(B.leq(A));
+  // Incomparable clocks: neither ⊑ holds.
+  B.set(0, 1);
+  EXPECT_FALSE(A.leq(B));
+  EXPECT_FALSE(B.leq(A));
+}
+
+TEST(VectorClockTest, EpochLeq) {
+  VectorClock C;
+  C.set(2, 10);
+  EXPECT_TRUE(C.epochLeq(Epoch::make(2, 10)));
+  EXPECT_TRUE(C.epochLeq(Epoch::make(2, 9)));
+  EXPECT_FALSE(C.epochLeq(Epoch::make(2, 11)));
+  EXPECT_FALSE(C.epochLeq(Epoch::make(3, 1)));
+  EXPECT_TRUE(C.epochLeq(Epoch::none())) << "⊥ precedes every clock";
+}
+
+TEST(VectorClockTest, InfiniteEntryNeverLeq) {
+  VectorClock C;
+  C.set(1, InfiniteClock);
+  VectorClock D;
+  D.set(1, InfiniteClock - 1);
+  EXPECT_FALSE(C.leq(D));
+  EXPECT_FALSE(D.epochLeq(Epoch::make(1, InfiniteClock)));
+}
+
+TEST(VectorClockTest, EqualityIgnoresTrailingZeros) {
+  VectorClock A, B;
+  A.set(0, 1);
+  B.set(0, 1);
+  B.set(7, 0);
+  EXPECT_EQ(A, B);
+  B.set(7, 1);
+  EXPECT_NE(A, B);
+}
+
+TEST(VectorClockTest, MakeSingleton) {
+  VectorClock C = VectorClock::makeSingleton(3, 1);
+  EXPECT_EQ(C.get(3), 1u);
+  EXPECT_EQ(C.get(0), 0u);
+  EXPECT_EQ(C.epochOf(3), Epoch::make(3, 1));
+}

@@ -1,0 +1,138 @@
+//===- tests/trace/TraceTest.cpp - Trace and builder unit tests -----------===//
+
+#include "trace/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace st;
+
+TEST(EventTest, ConflictRequiresDifferentThreadsSameVarOneWrite) {
+  Event R1(EventKind::Read, 0, 5), R2(EventKind::Read, 1, 5);
+  Event W1(EventKind::Write, 0, 5), W2(EventKind::Write, 1, 5);
+  Event WOther(EventKind::Write, 1, 6);
+  EXPECT_FALSE(conflict(R1, R2)) << "read-read never conflicts";
+  EXPECT_TRUE(conflict(R1, W2));
+  EXPECT_TRUE(conflict(W1, R2));
+  EXPECT_TRUE(conflict(W1, W2));
+  EXPECT_FALSE(conflict(W1, W1)) << "same thread never conflicts";
+  EXPECT_FALSE(conflict(W1, WOther)) << "different variables";
+  Event Acq(EventKind::Acquire, 1, 5);
+  EXPECT_FALSE(conflict(W1, Acq)) << "non-accesses never conflict";
+}
+
+TEST(TraceBuilderTest, Figure1aShape) {
+  // Paper Figure 1(a).
+  TraceBuilder B;
+  B.read(0, /*x=*/0)
+      .acq(0, /*m=*/0)
+      .write(0, /*y=*/1)
+      .rel(0, 0)
+      .acq(1, 0)
+      .read(1, /*z=*/2)
+      .rel(1, 0)
+      .write(1, 0);
+  Trace Tr = B.build();
+  EXPECT_EQ(Tr.size(), 8u);
+  EXPECT_EQ(Tr.numThreads(), 2u);
+  EXPECT_EQ(Tr.numVars(), 3u);
+  EXPECT_EQ(Tr.numLocks(), 1u);
+  EXPECT_TRUE(Tr.validate());
+}
+
+TEST(TraceTest, ValidateRejectsDoubleAcquire) {
+  std::vector<Event> Events = {Event(EventKind::Acquire, 0, 0),
+                               Event(EventKind::Acquire, 1, 0)};
+  Trace Tr(std::move(Events));
+  std::string Error;
+  EXPECT_FALSE(Tr.validate(&Error));
+  EXPECT_NE(Error.find("acquire of a held lock"), std::string::npos) << Error;
+}
+
+TEST(TraceTest, ValidateRejectsReentrantAcquire) {
+  std::vector<Event> Events = {Event(EventKind::Acquire, 0, 0),
+                               Event(EventKind::Acquire, 0, 0)};
+  Trace Tr(std::move(Events));
+  EXPECT_FALSE(Tr.validate());
+}
+
+TEST(TraceTest, ValidateRejectsReleaseWithoutHold) {
+  std::vector<Event> Events = {Event(EventKind::Release, 0, 0)};
+  Trace Tr(std::move(Events));
+  std::string Error;
+  EXPECT_FALSE(Tr.validate(&Error));
+  EXPECT_NE(Error.find("does not hold"), std::string::npos) << Error;
+}
+
+TEST(TraceTest, ValidateRejectsReleaseByOtherThread) {
+  std::vector<Event> Events = {Event(EventKind::Acquire, 0, 0),
+                               Event(EventKind::Release, 1, 0)};
+  Trace Tr(std::move(Events));
+  EXPECT_FALSE(Tr.validate());
+}
+
+TEST(TraceTest, ValidateAcceptsReacquireAfterRelease) {
+  TraceBuilder B;
+  B.acq(0, 0).rel(0, 0).acq(1, 0).rel(1, 0).acq(0, 0).rel(0, 0);
+  EXPECT_TRUE(B.build().validate());
+}
+
+TEST(TraceTest, ValidateRejectsEventsAfterJoin) {
+  std::vector<Event> Events = {Event(EventKind::Write, 1, 0),
+                               Event(EventKind::Join, 0, 1),
+                               Event(EventKind::Write, 1, 0)};
+  Trace Tr(std::move(Events));
+  std::string Error;
+  EXPECT_FALSE(Tr.validate(&Error));
+  EXPECT_NE(Error.find("after being joined"), std::string::npos) << Error;
+}
+
+TEST(TraceTest, ValidateRejectsForkOfRunningThread) {
+  std::vector<Event> Events = {Event(EventKind::Write, 1, 0),
+                               Event(EventKind::Fork, 0, 1)};
+  Trace Tr(std::move(Events));
+  EXPECT_FALSE(Tr.validate());
+}
+
+TEST(TraceTest, ValidateRejectsSelfFork) {
+  std::vector<Event> Events = {Event(EventKind::Fork, 0, 0)};
+  Trace Tr(std::move(Events));
+  EXPECT_FALSE(Tr.validate());
+}
+
+TEST(TraceTest, ValidateAcceptsForkJoinLifecycle) {
+  TraceBuilder B;
+  B.fork(0, 1).write(1, 0).join(0, 1).write(0, 0);
+  EXPECT_TRUE(B.build().validate());
+}
+
+TEST(TraceTest, LastWriterBefore) {
+  TraceBuilder B;
+  B.write(0, 0)  // 0: wr(x) by T0
+      .read(1, 0)   // 1: rd(x) sees event 0
+      .write(1, 0)  // 2: wr(x) by T1
+      .read(0, 0)   // 3: rd(x) sees event 2
+      .read(0, 1);  // 4: rd(y) sees nothing
+  Trace Tr = B.build();
+  EXPECT_EQ(Tr.lastWriterBefore(1), 0);
+  EXPECT_EQ(Tr.lastWriterBefore(3), 2);
+  EXPECT_EQ(Tr.lastWriterBefore(4), -1);
+}
+
+TEST(TraceTest, SyncShorthandExpandsToFourEvents) {
+  TraceBuilder B;
+  B.sync(0, /*Lock=*/0, /*Var=*/0);
+  Trace Tr = B.build();
+  ASSERT_EQ(Tr.size(), 4u);
+  EXPECT_EQ(Tr[0].Kind, EventKind::Acquire);
+  EXPECT_EQ(Tr[1].Kind, EventKind::Read);
+  EXPECT_EQ(Tr[2].Kind, EventKind::Write);
+  EXPECT_EQ(Tr[3].Kind, EventKind::Release);
+}
+
+TEST(TraceTest, StatsCountVolatiles) {
+  TraceBuilder B;
+  B.volWrite(0, 2).volRead(1, 2);
+  Trace Tr = B.build();
+  EXPECT_EQ(Tr.numVolatiles(), 3u);
+  EXPECT_EQ(Tr.numVars(), 0u);
+}

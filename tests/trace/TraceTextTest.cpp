@@ -1,0 +1,130 @@
+//===- tests/trace/TraceTextTest.cpp - Trace DSL unit tests ---------------===//
+
+#include "trace/TraceText.h"
+
+#include <gtest/gtest.h>
+
+using namespace st;
+
+TEST(TraceTextTest, ParsesFigure1a) {
+  const char *Text = R"(
+    T1: rd(x)
+    T1: acq(m)
+    T1: wr(y)
+    T1: rel(m)
+    T2: acq(m)
+    T2: rd(z)
+    T2: rel(m)
+    T2: wr(x)
+  )";
+  ParsedTrace P;
+  std::string Error;
+  ASSERT_TRUE(parseTraceText(Text, P, &Error)) << Error;
+  EXPECT_EQ(P.Tr.size(), 8u);
+  EXPECT_EQ(P.Tr.numThreads(), 2u);
+  EXPECT_EQ(P.Tr.numVars(), 3u);
+  EXPECT_EQ(P.Tr.numLocks(), 1u);
+  EXPECT_EQ(P.ThreadNames[0], "T1");
+  EXPECT_EQ(P.VarNames[0], "x");
+  EXPECT_EQ(P.LockNames[0], "m");
+  // Events map names in order of first appearance.
+  EXPECT_EQ(P.Tr[0].Kind, EventKind::Read);
+  EXPECT_EQ(P.Tr[0].Tid, 0u);
+  EXPECT_EQ(P.Tr[0].var(), 0u);
+  EXPECT_EQ(P.Tr[7].Kind, EventKind::Write);
+  EXPECT_EQ(P.Tr[7].Tid, 1u);
+  EXPECT_EQ(P.Tr[7].var(), 0u);
+}
+
+TEST(TraceTextTest, SyncShorthand) {
+  Trace Tr = traceFromText("T1: sync(o)\nT2: sync(o)\n");
+  ASSERT_EQ(Tr.size(), 8u);
+  EXPECT_EQ(Tr[0].Kind, EventKind::Acquire);
+  EXPECT_EQ(Tr[1].Kind, EventKind::Read);
+  EXPECT_EQ(Tr[2].Kind, EventKind::Write);
+  EXPECT_EQ(Tr[3].Kind, EventKind::Release);
+  // Both syncs use the same lock o and same variable oVar.
+  EXPECT_EQ(Tr[0].lock(), Tr[4].lock());
+  EXPECT_EQ(Tr[1].var(), Tr[5].var());
+}
+
+TEST(TraceTextTest, CommentsAndBlankLines) {
+  const char *Text = R"(
+    # leading comment
+    T1: wr(x)   # trailing comment
+
+    // C++-style comment
+    T2: rd(x)
+  )";
+  Trace Tr = traceFromText(Text);
+  EXPECT_EQ(Tr.size(), 2u);
+}
+
+TEST(TraceTextTest, ForkJoinTargetsThreads) {
+  Trace Tr = traceFromText(R"(
+    main: fork(worker)
+    worker: wr(x)
+    main: join(worker)
+  )");
+  ASSERT_EQ(Tr.size(), 3u);
+  EXPECT_EQ(Tr[0].Kind, EventKind::Fork);
+  EXPECT_EQ(Tr[0].childTid(), 1u);
+  EXPECT_EQ(Tr[2].Kind, EventKind::Join);
+  EXPECT_TRUE(Tr.validate());
+}
+
+TEST(TraceTextTest, VolatileOps) {
+  Trace Tr = traceFromText("T1: vwr(f)\nT2: vrd(f)\n");
+  EXPECT_EQ(Tr[0].Kind, EventKind::VolWrite);
+  EXPECT_EQ(Tr[1].Kind, EventKind::VolRead);
+  EXPECT_EQ(Tr[0].Target, Tr[1].Target);
+}
+
+TEST(TraceTextTest, SiteIdsAreSourceLines) {
+  ParsedTrace P;
+  ASSERT_TRUE(parseTraceText("T1: wr(x)\nT1: wr(x)\n", P));
+  EXPECT_NE(P.Tr[0].Site, P.Tr[1].Site)
+      << "distinct source lines are distinct static sites";
+}
+
+TEST(TraceTextTest, RejectsUnknownOp) {
+  ParsedTrace P;
+  std::string Error;
+  EXPECT_FALSE(parseTraceText("T1: frobnicate(x)\n", P, &Error));
+  EXPECT_NE(Error.find("unknown operation"), std::string::npos) << Error;
+}
+
+TEST(TraceTextTest, RejectsMissingParen) {
+  ParsedTrace P;
+  std::string Error;
+  EXPECT_FALSE(parseTraceText("T1: rd x\n", P, &Error));
+  EXPECT_NE(Error.find("line 1"), std::string::npos) << Error;
+}
+
+TEST(TraceTextTest, RejectsIllFormedLocking) {
+  ParsedTrace P;
+  std::string Error;
+  EXPECT_FALSE(parseTraceText("T1: rel(m)\n", P, &Error));
+  EXPECT_NE(Error.find("ill-formed"), std::string::npos) << Error;
+}
+
+TEST(TraceTextTest, PrintParsesBack) {
+  const char *Text = "T1: rd(x)\nT1: acq(m)\nT1: wr(y)\nT1: rel(m)\n"
+                     "T2: fork(T3)\nT3: vwr(f)\n";
+  ParsedTrace P;
+  ASSERT_TRUE(parseTraceText(Text, P));
+  std::string Printed = printTraceText(P.Tr, &P);
+  ParsedTrace P2;
+  std::string Error;
+  ASSERT_TRUE(parseTraceText(Printed, P2, &Error)) << Printed << Error;
+  ASSERT_EQ(P.Tr.size(), P2.Tr.size());
+  for (size_t I = 0; I < P.Tr.size(); ++I)
+    EXPECT_TRUE(P.Tr[I] == P2.Tr[I]) << "event " << I;
+}
+
+TEST(TraceTextTest, PrintWithoutNamesUsesNumbers) {
+  TraceBuilder B;
+  B.write(0, 0).read(1, 0);
+  std::string Printed = printTraceText(B.build());
+  EXPECT_NE(Printed.find("T0: wr(x0)"), std::string::npos) << Printed;
+}
