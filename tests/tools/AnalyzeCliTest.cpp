@@ -1,0 +1,151 @@
+//===- tests/tools/AnalyzeCliTest.cpp - st-analyze CLI behavior -----------===//
+//
+// End-to-end tests of the st-analyze driver: each test shells out to the
+// real binary (path injected by CMake as ST_ANALYZE_PATH) and checks the
+// combined output and exit status. Traces are fed through the shell so
+// the stdin path is exercised the way a user would use it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+
+using namespace st;
+
+namespace {
+
+struct RunResult {
+  int ExitCode = -1;
+  std::string Output; // stdout + stderr, interleaved
+};
+
+/// Runs \p ShellCommand under `sh -c`, capturing stdout and stderr.
+RunResult runCommand(const std::string &ShellCommand) {
+  RunResult Result;
+  std::string Wrapped = "{ " + ShellCommand + " ; } 2>&1";
+  FILE *Pipe = popen(Wrapped.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr) << "popen failed for: " << Wrapped;
+  if (!Pipe)
+    return Result;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    Result.Output.append(Buf, N);
+  int Status = pclose(Pipe);
+  Result.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return Result;
+}
+
+// Paths are single-quoted so build/source trees with spaces survive the
+// `sh -c` word splitting in runCommand.
+std::string cli() { return std::string("'") + ST_ANALYZE_PATH + "'"; }
+std::string trace(const char *Name) {
+  return std::string("'") + ST_TRACES_DIR + "/" + Name + "'";
+}
+
+TEST(AnalyzeCli, ListNamesEveryRegisteredAnalysis) {
+  RunResult R = runCommand(cli() + " --list");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  for (AnalysisKind K : allAnalysisKinds())
+    EXPECT_NE(R.Output.find(analysisKindName(K)), std::string::npos)
+        << "missing " << analysisKindName(K) << " in:\n"
+        << R.Output;
+}
+
+TEST(AnalyzeCli, AnalysisSelectionWorksForEveryKind) {
+  // Every registry name must be accepted and echo back in the summary.
+  // The racy trace makes every analysis report, so the exit code is 2.
+  for (AnalysisKind K : allAnalysisKinds()) {
+    std::string Name = analysisKindName(K);
+    RunResult R = runCommand(cli() + " '--analysis=" + Name + "' " +
+                             trace("racy.trace"));
+    EXPECT_EQ(R.ExitCode, 2) << Name << ":\n" << R.Output;
+    EXPECT_NE(R.Output.find(Name), std::string::npos) << R.Output;
+    EXPECT_NE(R.Output.find("1 dynamic race"), std::string::npos)
+        << Name << ":\n"
+        << R.Output;
+  }
+}
+
+TEST(AnalyzeCli, UnknownAnalysisFailsAndListsAlternatives) {
+  RunResult R = runCommand(cli() + " --analysis=NoSuchAnalysis " +
+                           trace("racy.trace"));
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("unknown analysis 'NoSuchAnalysis'"),
+            std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("ST-WDC"), std::string::npos)
+      << "error should list the valid names:\n"
+      << R.Output;
+}
+
+TEST(AnalyzeCli, ReadsTraceFromStdin) {
+  RunResult R = runCommand("printf 'T1: wr(x)\\nT2: wr(x)\\n' | " + cli() +
+                           " --analysis=ST-WDC -");
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find("1 dynamic race"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("race: write of x by T2"), std::string::npos)
+      << R.Output;
+}
+
+TEST(AnalyzeCli, VindicatesKnownRacyTrace) {
+  RunResult R = runCommand(cli() + " --analysis=ST-WDC --vindicate " +
+                           trace("racy.trace"));
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find("[vindicated: "), std::string::npos) << R.Output;
+}
+
+TEST(AnalyzeCli, RaceFreeTraceExitsZeroUnderAllAnalyses) {
+  RunResult R =
+      runCommand(cli() + " --all --quiet " + trace("race_free.trace"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("0 dynamic race"), std::string::npos) << R.Output;
+}
+
+TEST(AnalyzeCli, PredictableRaceSeparatesHBFromWCP) {
+  RunResult R = runCommand(cli() + " --analysis=Unopt-HB " +
+                           trace("predictable.trace"));
+  EXPECT_EQ(R.ExitCode, 0) << "HB must miss the predictable race:\n"
+                           << R.Output;
+  R = runCommand(cli() + " --analysis=Unopt-WCP " +
+                 trace("predictable.trace"));
+  EXPECT_EQ(R.ExitCode, 2) << "WCP must predict the race:\n" << R.Output;
+}
+
+TEST(AnalyzeCli, StatsModePrintsCaseCounters) {
+  RunResult R = runCommand(cli() + " --analysis=ST-WDC --stats " +
+                           trace("race_free.trace"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("case frequencies"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("non-same-epoch writes"), std::string::npos)
+      << R.Output;
+}
+
+TEST(AnalyzeCli, StatsModeExplainsNonEpochAnalyses) {
+  RunResult R = runCommand(cli() + " --analysis=Unopt-HB --stats " +
+                           trace("race_free.trace"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("no per-case counters"), std::string::npos)
+      << R.Output;
+}
+
+TEST(AnalyzeCli, ParseErrorReportsLineAndFails) {
+  RunResult R =
+      runCommand("printf 'T1: frobnicate(x)\\n' | " + cli());
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("parse error"), std::string::npos) << R.Output;
+}
+
+TEST(AnalyzeCli, UnknownOptionShowsUsage) {
+  RunResult R = runCommand(cli() + " --bogus " + trace("racy.trace"));
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("usage:"), std::string::npos) << R.Output;
+}
+
+} // namespace

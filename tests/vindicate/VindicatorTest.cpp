@@ -198,9 +198,10 @@ TEST_P(VindicatorProperty, VindicationMatchesOracleOnSimpleTraces) {
     bool OracleSays =
         findPredictableRaceForPair(Tr, static_cast<size_t>(First), Second)
             .has_value();
-    if (V.Vindicated)
+    if (V.Vindicated) {
       EXPECT_TRUE(OracleSays) << "unsound vindication (seed " << GetParam()
                               << ")";
+    }
   }
 }
 

@@ -1,0 +1,280 @@
+//===- tools/st_analyze.cpp - Unified trace analysis driver ---------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The command-line entry point to the whole analysis ladder: reads a trace
+// in the TraceText DSL (file or stdin), runs one, several, or all of the
+// Table 1 analyses, reports each race with its static site, and optionally
+// vindicates races and prints the FTO/SmartTrack case-frequency counters
+// (Table 12).
+//
+// Usage:
+//   st-analyze [--analysis=NAME]... [--all] [--vindicate] [--stats]
+//              [--max-races=N] [--quiet] [file|-]
+//   st-analyze --list
+//
+// Exit status: 0 when no analysis reports a race, 2 when at least one
+// does, 1 on usage or parse errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisRegistry.h"
+#include "graph/EdgeRecorder.h"
+#include "trace/TraceText.h"
+#include "vindicate/Vindicator.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace st;
+
+namespace {
+
+struct Options {
+  std::vector<AnalysisKind> Kinds;
+  const char *Path = nullptr; // nullptr or "-" means stdin
+  bool Vindicate = false;
+  bool Stats = false;
+  bool Quiet = false;
+  size_t MaxStoredRaces = SIZE_MAX;
+};
+
+void printUsage(FILE *Out, const char *Prog) {
+  std::fprintf(
+      Out,
+      "usage: %s [options] [file|-]\n"
+      "\n"
+      "Reads a TraceText trace from FILE (or stdin) and runs predictive\n"
+      "race detection over it.\n"
+      "\n"
+      "options:\n"
+      "  --analysis=NAME  analysis to run (repeatable; default ST-WDC);\n"
+      "                   see --list for the available names\n"
+      "  --all            run every analysis in the registry\n"
+      "  --list           list the registered analyses and exit\n"
+      "  --vindicate      check each reported race for predictability and\n"
+      "                   print the witness length\n"
+      "  --stats          print the per-case access-frequency counters\n"
+      "                   (Table 12) for analyses that track them\n"
+      "  --max-races=N    store at most N race records per analysis\n"
+      "  --quiet          print only the per-analysis summary lines\n"
+      "  -h, --help       show this message\n",
+      Prog);
+}
+
+void printAnalysisList() {
+  std::printf("available analyses:\n");
+  for (AnalysisKind K : allAnalysisKinds())
+    std::printf("  %-14s (%s%s)\n", analysisKindName(K),
+                buildsGraph(K) ? "records constraint graph, " : "",
+                [&] {
+                  switch (relationOf(K)) {
+                  case RelationKind::HB:
+                    return "HB";
+                  case RelationKind::WCP:
+                    return "WCP";
+                  case RelationKind::DC:
+                    return "DC";
+                  case RelationKind::WDC:
+                    return "WDC";
+                  }
+                  return "?";
+                }());
+}
+
+bool findKind(const char *Name, AnalysisKind &Out) {
+  for (AnalysisKind K : allAnalysisKinds())
+    if (std::strcmp(analysisKindName(K), Name) == 0) {
+      Out = K;
+      return true;
+    }
+  return false;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--analysis=", 11) == 0) {
+      AnalysisKind Kind;
+      if (!findKind(Arg + 11, Kind)) {
+        std::fprintf(stderr, "error: unknown analysis '%s'; available:\n",
+                     Arg + 11);
+        for (AnalysisKind K : allAnalysisKinds())
+          std::fprintf(stderr, "  %s\n", analysisKindName(K));
+        return false;
+      }
+      Opts.Kinds.push_back(Kind);
+    } else if (std::strcmp(Arg, "--all") == 0) {
+      Opts.Kinds = allAnalysisKinds();
+    } else if (std::strcmp(Arg, "--list") == 0) {
+      printAnalysisList();
+      std::exit(0);
+    } else if (std::strcmp(Arg, "--vindicate") == 0) {
+      Opts.Vindicate = true;
+    } else if (std::strcmp(Arg, "--stats") == 0) {
+      Opts.Stats = true;
+    } else if (std::strncmp(Arg, "--max-races=", 12) == 0) {
+      const char *Value = Arg + 12;
+      char *End = nullptr;
+      errno = 0;
+      unsigned long long N = std::strtoull(Value, &End, 10);
+      if (End == Value || *End != '\0' || *Value == '-' ||
+          errno == ERANGE) {
+        std::fprintf(stderr, "error: bad --max-races value '%s'\n", Value);
+        return false;
+      }
+      Opts.MaxStoredRaces = static_cast<size_t>(N);
+    } else if (std::strcmp(Arg, "--quiet") == 0) {
+      Opts.Quiet = true;
+    } else if (std::strcmp(Arg, "-h") == 0 ||
+               std::strcmp(Arg, "--help") == 0) {
+      printUsage(stdout, Argv[0]);
+      std::exit(0);
+    } else if (Arg[0] == '-' && Arg[1] != '\0') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
+      printUsage(stderr, Argv[0]);
+      return false;
+    } else if (Opts.Path) {
+      std::fprintf(stderr, "error: more than one input file\n");
+      return false;
+    } else {
+      Opts.Path = Arg;
+    }
+  }
+  if (Opts.Kinds.empty())
+    Opts.Kinds.push_back(AnalysisKind::STWDC);
+  return true;
+}
+
+bool readInput(const char *Path, std::string &Text) {
+  bool UseStdin = !Path || std::strcmp(Path, "-") == 0;
+  FILE *In = UseStdin ? stdin : std::fopen(Path, "r");
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path);
+    return false;
+  }
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
+    Text.append(Buf, N);
+  bool ReadError = std::ferror(In) != 0;
+  if (!UseStdin)
+    std::fclose(In);
+  if (ReadError) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 UseStdin ? "stdin" : Path);
+    return false;
+  }
+  return true;
+}
+
+std::string symbolName(const std::vector<std::string> &Names, uint32_t Id,
+                       char Prefix) {
+  if (Id < Names.size())
+    return Names[Id];
+  return Prefix + std::to_string(Id);
+}
+
+void printRaces(const Analysis &A, const ParsedTrace &Parsed,
+                const Options &Opts) {
+  for (const RaceRecord &R : A.raceRecords()) {
+    std::string Var = symbolName(Parsed.VarNames, R.Var, 'x');
+    std::string Thread = symbolName(Parsed.ThreadNames, R.Tid, 'T');
+    std::printf("  race: %s of %s by %s at event %llu",
+                R.IsWrite ? "write" : "read", Var.c_str(), Thread.c_str(),
+                static_cast<unsigned long long>(R.EventIdx));
+    if (R.Site != InvalidId)
+      std::printf(" (line %u)", R.Site);
+    if (!R.Prior.isNone())
+      std::printf(" vs %s@%u",
+                  symbolName(Parsed.ThreadNames, R.Prior.tid(), 'T').c_str(),
+                  R.Prior.clock());
+    if (Opts.Vindicate) {
+      VindicationResult V = vindicateRaceAtEvent(Parsed.Tr, R.EventIdx);
+      if (V.Vindicated)
+        std::printf("  [vindicated: %zu-event witness]",
+                    V.Witness.Prefix.size());
+      else
+        std::printf("  [not vindicated: %s]", V.FailureReason.c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void printCaseStats(const Analysis &A) {
+  const CaseStats *S = A.caseStats();
+  if (!S) {
+    std::printf("  (no per-case counters: %s is not an epoch-optimized "
+                "analysis)\n",
+                A.name());
+    return;
+  }
+  auto Row = [](const char *Label, uint64_t N) {
+    std::printf("    %-18s %llu\n", Label,
+                static_cast<unsigned long long>(N));
+  };
+  std::printf("  case frequencies (Table 12):\n");
+  std::printf("   same-epoch fast paths:\n");
+  Row("read", S->ReadSameEpoch);
+  Row("shared read", S->SharedSameEpoch);
+  Row("write", S->WriteSameEpoch);
+  std::printf("   non-same-epoch reads (%llu):\n",
+              static_cast<unsigned long long>(S->nonSameEpochReads()));
+  Row("owned excl", S->ReadOwned);
+  Row("owned shared", S->ReadSharedOwned);
+  Row("unowned excl", S->ReadExclusive);
+  Row("unowned share", S->ReadShare);
+  Row("unowned shared", S->ReadShared);
+  std::printf("   non-same-epoch writes (%llu):\n",
+              static_cast<unsigned long long>(S->nonSameEpochWrites()));
+  Row("owned", S->WriteOwned);
+  Row("exclusive", S->WriteExclusive);
+  Row("shared", S->WriteShared);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 1;
+
+  std::string Text;
+  if (!readInput(Opts.Path, Text))
+    return 1;
+
+  ParsedTrace Parsed;
+  std::string Error;
+  if (!parseTraceText(Text, Parsed, &Error)) {
+    std::fprintf(stderr, "parse error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  uint64_t TotalRaces = 0;
+  for (AnalysisKind Kind : Opts.Kinds) {
+    EdgeRecorder Graph;
+    auto A = createAnalysis(Kind, buildsGraph(Kind) ? &Graph : nullptr);
+    A->setMaxStoredRaces(Opts.MaxStoredRaces);
+    A->processTrace(Parsed.Tr);
+    TotalRaces += A->dynamicRaces();
+
+    std::printf("%s over %zu events (%u threads, %u vars, %u locks): "
+                "%llu dynamic race(s), %u static site(s)\n",
+                A->name(), Parsed.Tr.size(), Parsed.Tr.numThreads(),
+                Parsed.Tr.numVars(), Parsed.Tr.numLocks(),
+                static_cast<unsigned long long>(A->dynamicRaces()),
+                A->staticRaces());
+    if (!Opts.Quiet) {
+      printRaces(*A, Parsed, Opts);
+      if (Opts.Stats)
+        printCaseStats(*A);
+    }
+  }
+  return TotalRaces ? 2 : 0;
+}
