@@ -1,0 +1,95 @@
+//===- bench/stream_pipeline.cpp - Engine pipeline throughput -------------===//
+//
+// Measures what the streaming engine buys: one shared pass through all
+// eleven main-table analyses versus the legacy shape of re-streaming the
+// workload once per analysis, plus the thread-per-analysis parallel mode.
+// Reports wall time and events/s per mode so the single-pass and fan-out
+// wins are visible side by side.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/AnalysisDriver.h"
+#include "harness/BenchRunner.h"
+#include "harness/Table.h"
+
+#include <cstdio>
+
+using namespace st;
+
+namespace {
+
+double runMode(const WorkloadProfile &P, const BenchConfig &Config,
+               bool SinglePass, bool Parallel, uint64_t &Events) {
+  const auto &Kinds = mainTableAnalysisKinds();
+  DriverOptions Opts = Config.driverOptions();
+  Opts.SampleFootprint = false;
+  Opts.Parallel = Parallel;
+  double Seconds = 0;
+  Events = 0;
+  if (SinglePass) {
+    WorkloadGenerator Gen(P, Config.eventsFor(P), Config.Seed);
+    GeneratorEventSource Src(Gen);
+    AnalysisDriver Driver(Opts);
+    for (AnalysisKind K : Kinds)
+      Driver.add(K);
+    Events = Driver.run(Src);
+    Seconds = Driver.wallSeconds();
+  } else {
+    for (AnalysisKind K : Kinds) {
+      WorkloadGenerator Gen(P, Config.eventsFor(P), Config.Seed);
+      GeneratorEventSource Src(Gen);
+      AnalysisDriver Driver(Opts);
+      Driver.add(K);
+      Events = Driver.run(Src);
+      Seconds += Driver.wallSeconds();
+    }
+  }
+  return Seconds;
+}
+
+std::string formatRate(uint64_t Events, double Seconds) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.1fM ev/s",
+                Seconds > 0 ? Events / Seconds / 1e6 : 0.0);
+  return Buf;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Config;
+  if (!parseBenchArgs(Argc, Argv, Config))
+    return 1;
+
+  std::printf("Streaming engine pipeline: all %zu main-table analyses\n",
+              mainTableAnalysisKinds().size());
+  std::printf("(events scaled by 1/%llu, batch %zu)\n\n",
+              static_cast<unsigned long long>(Config.EventScale),
+              Config.BatchSize);
+
+  TablePrinter Table({"program", "N passes", "single pass", "parallel",
+                      "speedup", "par speedup"});
+  for (const WorkloadProfile &P : dacapoProfiles()) {
+    if (!Config.wantsProgram(P.Name))
+      continue;
+    std::fprintf(stderr, "  %s...\n", P.Name);
+    uint64_t Events = 0;
+    double Multi = runMode(P, Config, /*SinglePass=*/false,
+                           /*Parallel=*/false, Events);
+    double Single = runMode(P, Config, /*SinglePass=*/true,
+                            /*Parallel=*/false, Events);
+    double Par = runMode(P, Config, /*SinglePass=*/true, /*Parallel=*/true,
+                         Events);
+    char MultiBuf[64], SingleBuf[64], ParBuf[64];
+    std::snprintf(MultiBuf, sizeof(MultiBuf), "%.2fs", Multi);
+    std::snprintf(SingleBuf, sizeof(SingleBuf), "%.2fs (%s)", Single,
+                  formatRate(Events, Single).c_str());
+    std::snprintf(ParBuf, sizeof(ParBuf), "%.2fs (%s)", Par,
+                  formatRate(Events, Par).c_str());
+    Table.addRow({P.Name, MultiBuf, SingleBuf, ParBuf,
+                  formatFactor(Single > 0 ? Multi / Single : 0),
+                  formatFactor(Par > 0 ? Multi / Par : 0)});
+  }
+  Table.print();
+  return 0;
+}

@@ -40,9 +40,13 @@ void Analysis::processEvent(const Event &E) {
   ++EventIdx;
 }
 
+void Analysis::processBatch(const Event *Events, size_t N) {
+  for (size_t I = 0; I != N; ++I)
+    processEvent(Events[I]);
+}
+
 void Analysis::processTrace(const Trace &Tr) {
-  for (const Event &E : Tr.events())
-    processEvent(E);
+  processBatch(Tr.events().data(), Tr.size());
 }
 
 void Analysis::reportRace(const Event &E, Epoch Prior) {

@@ -72,6 +72,10 @@ public:
   /// Feeds one event; events must arrive in trace order.
   void processEvent(const Event &E);
 
+  /// Feeds a contiguous batch of events in trace order; the chunked entry
+  /// point the streaming engine drives.
+  void processBatch(const Event *Events, size_t N);
+
   /// Feeds an entire trace.
   void processTrace(const Trace &Tr);
 

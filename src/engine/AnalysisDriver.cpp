@@ -1,0 +1,192 @@
+//===- engine/AnalysisDriver.cpp - Single-pass multi-analysis runs --------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/AnalysisDriver.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+using namespace st;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+} // namespace
+
+void StreamStats::observe(const Event &E) {
+  auto Grow = [](unsigned &Max, uint32_t Id) {
+    if (Id + 1 > Max)
+      Max = Id + 1;
+  };
+  Grow(NumThreads, E.Tid);
+  switch (E.Kind) {
+  case EventKind::Read:
+  case EventKind::Write:
+    Grow(NumVars, E.Target);
+    break;
+  case EventKind::Acquire:
+  case EventKind::Release:
+    Grow(NumLocks, E.Target);
+    break;
+  case EventKind::Fork:
+  case EventKind::Join:
+    Grow(NumThreads, E.Target);
+    break;
+  case EventKind::VolRead:
+  case EventKind::VolWrite:
+    Grow(NumVolatiles, E.Target);
+    break;
+  }
+  ++Events;
+}
+
+Analysis &AnalysisDriver::add(AnalysisKind K) {
+  Slot S;
+  if (buildsGraph(K))
+    S.Graph = std::make_unique<EdgeRecorder>();
+  S.A = createAnalysis(K, S.Graph.get());
+  S.A->setMaxStoredRaces(Opts.MaxStoredRaces);
+  Slots.push_back(std::move(S));
+  return *Slots.back().A;
+}
+
+Analysis &AnalysisDriver::add(std::unique_ptr<Analysis> A) {
+  Slot S;
+  S.A = std::move(A);
+  Slots.push_back(std::move(S));
+  return *Slots.back().A;
+}
+
+/// Pulls one full batch (looping over short reads) and folds the events
+/// into the stream statistics.
+size_t AnalysisDriver::fillBatch(EventSource &Src, Event *Buf) {
+  size_t N = 0;
+  while (N < Opts.BatchSize) {
+    size_t Got = Src.read(Buf + N, Opts.BatchSize - N);
+    if (Got == 0)
+      break;
+    N += Got;
+  }
+  for (size_t I = 0; I != N; ++I)
+    Stats.observe(Buf[I]);
+  return N;
+}
+
+uint64_t AnalysisDriver::run(EventSource &Src) {
+  Stats = StreamStats();
+  auto Start = Clock::now();
+  uint64_t Events = Opts.Parallel && Slots.size() > 1 ? runParallel(Src)
+                                                      : runSequential(Src);
+  WallSeconds = secondsSince(Start);
+  return Events;
+}
+
+uint64_t AnalysisDriver::runSequential(EventSource &Src) {
+  std::vector<Event> Batch(Opts.BatchSize);
+  for (;;) {
+    size_t N = fillBatch(Src, Batch.data());
+    if (N == 0)
+      break;
+    for (Slot &S : Slots) {
+      auto T0 = Clock::now();
+      S.A->processBatch(Batch.data(), N);
+      S.Seconds += secondsSince(T0);
+      if (Opts.SampleFootprint) {
+        size_t Bytes = S.A->footprintBytes();
+        if (Bytes > S.PeakFootprintBytes)
+          S.PeakFootprintBytes = Bytes;
+      }
+    }
+  }
+  return Stats.Events;
+}
+
+uint64_t AnalysisDriver::runParallel(EventSource &Src) {
+  // Double-buffered batch ring: workers consume the published batch while
+  // the driver decodes the next one into the other buffer.
+  std::vector<Event> Bufs[2];
+  Bufs[0].resize(Opts.BatchSize);
+  Bufs[1].resize(Opts.BatchSize);
+
+  std::mutex M;
+  std::condition_variable WorkReady, BatchDone;
+  const Event *Data = nullptr;
+  size_t Count = 0;
+  uint64_t Generation = 0;
+  size_t Remaining = 0;
+  bool Stop = false;
+
+  auto Worker = [&](Slot &S) {
+    uint64_t Seen = 0;
+    for (;;) {
+      const Event *MyData;
+      size_t MyCount;
+      {
+        std::unique_lock<std::mutex> Lk(M);
+        WorkReady.wait(Lk, [&] { return Stop || Generation != Seen; });
+        if (Stop && Generation == Seen)
+          return;
+        Seen = Generation;
+        MyData = Data;
+        MyCount = Count;
+      }
+      auto T0 = Clock::now();
+      S.A->processBatch(MyData, MyCount);
+      S.Seconds += secondsSince(T0);
+      if (Opts.SampleFootprint) {
+        size_t Bytes = S.A->footprintBytes();
+        if (Bytes > S.PeakFootprintBytes)
+          S.PeakFootprintBytes = Bytes;
+      }
+      {
+        std::lock_guard<std::mutex> Lk(M);
+        if (--Remaining == 0)
+          BatchDone.notify_one();
+      }
+    }
+  };
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Slots.size());
+  for (Slot &S : Slots)
+    Threads.emplace_back(Worker, std::ref(S));
+
+  size_t Cur = 0;
+  size_t N = fillBatch(Src, Bufs[Cur].data());
+  while (N > 0) {
+    {
+      std::lock_guard<std::mutex> Lk(M);
+      Data = Bufs[Cur].data();
+      Count = N;
+      Remaining = Slots.size();
+      ++Generation;
+    }
+    WorkReady.notify_all();
+    // Overlap: decode the next batch while the workers run this one.
+    size_t Next = fillBatch(Src, Bufs[1 - Cur].data());
+    {
+      std::unique_lock<std::mutex> Lk(M);
+      BatchDone.wait(Lk, [&] { return Remaining == 0; });
+    }
+    Cur = 1 - Cur;
+    N = Next;
+  }
+  {
+    std::lock_guard<std::mutex> Lk(M);
+    Stop = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+  return Stats.Events;
+}

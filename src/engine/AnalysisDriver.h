@@ -1,0 +1,111 @@
+//===- engine/AnalysisDriver.h - Single-pass multi-analysis runs *- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs N registered analyses over ONE shared EventSource in a single pass:
+/// the driver pulls chunked batches and fans each batch out to every
+/// analysis, so an input streams through the whole Table 1 ladder with one
+/// parse and O(analysis-metadata) memory. Because each analysis is
+/// independent state, fan-out is embarrassingly parallel: the optional
+/// parallel mode runs one worker thread per analysis over a double-buffered
+/// batch ring (the driver decodes batch k+1 while the workers consume batch
+/// k). The driver also records per-analysis wall time, sampled peak
+/// metadata footprint, and the id-space statistics of the streamed trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ENGINE_ANALYSISDRIVER_H
+#define SMARTTRACK_ENGINE_ANALYSISDRIVER_H
+
+#include "analysis/AnalysisRegistry.h"
+#include "engine/EventSource.h"
+#include "graph/EdgeRecorder.h"
+
+#include <memory>
+#include <vector>
+
+namespace st {
+
+/// Engine tuning knobs.
+struct DriverOptions {
+  /// Events per batch. Also the footprint sampling period.
+  size_t BatchSize = 1 << 14;
+  /// Thread-per-analysis fan-out over the shared batch ring.
+  bool Parallel = false;
+  /// Track peak footprintBytes() per analysis (sampled once per batch).
+  bool SampleFootprint = false;
+  /// Cap stored RaceRecords for analyses created through add(); counting
+  /// is unaffected.
+  size_t MaxStoredRaces = SIZE_MAX;
+};
+
+/// Id-space maxima of the streamed trace, the streaming replacement for
+/// Trace::numThreads() and friends.
+struct StreamStats {
+  unsigned NumThreads = 0;
+  unsigned NumVars = 0;
+  unsigned NumLocks = 0;
+  unsigned NumVolatiles = 0;
+  uint64_t Events = 0;
+
+  void observe(const Event &E);
+};
+
+/// Single-pass driver over one EventSource for any number of analyses.
+class AnalysisDriver {
+public:
+  /// One registered analysis plus its per-run measurements.
+  struct Slot {
+    std::unique_ptr<Analysis> A;
+    /// Constraint-graph recording for the w/G configurations (null
+    /// otherwise); owned here so the graph outlives the analysis.
+    std::unique_ptr<EdgeRecorder> Graph;
+    /// Wall time this analysis spent consuming batches.
+    double Seconds = 0;
+    /// Peak sampled footprintBytes() (0 unless SampleFootprint).
+    size_t PeakFootprintBytes = 0;
+  };
+
+  explicit AnalysisDriver(DriverOptions Opts = DriverOptions())
+      : Opts(Opts) {}
+
+  /// Registers a registry analysis (creating its EdgeRecorder when the
+  /// kind records a constraint graph).
+  Analysis &add(AnalysisKind K);
+
+  /// Registers an externally constructed analysis.
+  Analysis &add(std::unique_ptr<Analysis> A);
+
+  /// Streams \p Src to completion through every registered analysis in one
+  /// pass; returns the number of events delivered. With zero analyses this
+  /// is the uninstrumented baseline (a pure stream drain). Check
+  /// Src.error() afterwards for truncated/malformed inputs.
+  uint64_t run(EventSource &Src);
+
+  size_t size() const { return Slots.size(); }
+  const Slot &slot(size_t I) const { return Slots[I]; }
+  Analysis &analysis(size_t I) { return *Slots[I].A; }
+
+  /// Id-space statistics observed during the last run().
+  const StreamStats &streamStats() const { return Stats; }
+
+  /// Wall-clock seconds of the last run() (decode + all analyses).
+  double wallSeconds() const { return WallSeconds; }
+
+private:
+  uint64_t runSequential(EventSource &Src);
+  uint64_t runParallel(EventSource &Src);
+  size_t fillBatch(EventSource &Src, Event *Buf);
+
+  DriverOptions Opts;
+  std::vector<Slot> Slots;
+  StreamStats Stats;
+  double WallSeconds = 0;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_ENGINE_ANALYSISDRIVER_H

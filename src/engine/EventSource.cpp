@@ -1,0 +1,123 @@
+//===- engine/EventSource.cpp - Pull-based event streams ------------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/EventSource.h"
+
+#include "workload/Workload.h"
+
+#include <cstring>
+
+using namespace st;
+
+size_t TraceEventSource::read(Event *Buf, size_t Max) {
+  size_t N = Tr.size() - Pos;
+  if (N > Max)
+    N = Max;
+  if (N == 0)
+    return 0;
+  std::memcpy(Buf, Tr.events().data() + Pos, N * sizeof(Event));
+  Pos += N;
+  return N;
+}
+
+size_t TextEventSource::read(Event *Buf, size_t Max) {
+  if (Bad)
+    return 0;
+  size_t N = 0;
+  while (N < Max) {
+    int R = Parser.next(Buf[N]);
+    if (R <= 0) {
+      if (R < 0) {
+        Bad = true;
+        ErrorMsg = Parser.error();
+      }
+      break;
+    }
+    if (Validate && !Checker.check(Buf[N])) {
+      Bad = true;
+      ErrorMsg = "ill-formed trace: " + Checker.error();
+      break;
+    }
+    ++N;
+  }
+  return N;
+}
+
+bool TextEventSource::error(std::string *Msg) const {
+  if (Bad && Msg)
+    *Msg = ErrorMsg;
+  return Bad;
+}
+
+size_t StbEventSource::read(Event *Buf, size_t Max) {
+  if (Bad)
+    return 0;
+  size_t N = 0;
+  while (N < Max) {
+    int R = Reader.next(Buf[N]);
+    if (R <= 0) {
+      if (R < 0) {
+        Bad = true;
+        ErrorMsg = Reader.error();
+      }
+      break;
+    }
+    if (Validate && !Checker.check(Buf[N])) {
+      Bad = true;
+      ErrorMsg = "ill-formed trace: " + Checker.error();
+      break;
+    }
+    ++N;
+  }
+  return N;
+}
+
+bool StbEventSource::error(std::string *Msg) const {
+  if (Bad && Msg)
+    *Msg = ErrorMsg;
+  return Bad;
+}
+
+size_t GeneratorEventSource::read(Event *Buf, size_t Max) {
+  size_t N = 0;
+  while (N < Max && Gen.next(Buf[N]))
+    ++N;
+  return N;
+}
+
+size_t CapturingEventSource::read(Event *Buf, size_t Max) {
+  size_t N = Inner.read(Buf, Max);
+  Captured.insert(Captured.end(), Buf, Buf + N);
+  return N;
+}
+
+const TraceTextParser *OpenedEventSource::textParser() const {
+  if (Format != TraceFormat::Text)
+    return nullptr;
+  return &static_cast<const TextEventSource *>(Events.get())->parser();
+}
+
+const StbHeader *OpenedEventSource::stbHeader() const {
+  if (Format != TraceFormat::Stb)
+    return nullptr;
+  return &static_cast<const StbEventSource *>(Events.get())->reader().header();
+}
+
+OpenedEventSource st::openEventSource(ByteSource &Bytes, bool Validate) {
+  OpenedEventSource Out;
+  Out.Bytes = std::make_unique<PeekableByteSource>(Bytes);
+  char Magic[sizeof(StbMagic)];
+  size_t N = Out.Bytes->peek(Magic, sizeof(Magic));
+  if (N == sizeof(StbMagic) &&
+      std::memcmp(Magic, StbMagic, sizeof(StbMagic)) == 0) {
+    Out.Format = TraceFormat::Stb;
+    Out.Events = std::make_unique<StbEventSource>(*Out.Bytes, Validate);
+  } else {
+    Out.Format = TraceFormat::Text;
+    Out.Events = std::make_unique<TextEventSource>(*Out.Bytes, Validate);
+  }
+  return Out;
+}

@@ -1,0 +1,163 @@
+//===- engine/EventSource.h - Pull-based event streams ----------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine layer's event abstraction: every trace consumer (the CLI, the
+/// benches, the AnalysisDriver) pulls chunked batches of events from an
+/// EventSource instead of materializing a std::vector<Event>. Sources exist
+/// for in-memory traces, the streaming TraceText parser, the STB binary
+/// reader, and the synthetic workload generator, so analyses run in
+/// O(analysis-metadata) space regardless of trace length (paper §2.1
+/// defines them as online consumers). openEventSource() sniffs the input
+/// bytes (STB magic vs. text DSL) and assembles the right decoding stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ENGINE_EVENTSOURCE_H
+#define SMARTTRACK_ENGINE_EVENTSOURCE_H
+
+#include "support/Bytes.h"
+#include "trace/Stb.h"
+#include "trace/Trace.h"
+#include "trace/TraceText.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace st {
+
+class WorkloadGenerator;
+
+/// Abstract pull-based event stream. Like ByteSource but for events: any
+/// positive count is a valid read, 0 means end of stream or error.
+class EventSource {
+public:
+  virtual ~EventSource() = default;
+
+  /// Fills \p Buf with up to \p Max events; returns the count, 0 at end of
+  /// stream (or on error; see error()).
+  virtual size_t read(Event *Buf, size_t Max) = 0;
+
+  /// True when the stream terminated abnormally; \p Msg (if non-null)
+  /// receives a description.
+  virtual bool error(std::string *Msg = nullptr) const {
+    (void)Msg;
+    return false;
+  }
+};
+
+/// EventSource over a materialized Trace (not owned).
+class TraceEventSource : public EventSource {
+public:
+  explicit TraceEventSource(const Trace &Tr) : Tr(Tr) {}
+
+  size_t read(Event *Buf, size_t Max) override;
+
+  /// Restarts from the first event.
+  void rewind() { Pos = 0; }
+
+private:
+  const Trace &Tr;
+  size_t Pos = 0;
+};
+
+/// EventSource decoding the TraceText DSL as it streams in, optionally
+/// checking well-formedness online (the streaming analogue of the
+/// materializing parse-then-validate path).
+class TextEventSource : public EventSource {
+public:
+  explicit TextEventSource(ByteSource &Bytes, bool Validate = true)
+      : Parser(Bytes), Validate(Validate) {}
+
+  size_t read(Event *Buf, size_t Max) override;
+  bool error(std::string *Msg = nullptr) const override;
+
+  const TraceTextParser &parser() const { return Parser; }
+
+private:
+  TraceTextParser Parser;
+  WellFormedChecker Checker;
+  bool Validate;
+  bool Bad = false;
+  std::string ErrorMsg;
+};
+
+/// EventSource decoding the STB binary format, optionally checking
+/// well-formedness online.
+class StbEventSource : public EventSource {
+public:
+  explicit StbEventSource(ByteSource &Bytes, bool Validate = true)
+      : Reader(Bytes), Validate(Validate) {}
+
+  size_t read(Event *Buf, size_t Max) override;
+  bool error(std::string *Msg = nullptr) const override;
+
+  const StbReader &reader() const { return Reader; }
+
+private:
+  StbReader Reader;
+  WellFormedChecker Checker;
+  bool Validate;
+  bool Bad = false;
+  std::string ErrorMsg;
+};
+
+/// EventSource over the synthetic workload generator (not owned).
+class GeneratorEventSource : public EventSource {
+public:
+  explicit GeneratorEventSource(WorkloadGenerator &Gen) : Gen(Gen) {}
+
+  size_t read(Event *Buf, size_t Max) override;
+
+private:
+  WorkloadGenerator &Gen;
+};
+
+/// Tee: forwards another source unchanged while appending every event to a
+/// caller-owned vector. The CLI uses this when --vindicate needs the full
+/// trace after the streaming pass.
+class CapturingEventSource : public EventSource {
+public:
+  CapturingEventSource(EventSource &Inner, std::vector<Event> &Captured)
+      : Inner(Inner), Captured(Captured) {}
+
+  size_t read(Event *Buf, size_t Max) override;
+  bool error(std::string *Msg = nullptr) const override {
+    return Inner.error(Msg);
+  }
+
+private:
+  EventSource &Inner;
+  std::vector<Event> &Captured;
+};
+
+/// The input format openEventSource() detected.
+enum class TraceFormat : uint8_t { Text, Stb };
+
+/// A decoding stack assembled over a raw byte stream: the chosen decoder
+/// plus the sniffing adapter it reads through. The symbol-name accessors
+/// are non-null only for text inputs.
+struct OpenedEventSource {
+  std::unique_ptr<PeekableByteSource> Bytes;
+  std::unique_ptr<EventSource> Events;
+  TraceFormat Format = TraceFormat::Text;
+
+  /// Thread/var/lock/volatile names interned so far (text inputs only;
+  /// null for STB). Valid to call during and after streaming.
+  const TraceTextParser *textParser() const;
+  /// STB header (STB inputs only; null for text).
+  const StbHeader *stbHeader() const;
+};
+
+/// Sniffs \p Bytes for the STB magic and builds the matching streaming
+/// decoder. Never fails: anything that is not STB decodes as text (and
+/// reports its parse error on first read).
+OpenedEventSource openEventSource(ByteSource &Bytes, bool Validate = true);
+
+} // namespace st
+
+#endif // SMARTTRACK_ENGINE_EVENTSOURCE_H

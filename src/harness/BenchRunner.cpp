@@ -6,9 +6,8 @@
 
 #include "harness/BenchRunner.h"
 
-#include "graph/EdgeRecorder.h"
+#include "engine/AnalysisDriver.h"
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -42,6 +41,12 @@ bool st::parseBenchArgs(int Argc, char **Argv, BenchConfig &Config) {
       Config.Seed = std::strtoull(V, nullptr, 10);
     } else if (const char *V = Value("--min-events=")) {
       Config.MinEvents = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--batch=")) {
+      Config.BatchSize = std::strtoull(V, nullptr, 10);
+      if (Config.BatchSize == 0)
+        Config.BatchSize = 1;
+    } else if (std::strcmp(Arg, "--parallel") == 0) {
+      Config.Parallel = true;
     } else if (const char *V = Value("--programs=")) {
       std::string List(V);
       size_t Pos = 0;
@@ -56,7 +61,8 @@ bool st::parseBenchArgs(int Argc, char **Argv, BenchConfig &Config) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--events-scale=N] [--trials=N] [--seed=N]\n"
-                   "          [--min-events=N] [--programs=a,b,c]\n",
+                   "          [--min-events=N] [--batch=N] [--parallel]\n"
+                   "          [--programs=a,b,c]\n",
                    Argv[0]);
       return false;
     }
@@ -64,51 +70,44 @@ bool st::parseBenchArgs(int Argc, char **Argv, BenchConfig &Config) {
   return true;
 }
 
+DriverOptions st::BenchConfig::driverOptions() const {
+  DriverOptions O;
+  O.BatchSize = BatchSize;
+  O.SampleFootprint = true;
+  O.MaxStoredRaces = MaxStoredRaces;
+  return O;
+}
+
 double st::measureBaseline(const WorkloadProfile &P,
                            const BenchConfig &Config) {
+  // A driver with zero analyses is the uninstrumented baseline: the same
+  // batched stream drain the instrumented runs pay, with no consumer.
   WorkloadGenerator Gen(P, Config.eventsFor(P), Config.Seed);
-  Event E;
-  uint64_t Checksum = 0;
-  auto Start = std::chrono::steady_clock::now();
-  while (Gen.next(E))
-    Checksum += E.Target; // keep the loop from being optimized away
-  auto End = std::chrono::steady_clock::now();
-  if (Checksum == 0xdeadbeef)
-    std::fprintf(stderr, "baseline checksum sentinel\n");
-  return std::chrono::duration<double>(End - Start).count();
+  GeneratorEventSource Src(Gen);
+  AnalysisDriver Driver(Config.driverOptions());
+  Driver.run(Src);
+  return Driver.wallSeconds();
 }
 
 RunResult st::runOnce(AnalysisKind Kind, const WorkloadProfile &P,
                       const BenchConfig &Config, double BaselineSeconds,
                       uint64_t TrialSeed) {
   WorkloadGenerator Gen(P, Config.eventsFor(P), TrialSeed);
-  EdgeRecorder Graph;
-  auto A = createAnalysis(Kind, &Graph);
-  A->setMaxStoredRaces(Config.MaxStoredRaces);
+  GeneratorEventSource Src(Gen);
+  AnalysisDriver Driver(Config.driverOptions());
+  Analysis &A = Driver.add(Kind);
+  Driver.run(Src);
 
   RunResult R;
   R.BaselineSeconds = BaselineSeconds;
-  constexpr uint64_t SamplePeriod = 1 << 16;
-  uint64_t NextSample = SamplePeriod;
-  Event E;
-  auto Start = std::chrono::steady_clock::now();
-  while (Gen.next(E)) {
-    A->processEvent(E);
-    if (A->eventsProcessed() >= NextSample) {
-      NextSample += SamplePeriod;
-      size_t Bytes = A->footprintBytes();
-      if (Bytes > R.PeakFootprintBytes)
-        R.PeakFootprintBytes = Bytes;
-    }
-  }
-  auto End = std::chrono::steady_clock::now();
-  R.Seconds = std::chrono::duration<double>(End - Start).count();
-  size_t Bytes = A->footprintBytes();
+  R.Seconds = Driver.wallSeconds();
+  R.PeakFootprintBytes = Driver.slot(0).PeakFootprintBytes;
+  size_t Bytes = A.footprintBytes();
   if (Bytes > R.PeakFootprintBytes)
     R.PeakFootprintBytes = Bytes;
-  R.DynamicRaces = A->dynamicRaces();
-  R.StaticRaces = A->staticRaces();
-  R.Events = A->eventsProcessed();
+  R.DynamicRaces = A.dynamicRaces();
+  R.StaticRaces = A.staticRaces();
+  R.Events = A.eventsProcessed();
   return R;
 }
 

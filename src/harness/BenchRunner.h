@@ -33,6 +33,8 @@
 
 namespace st {
 
+struct DriverOptions;
+
 /// Command-line configuration shared by all table benches.
 struct BenchConfig {
   /// Divide each profile's paper event count by this to get the bench
@@ -47,6 +49,10 @@ struct BenchConfig {
   size_t UninstrumentedBytes = 1u << 20;
   /// Cap stored race records (counters unaffected).
   size_t MaxStoredRaces = 1024;
+  /// Events per engine batch; also the footprint sampling period.
+  size_t BatchSize = 1 << 16;
+  /// Thread-per-analysis fan-out in the single-pass grid.
+  bool Parallel = false;
   /// Restrict to these profile names (empty = all).
   std::vector<std::string> Programs;
 
@@ -60,10 +66,13 @@ struct BenchConfig {
   }
 
   bool wantsProgram(const char *Name) const;
+
+  /// Engine options for a measured run (footprint sampling on).
+  DriverOptions driverOptions() const;
 };
 
-/// Parses --events-scale=N --trials=N --seed=N --programs=a,b,c; returns
-/// false (after printing usage) on unknown arguments.
+/// Parses --events-scale=N --trials=N --seed=N --programs=a,b,c
+/// --parallel; returns false (after printing usage) on unknown arguments.
 bool parseBenchArgs(int Argc, char **Argv, BenchConfig &Config);
 
 /// Measurements from one trial.

@@ -6,6 +6,8 @@
 
 #include "harness/GridBench.h"
 
+#include "engine/AnalysisDriver.h"
+
 #include <cstdio>
 
 using namespace st;
@@ -25,6 +27,49 @@ GridResults st::runMainGrid(const BenchConfig &Config) {
     Row.reserve(Kinds.size());
     for (AnalysisKind K : Kinds)
       Row.push_back(runCell(K, P, Config, Baseline));
+    G.Programs.push_back(&P);
+    G.Cells.push_back(std::move(Row));
+  }
+  return G;
+}
+
+GridResults st::runMainGridSinglePass(const BenchConfig &Config) {
+  GridResults G;
+  const auto &Kinds = mainTableAnalysisKinds();
+  for (const WorkloadProfile &P : dacapoProfiles()) {
+    if (!Config.wantsProgram(P.Name))
+      continue;
+    std::fprintf(stderr,
+                 "  streaming %s (%llu events through %zu analyses, "
+                 "single pass%s)...\n",
+                 P.Name,
+                 static_cast<unsigned long long>(Config.eventsFor(P)),
+                 Kinds.size(), Config.Parallel ? ", parallel" : "");
+    double Baseline = measureBaseline(P, Config);
+    std::vector<CellResult> Row(Kinds.size());
+    for (unsigned T = 0; T < Config.Trials; ++T) {
+      WorkloadGenerator Gen(P, Config.eventsFor(P),
+                            Config.Seed + T * 1299709);
+      GeneratorEventSource Src(Gen);
+      DriverOptions Opts = Config.driverOptions();
+      Opts.Parallel = Config.Parallel;
+      AnalysisDriver Driver(Opts);
+      for (AnalysisKind K : Kinds)
+        Driver.add(K);
+      Driver.run(Src);
+      for (size_t I = 0; I != Kinds.size(); ++I) {
+        const AnalysisDriver::Slot &S = Driver.slot(I);
+        Row[I].Slowdowns.push_back(
+            Baseline > 0 ? (Baseline + S.Seconds) / Baseline : 0);
+        Row[I].MemFactors.push_back(
+            1.0 + static_cast<double>(S.PeakFootprintBytes) /
+                      static_cast<double>(Config.UninstrumentedBytes));
+        Row[I].StaticRaces.push_back(
+            static_cast<double>(S.A->staticRaces()));
+        Row[I].DynamicRaces.push_back(
+            static_cast<double>(S.A->dynamicRaces()));
+      }
+    }
     G.Programs.push_back(&P);
     G.Cells.push_back(std::move(Row));
   }

@@ -1,0 +1,127 @@
+//===- support/Bytes.cpp - Byte stream abstractions -----------------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bytes.h"
+
+#include <cstring>
+
+using namespace st;
+
+size_t MemoryByteSource::read(char *Buf, size_t Max) {
+  size_t N = Data.size() - Pos;
+  if (N > Max)
+    N = Max;
+  if (N == 0)
+    return 0;
+  std::memcpy(Buf, Data.data() + Pos, N);
+  Pos += N;
+  return N;
+}
+
+size_t FileByteSource::read(char *Buf, size_t Max) {
+  size_t N = std::fread(Buf, 1, Max, Stream);
+  if (N < Max && std::ferror(Stream))
+    HadError = true;
+  return N;
+}
+
+bool FileByteSource::error(std::string *Msg) const {
+  if (HadError && Msg)
+    *Msg = "read error on input stream";
+  return HadError;
+}
+
+size_t PeekableByteSource::peek(char *Buf, size_t Max) {
+  while (Pending.size() - PendingPos < Max) {
+    char Chunk[4096];
+    size_t Want = Max - (Pending.size() - PendingPos);
+    size_t N = Inner.read(Chunk, Want < sizeof(Chunk) ? Want : sizeof(Chunk));
+    if (N == 0)
+      break;
+    Pending.append(Chunk, N);
+  }
+  size_t Have = Pending.size() - PendingPos;
+  if (Have > Max)
+    Have = Max;
+  std::memcpy(Buf, Pending.data() + PendingPos, Have);
+  return Have;
+}
+
+size_t PeekableByteSource::read(char *Buf, size_t Max) {
+  size_t Have = Pending.size() - PendingPos;
+  if (Have > 0) {
+    size_t N = Have < Max ? Have : Max;
+    std::memcpy(Buf, Pending.data() + PendingPos, N);
+    PendingPos += N;
+    if (PendingPos == Pending.size()) {
+      Pending.clear();
+      PendingPos = 0;
+    }
+    return N;
+  }
+  return Inner.read(Buf, Max);
+}
+
+bool PeekableByteSource::error(std::string *Msg) const {
+  return Inner.error(Msg);
+}
+
+size_t st::encodeVarint(uint64_t V, char *Buf) {
+  size_t N = 0;
+  do {
+    uint8_t Byte = V & 0x7f;
+    V >>= 7;
+    if (V)
+      Byte |= 0x80;
+    Buf[N++] = static_cast<char>(Byte);
+  } while (V);
+  return N;
+}
+
+bool ByteReader::refill() {
+  Pos = 0;
+  Len = Src.read(Buf, sizeof(Buf));
+  return Len > 0;
+}
+
+bool ByteReader::readByte(uint8_t &B) {
+  if (Pos == Len && !refill())
+    return false;
+  B = static_cast<uint8_t>(Buf[Pos++]);
+  ++Consumed;
+  return true;
+}
+
+bool ByteReader::readVarint(uint64_t &V) {
+  V = 0;
+  for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+    uint8_t B;
+    if (!readByte(B))
+      return false;
+    V |= static_cast<uint64_t>(B & 0x7f) << Shift;
+    if (!(B & 0x80))
+      return true;
+  }
+  return false; // overlong encoding
+}
+
+bool ByteReader::readExact(char *Out, size_t N) {
+  while (N > 0) {
+    if (Pos == Len && !refill())
+      return false;
+    size_t Take = Len - Pos;
+    if (Take > N)
+      Take = N;
+    std::memcpy(Out, Buf + Pos, Take);
+    Pos += Take;
+    Consumed += Take;
+    Out += Take;
+    N -= Take;
+  }
+  return true;
+}
+
+bool ByteReader::atEnd() { return Pos == Len && !refill(); }

@@ -64,73 +64,88 @@ void Trace::computeStats() {
   }
 }
 
-static std::string describeEvent(size_t Idx, const Event &E) {
+static std::string describeEvent(uint64_t Idx, const Event &E) {
   char Buf[64];
-  std::snprintf(Buf, sizeof(Buf), "event %zu: T%u %s(%u)", Idx, E.Tid,
+  std::snprintf(Buf, sizeof(Buf), "event %llu: T%u %s(%u)",
+                static_cast<unsigned long long>(Idx), E.Tid,
                 eventKindName(E.Kind), E.Target);
   return Buf;
 }
 
-bool Trace::validate(std::string *Error) const {
-  auto Fail = [&](size_t Idx, const char *Msg) {
-    if (Error)
-      *Error = describeEvent(Idx, Events[Idx]) + ": " + Msg;
+bool WellFormedChecker::fail(const Event &E, const char *Msg) {
+  Bad = true;
+  ErrorMsg = describeEvent(Idx, E) + ": " + Msg;
+  return false;
+}
+
+bool WellFormedChecker::check(const Event &E) {
+  if (Bad)
     return false;
-  };
-
-  // Lock -> holding thread (InvalidId when free).
-  std::unordered_map<LockId, ThreadId> Holder;
-  // Threads that have executed or been forked/joined.
-  std::vector<bool> Started(NumThreads, false), Joined(NumThreads, false),
-      Forked(NumThreads, false);
-
-  for (size_t I = 0, N = Events.size(); I != N; ++I) {
-    const Event &E = Events[I];
-    if (E.Tid < NumThreads) {
-      if (Joined[E.Tid])
-        return Fail(I, "thread runs after being joined");
-      if (Forked[E.Tid] && !Started[E.Tid])
-        Started[E.Tid] = true;
-      else if (!Started[E.Tid])
-        Started[E.Tid] = true; // unforked root thread: permitted
-    }
-    switch (E.Kind) {
-    case EventKind::Acquire: {
-      auto It = Holder.find(E.lock());
-      if (It != Holder.end() && It->second != InvalidId)
-        return Fail(I, "acquire of a held lock (no reentrancy)");
-      Holder[E.lock()] = E.Tid;
-      break;
-    }
-    case EventKind::Release: {
-      auto It = Holder.find(E.lock());
-      if (It == Holder.end() || It->second != E.Tid)
-        return Fail(I, "release of a lock the thread does not hold");
-      It->second = InvalidId;
-      break;
-    }
-    case EventKind::Fork: {
-      ThreadId C = E.childTid();
-      if (C == E.Tid)
-        return Fail(I, "thread forks itself");
-      if (Started[C] || Forked[C])
-        return Fail(I, "fork of a thread that already ran or was forked");
-      Forked[C] = true;
-      break;
-    }
-    case EventKind::Join: {
-      ThreadId C = E.childTid();
-      if (C == E.Tid)
-        return Fail(I, "thread joins itself");
-      if (Joined[C])
-        return Fail(I, "thread joined twice");
-      Joined[C] = true;
-      break;
-    }
-    default:
-      break;
-    }
+  ThreadId MaxTid = E.Tid;
+  if (E.Kind == EventKind::Fork || E.Kind == EventKind::Join)
+    MaxTid = std::max(MaxTid, E.Target);
+  // Ids are dense (Types.h), so a huge tid can only come from a corrupt or
+  // hostile input; reject it before sizing per-thread state off it.
+  if (MaxTid >= MaxCheckableThreads)
+    return fail(E, "thread id out of range (ids must be dense)");
+  if (MaxTid >= Started.size()) {
+    Started.resize(MaxTid + 1, 0);
+    Joined.resize(MaxTid + 1, 0);
+    Forked.resize(MaxTid + 1, 0);
   }
+
+  if (Joined[E.Tid])
+    return fail(E, "thread runs after being joined");
+  Started[E.Tid] = 1; // unforked root threads are permitted
+
+  switch (E.Kind) {
+  case EventKind::Acquire: {
+    auto It = Holder.find(E.lock());
+    if (It != Holder.end() && It->second != InvalidId)
+      return fail(E, "acquire of a held lock (no reentrancy)");
+    Holder[E.lock()] = E.Tid;
+    break;
+  }
+  case EventKind::Release: {
+    auto It = Holder.find(E.lock());
+    if (It == Holder.end() || It->second != E.Tid)
+      return fail(E, "release of a lock the thread does not hold");
+    It->second = InvalidId;
+    break;
+  }
+  case EventKind::Fork: {
+    ThreadId C = E.childTid();
+    if (C == E.Tid)
+      return fail(E, "thread forks itself");
+    if (Started[C] || Forked[C])
+      return fail(E, "fork of a thread that already ran or was forked");
+    Forked[C] = true;
+    break;
+  }
+  case EventKind::Join: {
+    ThreadId C = E.childTid();
+    if (C == E.Tid)
+      return fail(E, "thread joins itself");
+    if (Joined[C])
+      return fail(E, "thread joined twice");
+    Joined[C] = true;
+    break;
+  }
+  default:
+    break;
+  }
+  ++Idx;
+  return true;
+}
+
+bool Trace::validate(std::string *Error) const {
+  WellFormedChecker Checker;
+  for (const Event &E : Events)
+    if (!Checker.check(E)) {
+      if (Error)
+        *Error = Checker.error();
+      return false;
+    }
   return true;
 }
 

@@ -20,10 +20,42 @@
 #include "trace/Event.h"
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace st {
+
+/// Incremental well-formedness checker: feed events in trace order and the
+/// first violation latches with a diagnostic naming the offending event.
+/// Streaming event sources run this online where a materialized Trace would
+/// call validate(); both share the same rules (a thread only acquires a
+/// free lock and only releases a lock it holds; forked threads are fresh;
+/// joined threads run no further events).
+class WellFormedChecker {
+public:
+  /// Largest accepted thread id + 1. Ids are dense by construction
+  /// (Types.h), so anything near this bound is a corrupt or hostile
+  /// input, not a real trace; the cap keeps per-thread state from being
+  /// sized off untrusted bytes.
+  static constexpr ThreadId MaxCheckableThreads = 1u << 22;
+
+  /// Feeds one event; returns false (permanently) once a violation is seen.
+  bool check(const Event &E);
+
+  bool failed() const { return Bad; }
+  const std::string &error() const { return ErrorMsg; }
+
+private:
+  bool fail(const Event &E, const char *Msg);
+
+  std::unordered_map<LockId, ThreadId> Holder; // lock -> holder (InvalidId = free)
+  std::vector<uint8_t> Started, Joined, Forked; // indexed by ThreadId
+  uint64_t Idx = 0;
+  bool Bad = false;
+  std::string ErrorMsg;
+};
 
 /// A totally ordered, well-formed execution trace.
 class Trace {

@@ -8,179 +8,233 @@
 
 #include <cassert>
 #include <cstdio>
-#include <unordered_map>
 
 using namespace st;
 
-namespace {
-
-/// Interns names into dense ids in order of first appearance.
-class NameTable {
-public:
-  uint32_t idFor(std::string_view Name) {
-    auto It = Ids.find(std::string(Name));
-    if (It != Ids.end())
-      return It->second;
-    uint32_t Id = static_cast<uint32_t>(Names.size());
-    Names.emplace_back(Name);
-    Ids.emplace(Names.back(), Id);
-    return Id;
+void NameTable::grow() {
+  size_t NewSize = Index.empty() ? 64 : Index.size() * 2;
+  Index.assign(NewSize, InvalidId);
+  for (uint32_t Id = 0; Id != Names.size(); ++Id) {
+    size_t Slot = std::hash<std::string_view>{}(Names[Id]) & (NewSize - 1);
+    while (Index[Slot] != InvalidId)
+      Slot = (Slot + 1) & (NewSize - 1);
+    Index[Slot] = Id;
   }
+}
 
-  std::vector<std::string> take() { return std::move(Names); }
+uint32_t NameTable::idFor(std::string_view Name) {
+  if ((Names.size() + 1) * 2 > Index.size())
+    grow();
+  size_t Mask = Index.size() - 1;
+  size_t Slot = std::hash<std::string_view>{}(Name) & Mask;
+  while (Index[Slot] != InvalidId) {
+    if (Names[Index[Slot]] == Name)
+      return Index[Slot];
+    Slot = (Slot + 1) & Mask;
+  }
+  uint32_t Id = static_cast<uint32_t>(Names.size());
+  Names.emplace_back(Name);
+  Index[Slot] = Id;
+  return Id;
+}
 
-private:
-  std::vector<std::string> Names;
-  std::unordered_map<std::string, uint32_t> Ids;
-};
+/// Reads the next source line (without its newline) into LineBuf; returns
+/// false at end of input.
+bool TraceTextParser::readLine() {
+  LineBuf.clear();
+  for (;;) {
+    if (ChunkPos == ChunkLen) {
+      if (AtEof)
+        return !LineBuf.empty();
+      ChunkLen = Src.read(Chunk, sizeof(Chunk));
+      ChunkPos = 0;
+      if (ChunkLen == 0) {
+        AtEof = true;
+        return !LineBuf.empty();
+      }
+    }
+    // Copy up to the next newline in the current chunk.
+    size_t Start = ChunkPos;
+    while (ChunkPos < ChunkLen && Chunk[ChunkPos] != '\n')
+      ++ChunkPos;
+    LineBuf.append(Chunk + Start, ChunkPos - Start);
+    if (ChunkPos < ChunkLen) {
+      ++ChunkPos; // consume the newline
+      return true;
+    }
+  }
+}
 
-struct Parser {
-  std::string_view Text;
+bool TraceTextParser::fail(std::string_view LineText, size_t Column,
+                           std::string Msg, std::string_view Token) {
+  (void)LineText;
+  Failed = true;
+  ErrLine = Line;
+  ErrColumn = static_cast<unsigned>(Column + 1); // 1-based
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "line %u, column %u: ", ErrLine, ErrColumn);
+  ErrorMsg = Buf + Msg;
+  if (!Token.empty()) {
+    ErrorMsg += " near '";
+    ErrorMsg += Token;
+    ErrorMsg += '\'';
+  }
+  return false;
+}
+
+static bool isIdentChar(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+         (C >= '0' && C <= '9') || C == '_' || C == '.';
+}
+
+/// Parses one source line into Pending (up to 4 events for sync).
+bool TraceTextParser::parseLine(std::string_view L) {
   size_t Pos = 0;
-  unsigned Line = 1;
-  std::string ErrorMsg;
-
-  NameTable Threads, Vars, Locks, Volatiles;
-  std::vector<Event> Events;
-
-  bool fail(const std::string &Msg) {
-    char Buf[32];
-    std::snprintf(Buf, sizeof(Buf), "line %u: ", Line);
-    ErrorMsg = Buf + Msg;
-    return false;
-  }
-
-  bool atEnd() const { return Pos >= Text.size(); }
-  char peek() const { return Text[Pos]; }
-
-  void skipSpaces() {
-    while (!atEnd() && (peek() == ' ' || peek() == '\t'))
+  auto SkipSpaces = [&] {
+    while (Pos < L.size() && (L[Pos] == ' ' || L[Pos] == '\t'))
       ++Pos;
-  }
-
-  void skipToEol() {
-    while (!atEnd() && peek() != '\n')
-      ++Pos;
-  }
-
-  static bool isIdentChar(char C) {
-    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
-           (C >= '0' && C <= '9') || C == '_' || C == '.';
-  }
-
-  std::string_view lexIdent() {
+  };
+  auto AtComment = [&] {
+    return Pos < L.size() &&
+           (L[Pos] == '#' ||
+            (L[Pos] == '/' && Pos + 1 < L.size() && L[Pos + 1] == '/'));
+  };
+  auto LexIdent = [&] {
     size_t Start = Pos;
-    while (!atEnd() && isIdentChar(peek()))
+    while (Pos < L.size() && isIdentChar(L[Pos]))
       ++Pos;
-    return Text.substr(Start, Pos - Start);
-  }
-
-  bool expect(char C, const char *What) {
-    skipSpaces();
-    if (atEnd() || peek() != C)
-      return fail(std::string("expected '") + C + "' " + What);
+    return L.substr(Start, Pos - Start);
+  };
+  auto Expect = [&](char C, const char *What) {
+    SkipSpaces();
+    if (Pos >= L.size() || L[Pos] != C) {
+      size_t TokStart = Pos;
+      size_t TokEnd = Pos;
+      while (TokEnd < L.size() && isIdentChar(L[TokEnd]))
+        ++TokEnd;
+      return fail(L, Pos, std::string("expected '") + C + "' " + What,
+                  L.substr(TokStart, TokEnd - TokStart));
+    }
     ++Pos;
     return true;
-  }
+  };
 
-  bool parseLine();
-  bool parseAll();
-};
+  SkipSpaces();
+  if (Pos >= L.size() || AtComment())
+    return true; // blank or comment line
 
-bool Parser::parseLine() {
-  skipSpaces();
-  if (atEnd() || peek() == '\n' || peek() == '#' ||
-      (peek() == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/')) {
-    skipToEol();
-    return true;
-  }
-
-  std::string_view ThreadName = lexIdent();
+  size_t ThreadCol = Pos;
+  std::string_view ThreadName = LexIdent();
   if (ThreadName.empty())
-    return fail("expected a thread name");
+    return fail(L, ThreadCol, "expected a thread name", L.substr(Pos, 1));
   ThreadId T = Threads.idFor(ThreadName);
 
-  if (!expect(':', "after thread name"))
+  if (!Expect(':', "after thread name"))
     return false;
 
-  skipSpaces();
-  std::string_view Op = lexIdent();
+  SkipSpaces();
+  size_t OpCol = Pos;
+  std::string_view Op = LexIdent();
   if (Op.empty())
-    return fail("expected an operation");
-  if (!expect('(', "after operation"))
+    return fail(L, OpCol, "expected an operation", L.substr(Pos, 1));
+  if (!Expect('(', "after operation"))
     return false;
-  skipSpaces();
-  std::string_view Arg = lexIdent();
+  SkipSpaces();
+  size_t ArgCol = Pos;
+  std::string_view Arg = LexIdent();
   if (Arg.empty())
-    return fail("expected an operand");
-  if (!expect(')', "after operand"))
+    return fail(L, ArgCol, "expected an operand", L.substr(Pos, 1));
+  if (!Expect(')', "after operand"))
     return false;
 
   SiteId Site = Line;
+  auto Emit = [&](EventKind K, uint32_t Target, SiteId S = InvalidId) {
+    assert(PendingLen < 4 && "line expands to more than 4 events");
+    Pending[PendingLen++] = Event(K, T, Target, S);
+  };
   if (Op == "rd") {
-    Events.emplace_back(EventKind::Read, T, Vars.idFor(Arg), Site);
+    Emit(EventKind::Read, Vars.idFor(Arg), Site);
   } else if (Op == "wr") {
-    Events.emplace_back(EventKind::Write, T, Vars.idFor(Arg), Site);
+    Emit(EventKind::Write, Vars.idFor(Arg), Site);
   } else if (Op == "acq") {
-    Events.emplace_back(EventKind::Acquire, T, Locks.idFor(Arg));
+    Emit(EventKind::Acquire, Locks.idFor(Arg));
   } else if (Op == "rel") {
-    Events.emplace_back(EventKind::Release, T, Locks.idFor(Arg));
+    Emit(EventKind::Release, Locks.idFor(Arg));
   } else if (Op == "vrd") {
-    Events.emplace_back(EventKind::VolRead, T, Volatiles.idFor(Arg), Site);
+    Emit(EventKind::VolRead, Volatiles.idFor(Arg), Site);
   } else if (Op == "vwr") {
-    Events.emplace_back(EventKind::VolWrite, T, Volatiles.idFor(Arg), Site);
+    Emit(EventKind::VolWrite, Volatiles.idFor(Arg), Site);
   } else if (Op == "fork") {
-    Events.emplace_back(EventKind::Fork, T, Threads.idFor(Arg));
+    Emit(EventKind::Fork, Threads.idFor(Arg));
   } else if (Op == "join") {
-    Events.emplace_back(EventKind::Join, T, Threads.idFor(Arg));
+    Emit(EventKind::Join, Threads.idFor(Arg));
   } else if (Op == "sync") {
     // The paper's shorthand: acq(o); rd(oVar); wr(oVar); rel(o).
     LockId M = Locks.idFor(Arg);
     VarId V = Vars.idFor(std::string(Arg) + "Var");
-    Events.emplace_back(EventKind::Acquire, T, M);
-    Events.emplace_back(EventKind::Read, T, V, Site);
-    Events.emplace_back(EventKind::Write, T, V, Site);
-    Events.emplace_back(EventKind::Release, T, M);
+    Emit(EventKind::Acquire, M);
+    Emit(EventKind::Read, V, Site);
+    Emit(EventKind::Write, V, Site);
+    Emit(EventKind::Release, M);
   } else {
-    return fail("unknown operation '" + std::string(Op) + "'");
+    return fail(L, OpCol, "unknown operation '" + std::string(Op) + "'", Op);
   }
 
-  skipSpaces();
-  if (!atEnd() && peek() != '\n' && peek() != '#' &&
-      !(peek() == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/'))
-    return fail("trailing junk after event");
-  skipToEol();
+  SkipSpaces();
+  if (Pos < L.size() && !AtComment()) {
+    size_t TokEnd = Pos;
+    while (TokEnd < L.size() && L[TokEnd] != ' ' && L[TokEnd] != '\t' &&
+           L[TokEnd] != '#')
+      ++TokEnd;
+    return fail(L, Pos, "trailing junk after event",
+                L.substr(Pos, TokEnd - Pos));
+  }
   return true;
 }
 
-bool Parser::parseAll() {
-  while (!atEnd()) {
-    if (!parseLine())
-      return false;
-    if (!atEnd() && peek() == '\n') {
-      ++Pos;
-      ++Line;
+int TraceTextParser::next(Event &E) {
+  if (Failed)
+    return -1;
+  while (PendingPos == PendingLen) {
+    PendingPos = PendingLen = 0;
+    ++Line;
+    if (!readLine()) {
+      std::string Msg;
+      if (Src.error(&Msg)) {
+        Failed = true;
+        ErrLine = Line;
+        ErrColumn = 1;
+        ErrorMsg = Msg;
+        return -1;
+      }
+      return 0;
     }
+    if (!parseLine(LineBuf))
+      return -1;
   }
-  return true;
+  E = Pending[PendingPos++];
+  return 1;
 }
-
-} // namespace
 
 bool st::parseTraceText(std::string_view Text, ParsedTrace &Out,
                         std::string *Error) {
-  Parser P;
-  P.Text = Text;
-  if (!P.parseAll()) {
+  MemoryByteSource Bytes(Text);
+  TraceTextParser P(Bytes);
+  std::vector<Event> Events;
+  Event E;
+  int R;
+  while ((R = P.next(E)) > 0)
+    Events.push_back(E);
+  if (R < 0) {
     if (Error)
-      *Error = P.ErrorMsg;
+      *Error = P.error();
     return false;
   }
-  Out.Tr = Trace(std::move(P.Events));
-  Out.ThreadNames = P.Threads.take();
-  Out.VarNames = P.Vars.take();
-  Out.LockNames = P.Locks.take();
-  Out.VolatileNames = P.Volatiles.take();
+  Out.Tr = Trace(std::move(Events));
+  Out.ThreadNames = P.threadTable().take();
+  Out.VarNames = P.varTable().take();
+  Out.LockNames = P.lockTable().take();
+  Out.VolatileNames = P.volatileTable().take();
   std::string ValidationError;
   if (!Out.Tr.validate(&ValidationError)) {
     if (Error)
@@ -207,34 +261,44 @@ static std::string nameOrNumber(const std::vector<std::string> *Names,
   return Buf;
 }
 
+bool st::printTraceTextEvent(const Event &E, ByteSink &Sink,
+                             const std::vector<std::string> *ThreadNames,
+                             const std::vector<std::string> *VarNames,
+                             const std::vector<std::string> *LockNames,
+                             const std::vector<std::string> *VolNames) {
+  std::string Out = nameOrNumber(ThreadNames, "T", E.Tid);
+  Out += ": ";
+  Out += eventKindName(E.Kind);
+  Out += '(';
+  switch (E.Kind) {
+  case EventKind::Read:
+  case EventKind::Write:
+    Out += nameOrNumber(VarNames, "x", E.Target);
+    break;
+  case EventKind::Acquire:
+  case EventKind::Release:
+    Out += nameOrNumber(LockNames, "m", E.Target);
+    break;
+  case EventKind::VolRead:
+  case EventKind::VolWrite:
+    Out += nameOrNumber(VolNames, "v", E.Target);
+    break;
+  case EventKind::Fork:
+  case EventKind::Join:
+    Out += nameOrNumber(ThreadNames, "T", E.Target);
+    break;
+  }
+  Out += ")\n";
+  return Sink.write(Out.data(), Out.size());
+}
+
 std::string st::printTraceText(const Trace &Tr, const ParsedTrace *Names) {
   std::string Out;
-  for (const Event &E : Tr.events()) {
-    Out += nameOrNumber(Names ? &Names->ThreadNames : nullptr, "T", E.Tid);
-    Out += ": ";
-    Out += eventKindName(E.Kind);
-    Out += '(';
-    switch (E.Kind) {
-    case EventKind::Read:
-    case EventKind::Write:
-      Out += nameOrNumber(Names ? &Names->VarNames : nullptr, "x", E.Target);
-      break;
-    case EventKind::Acquire:
-    case EventKind::Release:
-      Out += nameOrNumber(Names ? &Names->LockNames : nullptr, "m", E.Target);
-      break;
-    case EventKind::VolRead:
-    case EventKind::VolWrite:
-      Out += nameOrNumber(Names ? &Names->VolatileNames : nullptr, "v",
-                          E.Target);
-      break;
-    case EventKind::Fork:
-    case EventKind::Join:
-      Out +=
-          nameOrNumber(Names ? &Names->ThreadNames : nullptr, "T", E.Target);
-      break;
-    }
-    Out += ")\n";
-  }
+  StringByteSink Sink(Out);
+  for (const Event &E : Tr.events())
+    printTraceTextEvent(E, Sink, Names ? &Names->ThreadNames : nullptr,
+                        Names ? &Names->VarNames : nullptr,
+                        Names ? &Names->LockNames : nullptr,
+                        Names ? &Names->VolatileNames : nullptr);
   return Out;
 }

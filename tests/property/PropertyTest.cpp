@@ -17,8 +17,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/AnalysisRegistry.h"
+#include "engine/AnalysisDriver.h"
 #include "graph/EdgeRecorder.h"
 #include "oracle/PredictableRace.h"
+#include "trace/Stb.h"
+#include "trace/TraceText.h"
 #include "workload/RandomTrace.h"
 
 #include <gtest/gtest.h>
@@ -196,6 +199,83 @@ TEST_P(RandomTraceProperty, GraphRecordingNeverChangesVerdicts) {
       EXPECT_GT(Graph.size(), 0u)
           << "a racy random trace should produce some recorded edges";
     }
+  }
+}
+
+TEST_P(RandomTraceProperty, FormatRoundTripPreservesEveryAnalysis) {
+  // text -> STB -> text round trip on a random trace, then every ladder
+  // analysis must report identical dynamic/static race counts whether it
+  // consumes the materialized trace or either streamed representation.
+  RandomTraceConfig C = baseConfig();
+  C.ForkJoin = GetParam() % 2 == 0;
+  C.Volatiles = GetParam() % 3 == 0 ? 1 : 0;
+  C.PVolatile = C.Volatiles ? 0.1 : 0.0;
+  std::string Text = printTraceText(generateRandomTrace(C));
+
+  // The canonical materialization: parse the text (sites = line numbers).
+  ParsedTrace Parsed;
+  std::string ParseError;
+  ASSERT_TRUE(parseTraceText(Text, Parsed, &ParseError)) << ParseError;
+
+  // text -> STB.
+  std::string Stb;
+  StringByteSink StbSink(Stb);
+  ASSERT_TRUE(writeStbTrace(Parsed.Tr, StbSink));
+
+  // STB -> text again: must reproduce the event stream exactly.
+  {
+    MemoryByteSource StbBytes(Stb);
+    StbEventSource StbSrc(StbBytes);
+    std::string Text2;
+    StringByteSink Text2Sink(Text2);
+    Event E;
+    while (StbSrc.read(&E, 1) == 1)
+      ASSERT_TRUE(printTraceTextEvent(E, Text2Sink));
+    ASSERT_FALSE(StbSrc.error());
+    Trace Tr2 = traceFromText(Text2);
+    ASSERT_EQ(Tr2.size(), Parsed.Tr.size());
+    for (size_t I = 0; I != Tr2.size(); ++I)
+      EXPECT_TRUE(Tr2[I] == Parsed.Tr[I]) << "event " << I;
+  }
+
+  // Stream all three representations through the full ladder in single
+  // passes and compare against per-analysis materialized runs.
+  auto RunAll = [&](EventSource &Src) {
+    AnalysisDriver Driver;
+    for (AnalysisKind K : allAnalysisKinds())
+      Driver.add(K);
+    Driver.run(Src);
+    std::vector<std::pair<uint64_t, unsigned>> Counts;
+    for (size_t I = 0; I != Driver.size(); ++I)
+      Counts.emplace_back(Driver.analysis(I).dynamicRaces(),
+                          Driver.analysis(I).staticRaces());
+    return Counts;
+  };
+
+  std::vector<std::pair<uint64_t, unsigned>> Want;
+  for (AnalysisKind K : allAnalysisKinds()) {
+    EdgeRecorder Graph;
+    auto A = createAnalysis(K, buildsGraph(K) ? &Graph : nullptr);
+    A->processTrace(Parsed.Tr);
+    Want.emplace_back(A->dynamicRaces(), A->staticRaces());
+  }
+
+  TraceEventSource MemSrc(Parsed.Tr);
+  MemoryByteSource TextBytes(Text);
+  TextEventSource TextSrc(TextBytes);
+  MemoryByteSource StbBytes(Stb);
+  StbEventSource StbSrc(StbBytes);
+
+  auto FromMem = RunAll(MemSrc);
+  auto FromText = RunAll(TextSrc);
+  auto FromStb = RunAll(StbSrc);
+  EXPECT_FALSE(TextSrc.error());
+  EXPECT_FALSE(StbSrc.error());
+  for (size_t I = 0; I != Want.size(); ++I) {
+    const char *Name = analysisKindName(allAnalysisKinds()[I]);
+    EXPECT_EQ(FromMem[I], Want[I]) << "in-memory " << Name;
+    EXPECT_EQ(FromText[I], Want[I]) << "text stream " << Name;
+    EXPECT_EQ(FromStb[I], Want[I]) << "STB stream " << Name;
   }
 }
 

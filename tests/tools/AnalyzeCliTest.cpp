@@ -148,4 +148,133 @@ TEST(AnalyzeCli, UnknownOptionShowsUsage) {
   EXPECT_NE(R.Output.find("usage:"), std::string::npos) << R.Output;
 }
 
+TEST(AnalyzeCli, ParseErrorReportsColumnAndToken) {
+  RunResult R = runCommand("printf 'T1: wr(x)\\nT1: frobnicate(x)\\n' | " +
+                           cli());
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("line 2, column 5"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("'frobnicate'"), std::string::npos) << R.Output;
+}
+
+TEST(AnalyzeCli, JsonReportCarriesRacesAndTimings) {
+  RunResult R = runCommand(cli() + " --analysis=ST-WDC --format=json " +
+                           trace("racy.trace"));
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_EQ(R.Output.find("{"), 0u) << R.Output;
+  for (const char *Key :
+       {"\"input\":", "\"format\":\"text\"", "\"analyses\":",
+        "\"name\":\"ST-WDC\"", "\"dynamic_races\":1", "\"static_races\":1",
+        "\"seconds\":", "\"races\":[{", "\"kind\":\"write\"",
+        "\"total_dynamic_races\":1"})
+    EXPECT_NE(R.Output.find(Key), std::string::npos)
+        << "missing " << Key << " in:\n"
+        << R.Output;
+}
+
+TEST(AnalyzeCli, JsonReportIncludesVindicationAndStats) {
+  RunResult R = runCommand(cli() +
+                           " --analysis=ST-WDC --format=json --vindicate "
+                           "--stats " +
+                           trace("racy.trace"));
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find("\"vindicated\":true"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("\"witness_events\":"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("\"case_stats\":{"), std::string::npos)
+      << R.Output;
+}
+
+TEST(AnalyzeCli, AllRunsSingleImplicitPassOverStdin) {
+  // --all over stdin: one parse feeds every analysis (stdin cannot be
+  // re-read, so this only works single-pass) and summaries agree on the
+  // event count.
+  RunResult R = runCommand("printf 'T1: wr(x)\\nT2: wr(x)\\n' | " + cli() +
+                           " --all --quiet -");
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  for (AnalysisKind K : allAnalysisKinds())
+    EXPECT_NE(R.Output.find(std::string(analysisKindName(K)) +
+                            " over 2 events"),
+              std::string::npos)
+        << analysisKindName(K) << ":\n"
+        << R.Output;
+}
+
+TEST(AnalyzeCli, ParallelModeMatchesSequentialOutput) {
+  RunResult Seq = runCommand(cli() + " --all --quiet " +
+                             trace("predictable.trace"));
+  RunResult Par = runCommand(cli() + " --all --quiet --parallel --batch=2 " +
+                             trace("predictable.trace"));
+  EXPECT_EQ(Seq.ExitCode, Par.ExitCode);
+  EXPECT_EQ(Seq.Output, Par.Output);
+}
+
+TEST(AnalyzeCli, ConvertRoundTripsThroughStb) {
+  // text -> STB -> text through two piped invocations. STB carries no
+  // symbol names, so the round trip canonicalizes them (T0, x0, m0) while
+  // preserving the event structure: analyzing the round-tripped text must
+  // reproduce the original race verdicts exactly.
+  RunResult R = runCommand(cli() + " --convert=stb " +
+                           trace("predictable.trace") + " | " + cli() +
+                           " --convert=text -");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("acq(m0)"), std::string::npos) << R.Output;
+
+  RunResult Direct = runCommand(cli() + " --analysis=Unopt-WCP --quiet " +
+                                trace("predictable.trace"));
+  RunResult RoundTripped = runCommand(
+      cli() + " --convert=stb " + trace("predictable.trace") + " | " +
+      cli() + " --convert=text - | " + cli() +
+      " --analysis=Unopt-WCP --quiet -");
+  EXPECT_EQ(Direct.ExitCode, 2);
+  EXPECT_EQ(RoundTripped.ExitCode, 2);
+  EXPECT_EQ(Direct.Output, RoundTripped.Output);
+}
+
+TEST(AnalyzeCli, StbOnStdinIsSniffedAndAnalyzed) {
+  RunResult Text = runCommand(cli() + " --analysis=ST-WDC --quiet " +
+                              trace("racy.trace"));
+  RunResult Stb = runCommand(cli() + " --convert=stb " +
+                             trace("racy.trace") + " | " + cli() +
+                             " --analysis=ST-WDC --quiet -");
+  EXPECT_EQ(Text.ExitCode, 2);
+  EXPECT_EQ(Stb.ExitCode, 2);
+  EXPECT_EQ(Text.Output, Stb.Output)
+      << "summary must not depend on the input encoding";
+}
+
+TEST(AnalyzeCli, GenPipesStraightIntoAnalysis) {
+  RunResult R = runCommand(
+      cli() + " --gen threads=3,vars=3,locks=2,events=500,seed=5 | " +
+      cli() + " --all --quiet -");
+  EXPECT_TRUE(R.ExitCode == 0 || R.ExitCode == 2) << R.Output;
+  EXPECT_NE(R.Output.find("events"), std::string::npos) << R.Output;
+}
+
+TEST(AnalyzeCli, GenEmitsStbWhenAsked) {
+  RunResult R = runCommand(
+      cli() + " --gen threads=2,vars=2,events=100,seed=3 --convert=stb | " +
+      cli() + " --analysis=FTO-HB --quiet -");
+  EXPECT_TRUE(R.ExitCode == 0 || R.ExitCode == 2) << R.Output;
+  EXPECT_NE(R.Output.find("FTO-HB over"), std::string::npos) << R.Output;
+}
+
+TEST(AnalyzeCli, GenIsDeterministicPerSeed) {
+  std::string Gen = cli() + " --gen threads=2,vars=2,events=200,seed=9";
+  RunResult A = runCommand(Gen);
+  RunResult B = runCommand(Gen);
+  RunResult C = runCommand(Gen + ",threads=3");
+  EXPECT_EQ(A.ExitCode, 0);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_NE(A.Output, C.Output) << "spec changes must change the trace";
+}
+
+TEST(AnalyzeCli, GenRejectsUnknownKeys) {
+  RunResult R = runCommand(cli() + " --gen frobs=3");
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("unknown --gen key 'frobs'"), std::string::npos)
+      << R.Output;
+}
+
 } // namespace

@@ -1,0 +1,196 @@
+//===- tests/trace/StbTest.cpp - STB binary format unit tests -------------===//
+//
+// Format-level checks of the STB encoding against docs/trace-format.md:
+// header layout, opcode flags (has-site, same-tid), varint boundaries,
+// compactness, and rejection of malformed inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Stb.h"
+
+#include "trace/TraceText.h"
+
+#include <gtest/gtest.h>
+
+using namespace st;
+
+namespace {
+
+std::string encode(const Trace &Tr) {
+  std::string Out;
+  StringByteSink Sink(Out);
+  EXPECT_TRUE(writeStbTrace(Tr, Sink));
+  return Out;
+}
+
+std::vector<Event> decode(std::string_view Bytes, StbHeader *Header = nullptr,
+                          std::string *Error = nullptr) {
+  MemoryByteSource Src(Bytes);
+  StbReader R(Src);
+  std::vector<Event> Out;
+  Event E;
+  int Rc;
+  while ((Rc = R.next(E)) > 0)
+    Out.push_back(E);
+  if (Header)
+    *Header = R.header();
+  if (Error)
+    *Error = R.error();
+  return Out;
+}
+
+TEST(StbTest, HeaderCarriesTraceCounts) {
+  Trace Tr = traceFromText("T1: wr(x)\nT1: acq(m)\nT1: rel(m)\n"
+                           "T1: vwr(f)\nT2: rd(x)\n");
+  StbHeader H;
+  std::string Error;
+  std::vector<Event> Got = decode(encode(Tr), &H, &Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(H.NumThreads, 2u);
+  EXPECT_EQ(H.NumVars, 1u);
+  EXPECT_EQ(H.NumLocks, 1u);
+  EXPECT_EQ(H.NumVolatiles, 1u);
+  EXPECT_EQ(H.EventCount, 5u);
+  EXPECT_EQ(H.NumSites, 3u) << "wr, vwr, rd lines carry sites";
+  EXPECT_EQ(Got.size(), 5u);
+}
+
+TEST(StbTest, SameThreadRunsElideTheThreadId) {
+  // 10 same-thread no-site events after the first: opcode + target = 2
+  // bytes each.
+  TraceBuilder B;
+  for (int I = 0; I < 10; ++I)
+    B.acq(0, 0).rel(0, 0);
+  std::string Bytes = encode(B.build());
+  // Magic 4 + header 6 varints (all small: 6 bytes) + first event 3 bytes
+  // (opcode, tid, target) + 19 * 2.
+  EXPECT_EQ(Bytes.size(), 4u + 6u + 3u + 19u * 2u);
+}
+
+TEST(StbTest, CompactVersusTextDsl) {
+  TraceBuilder B;
+  for (unsigned I = 0; I < 200; ++I) {
+    B.write(I % 4, I % 8, /*Site=*/I % 16);
+    B.read((I + 1) % 4, I % 8, /*Site=*/I % 16);
+  }
+  Trace Tr = B.build();
+  std::string Stb = encode(Tr);
+  std::string Text = printTraceText(Tr);
+  EXPECT_LT(Stb.size(), Text.size() / 2)
+      << "STB must be at least 2x smaller than the DSL";
+  EXPECT_LE(Stb.size() / Tr.size(), 8u) << "<= 8 bytes/event";
+}
+
+TEST(StbTest, LargeIdsRoundTripThroughVarints) {
+  // Ids straddling the 1- and 2-byte varint boundaries and a 5-byte one.
+  std::vector<Event> Events = {
+      Event(EventKind::Write, 0, 127, 127),
+      Event(EventKind::Write, 0, 128, 128),
+      Event(EventKind::Read, 1, 16383, 16384),
+      Event(EventKind::Write, 2, 3000000000u, 4000000000u),
+  };
+  std::string Out;
+  StringByteSink Sink(Out);
+  StbWriter W(Sink);
+  ASSERT_TRUE(W.writeHeader());
+  for (const Event &E : Events)
+    ASSERT_TRUE(W.writeEvent(E));
+  std::string Error;
+  std::vector<Event> Got = decode(Out, nullptr, &Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  ASSERT_EQ(Got.size(), Events.size());
+  for (size_t I = 0; I != Got.size(); ++I) {
+    EXPECT_TRUE(Got[I] == Events[I]) << "event " << I;
+    EXPECT_EQ(Got[I].Site, Events[I].Site) << "site " << I;
+  }
+}
+
+TEST(StbTest, MissingSiteDecodesAsInvalidId) {
+  TraceBuilder B;
+  B.acq(0, 0).rel(0, 0);
+  std::vector<Event> Got = decode(encode(B.build()));
+  ASSERT_EQ(Got.size(), 2u);
+  EXPECT_EQ(Got[0].Site, InvalidId);
+}
+
+TEST(StbTest, RejectsBadMagic) {
+  std::string Error;
+  std::vector<Event> Got = decode("NOPE????", nullptr, &Error);
+  EXPECT_TRUE(Got.empty());
+  EXPECT_NE(Error.find("magic"), std::string::npos) << Error;
+}
+
+TEST(StbTest, RejectsReservedOpcodeBits) {
+  std::string Bytes(StbMagic, sizeof(StbMagic));
+  Bytes.append(6, '\0'); // empty header
+  Bytes += '\xe0';       // reserved bits set
+  std::string Error;
+  decode(Bytes, nullptr, &Error);
+  EXPECT_NE(Error.find("reserved"), std::string::npos) << Error;
+}
+
+TEST(StbTest, RejectsLeadingSameTidFlag) {
+  std::string Bytes(StbMagic, sizeof(StbMagic));
+  Bytes.append(6, '\0');
+  Bytes += '\x10'; // same-tid on the very first event
+  std::string Error;
+  decode(Bytes, nullptr, &Error);
+  EXPECT_NE(Error.find("previous thread"), std::string::npos) << Error;
+}
+
+TEST(StbTest, TruncationMidRecordIsAVarintError) {
+  Trace Tr = traceFromText("T1: wr(x)\nT2: wr(x)\n");
+  std::string Bytes = encode(Tr);
+  std::string Error;
+  decode(std::string_view(Bytes).substr(0, Bytes.size() - 1), nullptr,
+         &Error);
+  EXPECT_NE(Error.find("varint"), std::string::npos) << Error;
+}
+
+TEST(StbTest, ReportsEventCountMismatch) {
+  // Header declares two events but only one record follows.
+  std::string Out;
+  StringByteSink Sink(Out);
+  StbWriter W(Sink);
+  StbHeader H;
+  H.EventCount = 2;
+  ASSERT_TRUE(W.writeHeader(H));
+  ASSERT_TRUE(W.writeEvent(Event(EventKind::Write, 0, 0, 1)));
+  std::string Error;
+  decode(Out, nullptr, &Error);
+  EXPECT_NE(Error.find("declared event count"), std::string::npos) << Error;
+}
+
+TEST(StbTest, ReportsTrailingBytesPastEventCount) {
+  std::string Out;
+  StringByteSink Sink(Out);
+  StbWriter W(Sink);
+  StbHeader H;
+  H.EventCount = 1;
+  ASSERT_TRUE(W.writeHeader(H));
+  ASSERT_TRUE(W.writeEvent(Event(EventKind::Write, 0, 0, 1)));
+  ASSERT_TRUE(W.writeEvent(Event(EventKind::Write, 1, 0, 2)));
+  std::string Error;
+  std::vector<Event> Got = decode(Out, nullptr, &Error);
+  EXPECT_EQ(Got.size(), 1u);
+  EXPECT_NE(Error.find("trailing bytes"), std::string::npos) << Error;
+}
+
+TEST(StbTest, UnknownCountsStreamToEof) {
+  // A writer that streams events it has not counted stores zeros; the
+  // reader then reads to end of stream.
+  std::string Out;
+  StringByteSink Sink(Out);
+  StbWriter W(Sink);
+  ASSERT_TRUE(W.writeHeader());
+  ASSERT_TRUE(W.writeEvent(Event(EventKind::Write, 0, 0, 1)));
+  ASSERT_TRUE(W.writeEvent(Event(EventKind::Write, 1, 0, 2)));
+  std::string Error;
+  StbHeader H;
+  std::vector<Event> Got = decode(Out, &H, &Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(H.EventCount, 0u);
+  EXPECT_EQ(Got.size(), 2u);
+}
+
+} // namespace

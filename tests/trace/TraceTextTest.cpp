@@ -101,6 +101,49 @@ TEST(TraceTextTest, RejectsMissingParen) {
   EXPECT_NE(Error.find("line 1"), std::string::npos) << Error;
 }
 
+TEST(TraceTextTest, ErrorsCarryLineColumnAndToken) {
+  // The unknown operation starts at column 5 of line 3.
+  MemoryByteSource Bytes("T1: wr(x)\nT1: rd(x)\nT2: bogusop(x)\n");
+  TraceTextParser P(Bytes);
+  Event E;
+  EXPECT_EQ(P.next(E), 1);
+  EXPECT_EQ(P.next(E), 1);
+  EXPECT_EQ(P.next(E), -1);
+  EXPECT_EQ(P.errorLine(), 3u);
+  EXPECT_EQ(P.errorColumn(), 5u);
+  EXPECT_NE(P.error().find("line 3, column 5"), std::string::npos)
+      << P.error();
+  EXPECT_NE(P.error().find("'bogusop'"), std::string::npos)
+      << "error must quote the offending token: " << P.error();
+}
+
+TEST(TraceTextTest, TrailingJunkNamesTheJunkToken) {
+  MemoryByteSource Bytes("T1: wr(x) junk\n");
+  TraceTextParser P(Bytes);
+  Event E;
+  EXPECT_EQ(P.next(E), -1);
+  EXPECT_EQ(P.errorLine(), 1u);
+  EXPECT_EQ(P.errorColumn(), 11u);
+  EXPECT_NE(P.error().find("'junk'"), std::string::npos) << P.error();
+}
+
+TEST(TraceTextTest, MissingParenErrorPointsAtTheOperand) {
+  ParsedTrace P;
+  std::string Error;
+  EXPECT_FALSE(parseTraceText("T1: rd x\n", P, &Error));
+  EXPECT_NE(Error.find("line 1, column 8"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("'x'"), std::string::npos) << Error;
+}
+
+TEST(TraceTextTest, StreamingParserNeedsNoTrailingNewline) {
+  MemoryByteSource Bytes("T1: wr(x)"); // EOF right after the event
+  TraceTextParser P(Bytes);
+  Event E;
+  EXPECT_EQ(P.next(E), 1);
+  EXPECT_EQ(E.Kind, EventKind::Write);
+  EXPECT_EQ(P.next(E), 0);
+}
+
 TEST(TraceTextTest, RejectsIllFormedLocking) {
   ParsedTrace P;
   std::string Error;

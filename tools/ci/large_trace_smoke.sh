@@ -1,0 +1,72 @@
+#!/bin/sh
+# Large-trace streaming smoke test (CI): generate a ~1M-event trace with
+# st-analyze --gen, stream it through the full analysis ladder in a single
+# pass, and assert the streaming guarantees hold in practice:
+#
+#  - peak memory stays bounded (hard virtual-address-space caps via
+#    ulimit -v; materializing the trace or the race records would blow
+#    them, analysis metadata does not);
+#  - wall time stays under a budget (timeout);
+#  - the text and STB encodings produce identical verdicts.
+#
+# Usage: large_trace_smoke.sh path/to/st-analyze
+set -eu
+
+ST=${1:?usage: large_trace_smoke.sh path/to/st-analyze}
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+GEN_SPEC=threads=4,vars=6,locks=3,events=1000000,seed=11
+TIME_BUDGET=${SMOKE_TIME_BUDGET:-300}
+
+# Runs "$@" under a vmem cap (KB) and the time budget, streaming from
+# stdin; requires exit code 2 (races found — the generated trace races).
+expect_races() {
+    vmem_kb=$1
+    input=$2
+    shift 2
+    rc=0
+    (
+        ulimit -v "$vmem_kb"
+        timeout "$TIME_BUDGET" "$@" - < "$input" > /dev/null
+    ) || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "FAIL: '$*' on $input exited $rc (wanted 2: races, in budget," \
+             "under the ${vmem_kb}KB cap)"
+        exit 1
+    fi
+}
+
+echo "== generating ~1M-event trace, then converting text -> STB"
+"$ST" --gen "$GEN_SPEC" -o "$DIR/big.trace"
+# Conversion (not a second --gen) so both encodings carry the same
+# line-number sites and static race counts must match exactly.
+"$ST" --convert=stb -o "$DIR/big.stb" "$DIR/big.trace"
+ls -l "$DIR"
+
+echo "== single analysis, text stdin, 256MB address-space cap"
+expect_races 262144 "$DIR/big.trace" "$ST" --analysis=ST-WDC --quiet --max-races=16
+
+echo "== all 14 analyses, single pass, STB stdin, 1GB address-space cap"
+expect_races 1048576 "$DIR/big.stb" "$ST" --all --quiet --max-races=16
+
+echo "== all 14 analyses, parallel fan-out, STB stdin, 1GB cap"
+expect_races 1048576 "$DIR/big.stb" "$ST" --all --quiet --max-races=16 --parallel
+
+echo "== text and STB encodings agree on every analysis"
+for f in big.trace big.stb; do
+    rc=0
+    "$ST" --all --quiet --max-races=16 "$DIR/$f" > "$DIR/$f.out" || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "FAIL: --all on $f exited $rc (wanted 2: races found)"
+        exit 1
+    fi
+done
+if ! cmp -s "$DIR/big.trace.out" "$DIR/big.stb.out"; then
+    echo "FAIL: summaries differ between text and STB input"
+    diff "$DIR/big.trace.out" "$DIR/big.stb.out" | head -20
+    exit 1
+fi
+head -3 "$DIR/big.trace.out"
+
+echo "OK: streamed 1M events through the ladder within memory and time budgets"

@@ -4,15 +4,20 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The command-line entry point to the whole analysis ladder: reads a trace
-// in the TraceText DSL (file or stdin), runs one, several, or all of the
-// Table 1 analyses, reports each race with its static site, and optionally
-// vindicates races and prints the FTO/SmartTrack case-frequency counters
-// (Table 12).
+// The command-line entry point to the whole analysis ladder, built on the
+// streaming engine: the input (TraceText DSL or STB binary, file or stdin,
+// format sniffed from the first bytes) streams through every selected
+// analysis in a single pass — one parse for --all, O(analysis-metadata)
+// memory, optional thread-per-analysis fan-out. Also converts between the
+// two trace formats and generates random workload traces so large inputs
+// need no separate tool.
 //
 // Usage:
 //   st-analyze [--analysis=NAME]... [--all] [--vindicate] [--stats]
-//              [--max-races=N] [--quiet] [file|-]
+//              [--format=text|json] [--max-races=N] [--quiet]
+//              [--batch=N] [--parallel] [file|-]
+//   st-analyze --convert=text|stb [-o FILE] [file|-]
+//   st-analyze --gen SPEC [--convert=text|stb] [-o FILE]
 //   st-analyze --list
 //
 // Exit status: 0 when no analysis reports a race, 2 when at least one
@@ -20,10 +25,11 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/AnalysisRegistry.h"
-#include "graph/EdgeRecorder.h"
+#include "engine/AnalysisDriver.h"
+#include "trace/Stb.h"
 #include "trace/TraceText.h"
 #include "vindicate/Vindicator.h"
+#include "workload/RandomTrace.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -36,12 +42,21 @@ using namespace st;
 
 namespace {
 
+enum class ReportFormat : uint8_t { Text, Json };
+
 struct Options {
   std::vector<AnalysisKind> Kinds;
-  const char *Path = nullptr; // nullptr or "-" means stdin
+  const char *Path = nullptr;    // nullptr or "-" means stdin
+  const char *OutPath = nullptr; // nullptr means stdout
+  const char *GenSpec = nullptr;
+  bool Convert = false;
+  TraceFormat ConvertTo = TraceFormat::Text;
+  ReportFormat Format = ReportFormat::Text;
   bool Vindicate = false;
   bool Stats = false;
   bool Quiet = false;
+  bool Parallel = false;
+  size_t BatchSize = 1 << 14;
   size_t MaxStoredRaces = SIZE_MAX;
 };
 
@@ -50,20 +65,34 @@ void printUsage(FILE *Out, const char *Prog) {
       Out,
       "usage: %s [options] [file|-]\n"
       "\n"
-      "Reads a TraceText trace from FILE (or stdin) and runs predictive\n"
-      "race detection over it.\n"
+      "Streams a trace (TraceText DSL or STB binary, auto-detected) from\n"
+      "FILE (or stdin) through predictive race detection: all selected\n"
+      "analyses run in a single pass over one parse of the input.\n"
       "\n"
-      "options:\n"
+      "analysis options:\n"
       "  --analysis=NAME  analysis to run (repeatable; default ST-WDC);\n"
       "                   see --list for the available names\n"
       "  --all            run every analysis in the registry\n"
       "  --list           list the registered analyses and exit\n"
       "  --vindicate      check each reported race for predictability and\n"
-      "                   print the witness length\n"
+      "                   print the witness length (buffers the trace)\n"
       "  --stats          print the per-case access-frequency counters\n"
       "                   (Table 12) for analyses that track them\n"
+      "  --format=FMT     report format: text (default) or json\n"
       "  --max-races=N    store at most N race records per analysis\n"
       "  --quiet          print only the per-analysis summary lines\n"
+      "\n"
+      "engine options:\n"
+      "  --batch=N        events per engine batch (default 16384)\n"
+      "  --parallel       one worker thread per analysis\n"
+      "\n"
+      "trace tooling:\n"
+      "  --convert=FMT    no analysis: re-encode the input as text or stb\n"
+      "  --gen SPEC       no input: generate a random well-formed trace;\n"
+      "                   SPEC is key=value pairs joined by commas, keys:\n"
+      "                   threads vars locks volatiles events nesting\n"
+      "                   psync pwrite pvolatile forkjoin seed\n"
+      "  -o FILE          write --convert/--gen output to FILE\n"
       "  -h, --help       show this message\n",
       Prog);
 }
@@ -97,6 +126,18 @@ bool findKind(const char *Name, AnalysisKind &Out) {
   return false;
 }
 
+bool parseCount(const char *Value, const char *Flag, size_t &Out) {
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long N = std::strtoull(Value, &End, 10);
+  if (End == Value || *End != '\0' || *Value == '-' || errno == ERANGE) {
+    std::fprintf(stderr, "error: bad %s value '%s'\n", Flag, Value);
+    return false;
+  }
+  Out = static_cast<size_t>(N);
+  return true;
+}
+
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -119,17 +160,51 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Vindicate = true;
     } else if (std::strcmp(Arg, "--stats") == 0) {
       Opts.Stats = true;
-    } else if (std::strncmp(Arg, "--max-races=", 12) == 0) {
-      const char *Value = Arg + 12;
-      char *End = nullptr;
-      errno = 0;
-      unsigned long long N = std::strtoull(Value, &End, 10);
-      if (End == Value || *End != '\0' || *Value == '-' ||
-          errno == ERANGE) {
-        std::fprintf(stderr, "error: bad --max-races value '%s'\n", Value);
+    } else if (std::strncmp(Arg, "--format=", 9) == 0) {
+      const char *V = Arg + 9;
+      if (std::strcmp(V, "text") == 0) {
+        Opts.Format = ReportFormat::Text;
+      } else if (std::strcmp(V, "json") == 0) {
+        Opts.Format = ReportFormat::Json;
+      } else {
+        std::fprintf(stderr,
+                     "error: bad --format '%s' (expected text or json)\n", V);
         return false;
       }
-      Opts.MaxStoredRaces = static_cast<size_t>(N);
+    } else if (std::strncmp(Arg, "--convert=", 10) == 0) {
+      const char *V = Arg + 10;
+      if (std::strcmp(V, "text") == 0) {
+        Opts.ConvertTo = TraceFormat::Text;
+      } else if (std::strcmp(V, "stb") == 0) {
+        Opts.ConvertTo = TraceFormat::Stb;
+      } else {
+        std::fprintf(stderr,
+                     "error: bad --convert '%s' (expected text or stb)\n", V);
+        return false;
+      }
+      Opts.Convert = true;
+    } else if (std::strcmp(Arg, "--gen") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --gen needs a workload spec\n");
+        return false;
+      }
+      Opts.GenSpec = Argv[++I];
+    } else if (std::strcmp(Arg, "-o") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: -o needs a file name\n");
+        return false;
+      }
+      Opts.OutPath = Argv[++I];
+    } else if (std::strncmp(Arg, "--max-races=", 12) == 0) {
+      if (!parseCount(Arg + 12, "--max-races", Opts.MaxStoredRaces))
+        return false;
+    } else if (std::strncmp(Arg, "--batch=", 8) == 0) {
+      if (!parseCount(Arg + 8, "--batch", Opts.BatchSize))
+        return false;
+      if (Opts.BatchSize == 0)
+        Opts.BatchSize = 1;
+    } else if (std::strcmp(Arg, "--parallel") == 0) {
+      Opts.Parallel = true;
     } else if (std::strcmp(Arg, "--quiet") == 0) {
       Opts.Quiet = true;
     } else if (std::strcmp(Arg, "-h") == 0 ||
@@ -152,40 +227,180 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
   return true;
 }
 
-bool readInput(const char *Path, std::string &Text) {
-  bool UseStdin = !Path || std::strcmp(Path, "-") == 0;
-  FILE *In = UseStdin ? stdin : std::fopen(Path, "r");
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open %s\n", Path);
-    return false;
-  }
-  char Buf[4096];
-  size_t N;
-  while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
-    Text.append(Buf, N);
-  bool ReadError = std::ferror(In) != 0;
-  if (!UseStdin)
-    std::fclose(In);
-  if (ReadError) {
-    std::fprintf(stderr, "error: cannot read %s\n",
-                 UseStdin ? "stdin" : Path);
-    return false;
+//===----------------------------------------------------------------------===//
+// --gen: random trace generation
+//===----------------------------------------------------------------------===//
+
+bool parseGenSpec(const char *Spec, RandomTraceConfig &C) {
+  std::string S(Spec);
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    std::string Pair = S.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Pair.empty())
+      continue;
+    size_t Eq = Pair.find('=');
+    if (Eq == std::string::npos) {
+      std::fprintf(stderr, "error: --gen entry '%s' is not key=value\n",
+                   Pair.c_str());
+      return false;
+    }
+    std::string Key = Pair.substr(0, Eq);
+    const char *Value = Pair.c_str() + Eq + 1;
+    char *End = nullptr;
+    double V = std::strtod(Value, &End);
+    if (End == Value || *End != '\0') {
+      std::fprintf(stderr, "error: --gen value '%s' for '%s' is not a "
+                           "number\n",
+                   Value, Key.c_str());
+      return false;
+    }
+    if (Key == "threads")
+      C.Threads = static_cast<unsigned>(V);
+    else if (Key == "vars")
+      C.Vars = static_cast<unsigned>(V);
+    else if (Key == "locks")
+      C.Locks = static_cast<unsigned>(V);
+    else if (Key == "volatiles")
+      C.Volatiles = static_cast<unsigned>(V);
+    else if (Key == "events")
+      C.Events = static_cast<unsigned>(V);
+    else if (Key == "nesting")
+      C.MaxNesting = static_cast<unsigned>(V);
+    else if (Key == "psync")
+      C.PSync = V;
+    else if (Key == "pwrite")
+      C.PWrite = V;
+    else if (Key == "pvolatile")
+      C.PVolatile = V;
+    else if (Key == "forkjoin")
+      C.ForkJoin = V != 0;
+    else if (Key == "seed")
+      C.Seed = static_cast<uint64_t>(V);
+    else {
+      std::fprintf(stderr,
+                   "error: unknown --gen key '%s' (keys: threads vars locks "
+                   "volatiles events nesting psync pwrite pvolatile forkjoin "
+                   "seed)\n",
+                   Key.c_str());
+      return false;
+    }
   }
   return true;
 }
 
-std::string symbolName(const std::vector<std::string> &Names, uint32_t Id,
+/// Opens the --convert/--gen output stream (stdout by default).
+FILE *openOutput(const Options &Opts) {
+  if (!Opts.OutPath)
+    return stdout;
+  FILE *Out = std::fopen(Opts.OutPath, "wb");
+  if (!Out)
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 Opts.OutPath);
+  return Out;
+}
+
+int generateTrace(const Options &Opts) {
+  RandomTraceConfig Config;
+  if (!parseGenSpec(Opts.GenSpec, Config))
+    return 1;
+  Trace Tr = generateRandomTrace(Config);
+  FILE *Out = openOutput(Opts);
+  if (!Out)
+    return 1;
+  FileByteSink Sink(Out);
+  bool OK;
+  if (Opts.Convert && Opts.ConvertTo == TraceFormat::Stb) {
+    OK = writeStbTrace(Tr, Sink);
+  } else {
+    OK = true;
+    for (const Event &E : Tr.events())
+      if (!printTraceTextEvent(E, Sink)) {
+        OK = false;
+        break;
+      }
+  }
+  if (Out != stdout)
+    std::fclose(Out);
+  if (!OK) {
+    std::fprintf(stderr, "error: write failed\n");
+    return 1;
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// --convert: streaming re-encoding
+//===----------------------------------------------------------------------===//
+
+int convertTrace(const Options &Opts, OpenedEventSource &In) {
+  FILE *Out = openOutput(Opts);
+  if (!Out)
+    return 1;
+  FileByteSink Sink(Out);
+  StbWriter Stb(Sink);
+  bool WriteOK = Opts.ConvertTo != TraceFormat::Stb || Stb.writeHeader();
+  const TraceTextParser *Names = In.textParser();
+
+  std::vector<Event> Batch(Opts.BatchSize);
+  size_t N;
+  while (WriteOK && (N = In.Events->read(Batch.data(), Batch.size())) > 0) {
+    for (size_t I = 0; I != N && WriteOK; ++I) {
+      if (Opts.ConvertTo == TraceFormat::Stb)
+        WriteOK = Stb.writeEvent(Batch[I]);
+      else
+        WriteOK = printTraceTextEvent(
+            Batch[I], Sink, Names ? &Names->threadNames() : nullptr,
+            Names ? &Names->varNames() : nullptr,
+            Names ? &Names->lockNames() : nullptr,
+            Names ? &Names->volatileNames() : nullptr);
+    }
+  }
+  if (Out != stdout)
+    std::fclose(Out);
+  std::string Error;
+  if (In.Events->error(&Error)) {
+    std::fprintf(stderr, "parse error: %s\n", Error.c_str());
+    return 1;
+  }
+  if (!WriteOK) {
+    std::fprintf(stderr, "error: write failed\n");
+    return 1;
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Race reporting
+//===----------------------------------------------------------------------===//
+
+std::string symbolName(const std::vector<std::string> *Names, uint32_t Id,
                        char Prefix) {
-  if (Id < Names.size())
-    return Names[Id];
+  if (Names && Id < Names->size())
+    return (*Names)[Id];
   return Prefix + std::to_string(Id);
 }
 
-void printRaces(const Analysis &A, const ParsedTrace &Parsed,
-                const Options &Opts) {
+/// Names interned by the text parser, or null vectors for STB inputs.
+struct SymbolTables {
+  const std::vector<std::string> *Threads = nullptr;
+  const std::vector<std::string> *Vars = nullptr;
+};
+
+/// Vindication results computed once per analysis (empty when off).
+struct VindicationReport {
+  std::vector<VindicationResult> PerRace;
+};
+
+void printRaces(const Analysis &A, const SymbolTables &Syms,
+                const VindicationReport &Vind) {
+  size_t Idx = 0;
   for (const RaceRecord &R : A.raceRecords()) {
-    std::string Var = symbolName(Parsed.VarNames, R.Var, 'x');
-    std::string Thread = symbolName(Parsed.ThreadNames, R.Tid, 'T');
+    std::string Var = symbolName(Syms.Vars, R.Var, 'x');
+    std::string Thread = symbolName(Syms.Threads, R.Tid, 'T');
     std::printf("  race: %s of %s by %s at event %llu",
                 R.IsWrite ? "write" : "read", Var.c_str(), Thread.c_str(),
                 static_cast<unsigned long long>(R.EventIdx));
@@ -193,10 +408,10 @@ void printRaces(const Analysis &A, const ParsedTrace &Parsed,
       std::printf(" (line %u)", R.Site);
     if (!R.Prior.isNone())
       std::printf(" vs %s@%u",
-                  symbolName(Parsed.ThreadNames, R.Prior.tid(), 'T').c_str(),
+                  symbolName(Syms.Threads, R.Prior.tid(), 'T').c_str(),
                   R.Prior.clock());
-    if (Opts.Vindicate) {
-      VindicationResult V = vindicateRaceAtEvent(Parsed.Tr, R.EventIdx);
+    if (Idx < Vind.PerRace.size()) {
+      const VindicationResult &V = Vind.PerRace[Idx];
       if (V.Vindicated)
         std::printf("  [vindicated: %zu-event witness]",
                     V.Witness.Prefix.size());
@@ -204,6 +419,7 @@ void printRaces(const Analysis &A, const ParsedTrace &Parsed,
         std::printf("  [not vindicated: %s]", V.FailureReason.c_str());
     }
     std::printf("\n");
+    ++Idx;
   }
 }
 
@@ -238,6 +454,197 @@ void printCaseStats(const Analysis &A) {
   Row("shared", S->WriteShared);
 }
 
+//===----------------------------------------------------------------------===//
+// JSON report
+//===----------------------------------------------------------------------===//
+
+void jsonEscape(const std::string &S, std::string &Out) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void jsonKey(std::string &Out, const char *Key) {
+  jsonEscape(Key, Out);
+  Out += ':';
+}
+
+void jsonNumber(std::string &Out, double V) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  Out += Buf;
+}
+
+/// Integer counters (event indices, race counts) must not round-trip
+/// through double: indices past 2^53-ish would silently corrupt.
+void jsonUInt(std::string &Out, uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(V));
+  Out += Buf;
+}
+
+void jsonCaseStats(std::string &Out, const CaseStats &S) {
+  auto Field = [&](const char *K, uint64_t V, bool Comma = true) {
+    jsonKey(Out, K);
+    jsonUInt(Out, V);
+    if (Comma)
+      Out += ',';
+  };
+  Out += '{';
+  Field("read_same_epoch", S.ReadSameEpoch);
+  Field("shared_same_epoch", S.SharedSameEpoch);
+  Field("write_same_epoch", S.WriteSameEpoch);
+  Field("read_owned", S.ReadOwned);
+  Field("read_shared_owned", S.ReadSharedOwned);
+  Field("read_exclusive", S.ReadExclusive);
+  Field("read_share", S.ReadShare);
+  Field("read_shared", S.ReadShared);
+  Field("write_owned", S.WriteOwned);
+  Field("write_exclusive", S.WriteExclusive);
+  Field("write_shared", S.WriteShared, false);
+  Out += '}';
+}
+
+std::string jsonReport(AnalysisDriver &Driver, const Options &Opts,
+                       TraceFormat Fmt, const SymbolTables &Syms,
+                       const std::vector<VindicationReport> &Vind) {
+  const StreamStats &St = Driver.streamStats();
+  std::string Out = "{";
+  jsonKey(Out, "input");
+  Out += '{';
+  jsonKey(Out, "format");
+  Out += Fmt == TraceFormat::Stb ? "\"stb\"" : "\"text\"";
+  Out += ',';
+  jsonKey(Out, "events");
+  jsonUInt(Out, St.Events);
+  Out += ',';
+  jsonKey(Out, "threads");
+  jsonUInt(Out, St.NumThreads);
+  Out += ',';
+  jsonKey(Out, "vars");
+  jsonUInt(Out, St.NumVars);
+  Out += ',';
+  jsonKey(Out, "locks");
+  jsonUInt(Out, St.NumLocks);
+  Out += ',';
+  jsonKey(Out, "volatiles");
+  jsonUInt(Out, St.NumVolatiles);
+  Out += "},";
+
+  uint64_t Total = 0;
+  jsonKey(Out, "analyses");
+  Out += '[';
+  for (size_t I = 0; I != Driver.size(); ++I) {
+    if (I)
+      Out += ',';
+    const Analysis &A = *Driver.slot(I).A;
+    Total += A.dynamicRaces();
+    Out += '{';
+    jsonKey(Out, "name");
+    jsonEscape(A.name(), Out);
+    Out += ',';
+    jsonKey(Out, "dynamic_races");
+    jsonUInt(Out, A.dynamicRaces());
+    Out += ',';
+    jsonKey(Out, "static_races");
+    jsonUInt(Out, A.staticRaces());
+    Out += ',';
+    jsonKey(Out, "seconds");
+    jsonNumber(Out, Driver.slot(I).Seconds);
+    if (Opts.Stats && A.caseStats()) {
+      Out += ',';
+      jsonKey(Out, "case_stats");
+      jsonCaseStats(Out, *A.caseStats());
+    }
+    if (!Opts.Quiet) {
+      Out += ',';
+      jsonKey(Out, "races");
+      Out += '[';
+      size_t RI = 0;
+      for (const RaceRecord &R : A.raceRecords()) {
+        if (RI)
+          Out += ',';
+        Out += '{';
+        jsonKey(Out, "event");
+        jsonUInt(Out, R.EventIdx);
+        Out += ',';
+        jsonKey(Out, "kind");
+        Out += R.IsWrite ? "\"write\"" : "\"read\"";
+        Out += ',';
+        jsonKey(Out, "var");
+        jsonEscape(symbolName(Syms.Vars, R.Var, 'x'), Out);
+        Out += ',';
+        jsonKey(Out, "thread");
+        jsonEscape(symbolName(Syms.Threads, R.Tid, 'T'), Out);
+        if (R.Site != InvalidId) {
+          Out += ',';
+          jsonKey(Out, "site_line");
+          jsonUInt(Out, R.Site);
+        }
+        if (!R.Prior.isNone()) {
+          Out += ',';
+          jsonKey(Out, "prior_thread");
+          jsonEscape(symbolName(Syms.Threads, R.Prior.tid(), 'T'), Out);
+          Out += ',';
+          jsonKey(Out, "prior_clock");
+          jsonUInt(Out, R.Prior.clock());
+        }
+        if (I < Vind.size() && RI < Vind[I].PerRace.size()) {
+          const VindicationResult &V = Vind[I].PerRace[RI];
+          Out += ',';
+          jsonKey(Out, "vindicated");
+          Out += V.Vindicated ? "true" : "false";
+          if (V.Vindicated) {
+            Out += ',';
+            jsonKey(Out, "witness_events");
+            jsonUInt(Out, V.Witness.Prefix.size());
+          } else {
+            Out += ',';
+            jsonKey(Out, "failure_reason");
+            jsonEscape(V.FailureReason, Out);
+          }
+        }
+        Out += '}';
+        ++RI;
+      }
+      Out += ']';
+    }
+    Out += '}';
+  }
+  Out += "],";
+  jsonKey(Out, "total_dynamic_races");
+  jsonUInt(Out, Total);
+  Out += ',';
+  jsonKey(Out, "wall_seconds");
+  jsonNumber(Out, Driver.wallSeconds());
+  Out += "}\n";
+  return Out;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -245,35 +652,89 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts))
     return 1;
 
-  std::string Text;
-  if (!readInput(Opts.Path, Text))
-    return 1;
+  if (Opts.GenSpec)
+    return generateTrace(Opts);
 
-  ParsedTrace Parsed;
+  bool UseStdin = !Opts.Path || std::strcmp(Opts.Path, "-") == 0;
+  FILE *In = UseStdin ? stdin : std::fopen(Opts.Path, "rb");
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Opts.Path);
+    return 1;
+  }
+  FileByteSource Bytes(In);
+  OpenedEventSource Input = openEventSource(Bytes);
+
+  if (Opts.Convert) {
+    int RC = convertTrace(Opts, Input);
+    if (!UseStdin)
+      std::fclose(In);
+    return RC;
+  }
+
+  DriverOptions DriverOpts;
+  DriverOpts.BatchSize = Opts.BatchSize;
+  DriverOpts.Parallel = Opts.Parallel;
+  DriverOpts.MaxStoredRaces = Opts.MaxStoredRaces;
+  AnalysisDriver Driver(DriverOpts);
+  for (AnalysisKind Kind : Opts.Kinds)
+    Driver.add(Kind);
+
+  // Vindication replays the trace, so it is the one mode that buffers the
+  // event stream; plain detection stays O(analysis-metadata).
+  std::vector<Event> Captured;
+  CapturingEventSource Tee(*Input.Events, Captured);
+  if (Opts.Vindicate)
+    Driver.run(Tee);
+  else
+    Driver.run(*Input.Events);
+  if (!UseStdin)
+    std::fclose(In);
+
   std::string Error;
-  if (!parseTraceText(Text, Parsed, &Error)) {
+  if (Input.Events->error(&Error)) {
     std::fprintf(stderr, "parse error: %s\n", Error.c_str());
     return 1;
   }
 
-  uint64_t TotalRaces = 0;
-  for (AnalysisKind Kind : Opts.Kinds) {
-    EdgeRecorder Graph;
-    auto A = createAnalysis(Kind, buildsGraph(Kind) ? &Graph : nullptr);
-    A->setMaxStoredRaces(Opts.MaxStoredRaces);
-    A->processTrace(Parsed.Tr);
-    TotalRaces += A->dynamicRaces();
+  SymbolTables Syms;
+  if (const TraceTextParser *P = Input.textParser()) {
+    Syms.Threads = &P->threadNames();
+    Syms.Vars = &P->varNames();
+  }
 
-    std::printf("%s over %zu events (%u threads, %u vars, %u locks): "
-                "%llu dynamic race(s), %u static site(s)\n",
-                A->name(), Parsed.Tr.size(), Parsed.Tr.numThreads(),
-                Parsed.Tr.numVars(), Parsed.Tr.numLocks(),
-                static_cast<unsigned long long>(A->dynamicRaces()),
-                A->staticRaces());
-    if (!Opts.Quiet) {
-      printRaces(*A, Parsed, Opts);
-      if (Opts.Stats)
-        printCaseStats(*A);
+  // One vindication pass per analysis, shared by both report formats.
+  std::vector<VindicationReport> Vind(Driver.size());
+  if (Opts.Vindicate) {
+    Trace CapturedTr{std::move(Captured)};
+    for (size_t I = 0; I != Driver.size(); ++I)
+      for (const RaceRecord &R : Driver.analysis(I).raceRecords())
+        Vind[I].PerRace.push_back(
+            vindicateRaceAtEvent(CapturedTr, R.EventIdx));
+  }
+
+  uint64_t TotalRaces = 0;
+  for (size_t I = 0; I != Driver.size(); ++I)
+    TotalRaces += Driver.analysis(I).dynamicRaces();
+
+  if (Opts.Format == ReportFormat::Json) {
+    std::string Report =
+        jsonReport(Driver, Opts, Input.Format, Syms, Vind);
+    std::fwrite(Report.data(), 1, Report.size(), stdout);
+  } else {
+    const StreamStats &St = Driver.streamStats();
+    for (size_t I = 0; I != Driver.size(); ++I) {
+      const Analysis &A = *Driver.slot(I).A;
+      std::printf("%s over %llu events (%u threads, %u vars, %u locks): "
+                  "%llu dynamic race(s), %u static site(s)\n",
+                  A.name(), static_cast<unsigned long long>(St.Events),
+                  St.NumThreads, St.NumVars, St.NumLocks,
+                  static_cast<unsigned long long>(A.dynamicRaces()),
+                  A.staticRaces());
+      if (!Opts.Quiet) {
+        printRaces(A, Syms, Vind[I]);
+        if (Opts.Stats)
+          printCaseStats(A);
+      }
     }
   }
   return TotalRaces ? 2 : 0;
