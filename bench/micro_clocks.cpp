@@ -29,6 +29,55 @@ static void BM_VectorClockJoin(benchmark::State &State) {
 }
 BENCHMARK(BM_VectorClockJoin)->Arg(2)->Arg(8)->Arg(32);
 
+// Copy construction is the FT2/SmartTrack release-path shape
+// (`LockRelease.of(m) = Ct` into fresh storage, Read Share inflation,
+// CCS snapshots): with std::vector storage every small-clock copy is a
+// heap allocation; inline storage makes it a fixed-size memcpy.
+static void BM_VectorClockCopy(benchmark::State &State) {
+  unsigned T = static_cast<unsigned>(State.range(0));
+  VectorClock A;
+  for (unsigned I = 0; I < T; ++I)
+    A.set(I, I * 3 + 1);
+  for (auto _ : State) {
+    VectorClock B(A);
+    benchmark::DoNotOptimize(B);
+  }
+}
+BENCHMARK(BM_VectorClockCopy)->Arg(2)->Arg(4)->Arg(8)->Arg(32);
+
+// Copy assignment into a clock that already has capacity (the steady-state
+// release path once a lock has been released at least once).
+static void BM_VectorClockCopyAssign(benchmark::State &State) {
+  unsigned T = static_cast<unsigned>(State.range(0));
+  VectorClock A, B;
+  for (unsigned I = 0; I < T; ++I) {
+    A.set(I, I * 3 + 1);
+    B.set(I, I * 5 + 2);
+  }
+  for (auto _ : State) {
+    B = A;
+    benchmark::DoNotOptimize(B);
+  }
+}
+BENCHMARK(BM_VectorClockCopyAssign)->Arg(2)->Arg(4)->Arg(8)->Arg(32);
+
+// Copy + join together approximate one acquire/release pair on a small
+// clock, the dominant synchronization cost in lock-heavy workloads.
+static void BM_VectorClockCopyJoin(benchmark::State &State) {
+  unsigned T = static_cast<unsigned>(State.range(0));
+  VectorClock A, B;
+  for (unsigned I = 0; I < T; ++I) {
+    A.set(I, I * 3 + 1);
+    B.set(I, I * 5 + 2);
+  }
+  for (auto _ : State) {
+    VectorClock C(A);
+    C.joinWith(B);
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_VectorClockCopyJoin)->Arg(2)->Arg(4)->Arg(8)->Arg(32);
+
 static void BM_VectorClockLeq(benchmark::State &State) {
   unsigned T = static_cast<unsigned>(State.range(0));
   VectorClock A, B;

@@ -17,6 +17,7 @@
 #include "analysis/UnoptWCP.h"
 
 #include <cassert>
+#include <cstring>
 
 using namespace st;
 
@@ -78,6 +79,15 @@ const char *st::analysisKindName(AnalysisKind K) {
   }
   assert(false && "unknown analysis kind");
   return "?";
+}
+
+bool st::findAnalysisKind(const char *Name, AnalysisKind &Out) {
+  for (AnalysisKind K : allAnalysisKinds())
+    if (std::strcmp(analysisKindName(K), Name) == 0) {
+      Out = K;
+      return true;
+    }
+  return false;
 }
 
 bool st::buildsGraph(AnalysisKind K) {

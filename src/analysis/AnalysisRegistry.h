@@ -51,6 +51,10 @@ RelationKind relationOf(AnalysisKind K);
 /// Table-style short name ("ST-DC", "Unopt-WDC w/G", ...).
 const char *analysisKindName(AnalysisKind K);
 
+/// Reverse lookup of analysisKindName; returns false when \p Name names
+/// no registered analysis. The CLIs resolve --analysis= through this.
+bool findAnalysisKind(const char *Name, AnalysisKind &Out);
+
 /// True for the configurations that record a constraint graph.
 bool buildsGraph(AnalysisKind K);
 

@@ -88,6 +88,13 @@ uint64_t AnalysisDriver::run(EventSource &Src) {
   uint64_t Events = Opts.Parallel && Slots.size() > 1 ? runParallel(Src)
                                                       : runSequential(Src);
   WallSeconds = secondsSince(Start);
+  if (Opts.SampleFootprint) {
+    for (Slot &S : Slots) {
+      S.FinalFootprintBytes = S.A->footprintBytes();
+      if (S.FinalFootprintBytes > S.PeakFootprintBytes)
+        S.PeakFootprintBytes = S.FinalFootprintBytes;
+    }
+  }
   return Events;
 }
 

@@ -67,6 +67,9 @@ public:
     double Seconds = 0;
     /// Peak sampled footprintBytes() (0 unless SampleFootprint).
     size_t PeakFootprintBytes = 0;
+    /// footprintBytes() after the last batch (0 unless SampleFootprint).
+    /// Peak vs. final separates transient spikes from retained metadata.
+    size_t FinalFootprintBytes = 0;
   };
 
   explicit AnalysisDriver(DriverOptions Opts = DriverOptions())

@@ -6,8 +6,6 @@
 
 #include "support/VectorClock.h"
 
-#include <algorithm>
-
 using namespace st;
 
 VectorClock VectorClock::makeSingleton(ThreadId T, ClockValue C) {
@@ -16,36 +14,19 @@ VectorClock VectorClock::makeSingleton(ThreadId T, ClockValue C) {
   return VC;
 }
 
-void VectorClock::set(ThreadId T, ClockValue C) {
-  if (T >= Vals.size())
-    Vals.resize(T + 1, 0);
-  Vals[T] = C;
-}
-
-void VectorClock::joinWith(const VectorClock &O) {
-  if (O.Vals.size() > Vals.size())
-    Vals.resize(O.Vals.size(), 0);
-  for (size_t I = 0, E = O.Vals.size(); I != E; ++I)
-    Vals[I] = std::max(Vals[I], O.Vals[I]);
-}
-
-bool VectorClock::leq(const VectorClock &O) const {
-  for (size_t I = 0, E = Vals.size(); I != E; ++I)
-    if (Vals[I] > O.get(static_cast<ThreadId>(I)))
-      return false;
-  return true;
-}
-
-bool VectorClock::leqIgnoring(const VectorClock &O, ThreadId Skip) const {
-  for (size_t I = 0, E = Vals.size(); I != E; ++I)
-    if (I != Skip && Vals[I] > O.get(static_cast<ThreadId>(I)))
-      return false;
-  return true;
+void VectorClock::growTo(uint32_t NeededCap) {
+  uint32_t NewCap = std::max(NeededCap, Cap * 2);
+  ClockValue *NewData = new ClockValue[NewCap];
+  std::copy(Data, Data + Len, NewData);
+  if (!isInline())
+    delete[] Data;
+  Data = NewData;
+  Cap = NewCap;
 }
 
 bool VectorClock::operator==(const VectorClock &O) const {
-  size_t N = std::max(Vals.size(), O.Vals.size());
-  for (size_t I = 0; I != N; ++I)
+  uint32_t N = std::max(Len, O.Len);
+  for (uint32_t I = 0; I != N; ++I)
     if (get(static_cast<ThreadId>(I)) != O.get(static_cast<ThreadId>(I)))
       return false;
   return true;

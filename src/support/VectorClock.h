@@ -10,6 +10,13 @@
 /// (paper §2.4). Entries for threads beyond the stored length are implicitly
 /// zero, so clocks grow lazily as threads appear.
 ///
+/// Storage is small-buffer optimized: clocks spanning at most InlineCapacity
+/// threads live entirely inside the object, so the per-event hot paths that
+/// copy and join clocks (FT2/SmartTrack release, Read Share inflation, CCS
+/// snapshots) never touch the heap for the thread counts that dominate the
+/// paper's workloads (Table 2: most programs run ≤ 10 threads). Clocks
+/// spill to a heap buffer transparently at the first wider entry.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SMARTTRACK_SUPPORT_VECTORCLOCK_H
@@ -18,27 +25,60 @@
 #include "support/Epoch.h"
 #include "support/Types.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
-#include <vector>
 
 namespace st {
 
-/// A dense vector clock C : Tid -> ClockValue with implicit-zero entries.
+/// A dense vector clock C : Tid -> ClockValue with implicit-zero entries and
+/// inline storage for small thread counts.
 class VectorClock {
 public:
+  /// Entries stored inside the object itself; copies and joins of clocks
+  /// up to this width are allocation-free.
+  static constexpr size_t InlineCapacity = 8;
+
   VectorClock() = default;
+
+  VectorClock(const VectorClock &O) { assignFrom(O); }
+
+  VectorClock(VectorClock &&O) noexcept { stealFrom(O); }
+
+  VectorClock &operator=(const VectorClock &O) {
+    if (this != &O)
+      assignFrom(O);
+    return *this;
+  }
+
+  VectorClock &operator=(VectorClock &&O) noexcept {
+    if (this != &O) {
+      if (!isInline())
+        delete[] Data;
+      Data = InlineBuf;
+      Cap = InlineCapacity;
+      stealFrom(O);
+    }
+    return *this;
+  }
+
+  ~VectorClock() {
+    if (!isInline())
+      delete[] Data;
+  }
 
   /// Builds a clock that is zero everywhere except \p T, which maps to \p C.
   static VectorClock makeSingleton(ThreadId T, ClockValue C);
 
   /// Entry for thread \p T (zero if never set).
-  ClockValue get(ThreadId T) const {
-    return T < Vals.size() ? Vals[T] : 0;
-  }
+  ClockValue get(ThreadId T) const { return T < Len ? Data[T] : 0; }
 
   /// Sets the entry for thread \p T, growing the clock as needed.
-  void set(ThreadId T, ClockValue C);
+  void set(ThreadId T, ClockValue C) {
+    if (T >= Len)
+      extendTo(T + 1);
+    Data[T] = C;
+  }
 
   /// Increments the entry for thread \p T by one.
   void increment(ThreadId T) {
@@ -47,16 +87,31 @@ public:
   }
 
   /// Pointwise join: this := this ⊔ O.
-  void joinWith(const VectorClock &O);
+  void joinWith(const VectorClock &O) {
+    if (O.Len > Len)
+      extendTo(O.Len);
+    for (uint32_t I = 0, E = O.Len; I != E; ++I)
+      Data[I] = std::max(Data[I], O.Data[I]);
+  }
 
   /// Pointwise comparison: returns true iff this ⊑ O.
-  bool leq(const VectorClock &O) const;
+  bool leq(const VectorClock &O) const {
+    for (uint32_t I = 0, E = Len; I != E; ++I)
+      if (Data[I] > O.get(static_cast<ThreadId>(I)))
+        return false;
+    return true;
+  }
 
   /// Pointwise comparison skipping thread \p Skip's entry. WCP analyses use
   /// this for race checks: the WCP relation does not include program order,
   /// so the current thread's own entry must not participate (same-thread
   /// accesses never race).
-  bool leqIgnoring(const VectorClock &O, ThreadId Skip) const;
+  bool leqIgnoring(const VectorClock &O, ThreadId Skip) const {
+    for (uint32_t I = 0, E = Len; I != E; ++I)
+      if (I != Skip && Data[I] > O.get(static_cast<ThreadId>(I)))
+        return false;
+    return true;
+  }
 
   /// Epoch-vs-clock ordering check e ⪯ C: c ≤ C(t) for e = c@t.
   /// The ⊥ epoch is ordered before every clock.
@@ -68,21 +123,70 @@ public:
   Epoch epochOf(ThreadId T) const { return Epoch::make(T, get(T)); }
 
   /// Resets every entry to zero (keeps capacity).
-  void clear() { Vals.clear(); }
+  void clear() { Len = 0; }
 
   /// Number of stored entries (trailing entries are implicitly zero).
-  size_t size() const { return Vals.size(); }
+  size_t size() const { return Len; }
+
+  /// True while the entries live inside the object (no heap buffer).
+  bool isInline() const { return Data == InlineBuf; }
 
   bool operator==(const VectorClock &O) const;
   bool operator!=(const VectorClock &O) const { return !(*this == O); }
 
   /// Heap bytes attributable to this clock, for footprint accounting.
+  /// Inline clocks own no heap memory (their entries are counted by the
+  /// containers holding them via sizeof(VectorClock)).
   size_t footprintBytes() const {
-    return Vals.capacity() * sizeof(ClockValue);
+    return isInline() ? 0 : Cap * sizeof(ClockValue);
   }
 
 private:
-  std::vector<ClockValue> Vals;
+  /// Widens the stored length to \p NewLen, zero-filling the new entries
+  /// and spilling to the heap past InlineCapacity.
+  void extendTo(uint32_t NewLen) {
+    if (NewLen > Cap)
+      growTo(NewLen);
+    std::fill(Data + Len, Data + NewLen, 0);
+    Len = NewLen;
+  }
+
+  /// Reallocates to hold at least \p NeededCap entries (preserves contents).
+  void growTo(uint32_t NeededCap);
+
+  /// Copies \p O's entries into this clock (capacities already disjoint
+  /// from aliasing: caller checks this != &O).
+  void assignFrom(const VectorClock &O) {
+    if (O.Len > Cap)
+      growTo(O.Len);
+    std::copy(O.Data, O.Data + O.Len, Data);
+    Len = O.Len;
+  }
+
+  /// Adopts \p O's storage (heap buffers are stolen, inline ones copied);
+  /// \p O is left empty. Expects this clock to hold no heap buffer.
+  void stealFrom(VectorClock &O) noexcept {
+    assert(isInline() && "stealFrom over an owned heap buffer would leak");
+    if (O.isInline()) {
+      // Whole-buffer copy: fixed-size (one memcpy, no length-dependent
+      // branch), and entries past Len are dead — extendTo zero-fills
+      // before they become visible.
+      std::copy(O.InlineBuf, O.InlineBuf + InlineCapacity, InlineBuf);
+      Len = O.Len;
+    } else {
+      Data = O.Data;
+      Len = O.Len;
+      Cap = O.Cap;
+      O.Data = O.InlineBuf;
+      O.Cap = InlineCapacity;
+    }
+    O.Len = 0;
+  }
+
+  ClockValue *Data = InlineBuf;
+  uint32_t Len = 0;
+  uint32_t Cap = InlineCapacity;
+  ClockValue InlineBuf[InlineCapacity];
 };
 
 } // namespace st

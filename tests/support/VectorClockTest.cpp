@@ -2,7 +2,11 @@
 
 #include "support/VectorClock.h"
 
+#include "support/Rng.h"
+
 #include <gtest/gtest.h>
+
+#include <vector>
 
 using namespace st;
 
@@ -105,4 +109,208 @@ TEST(VectorClockTest, MakeSingleton) {
   EXPECT_EQ(C.get(3), 1u);
   EXPECT_EQ(C.get(0), 0u);
   EXPECT_EQ(C.epochOf(3), Epoch::make(3, 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Inline small-buffer storage
+//===----------------------------------------------------------------------===//
+
+TEST(VectorClockSboTest, StaysInlineUpToCapacity) {
+  VectorClock C;
+  EXPECT_TRUE(C.isInline());
+  EXPECT_EQ(C.footprintBytes(), 0u) << "inline clocks own no heap memory";
+  for (ThreadId T = 0; T != VectorClock::InlineCapacity; ++T)
+    C.set(T, T + 1);
+  EXPECT_TRUE(C.isInline());
+  EXPECT_EQ(C.footprintBytes(), 0u);
+}
+
+TEST(VectorClockSboTest, GrowthAcrossInlineBoundaryPreservesEntries) {
+  VectorClock C;
+  for (ThreadId T = 0; T != VectorClock::InlineCapacity; ++T)
+    C.set(T, T + 100);
+  C.set(static_cast<ThreadId>(VectorClock::InlineCapacity), 7);
+  EXPECT_FALSE(C.isInline());
+  EXPECT_GT(C.footprintBytes(), 0u);
+  for (ThreadId T = 0; T != VectorClock::InlineCapacity; ++T)
+    EXPECT_EQ(C.get(T), T + 100) << "entry " << T << " lost in the spill";
+  EXPECT_EQ(C.get(static_cast<ThreadId>(VectorClock::InlineCapacity)), 7u);
+}
+
+TEST(VectorClockSboTest, SparseSetSpillsWithImplicitZeros) {
+  VectorClock C;
+  C.set(100, 5);
+  EXPECT_FALSE(C.isInline());
+  EXPECT_EQ(C.get(100), 5u);
+  for (ThreadId T = 0; T != 100; ++T)
+    EXPECT_EQ(C.get(T), 0u);
+}
+
+TEST(VectorClockSboTest, CopyAcrossStorageStates) {
+  VectorClock Small;
+  Small.set(2, 9);
+  VectorClock Big;
+  Big.set(40, 3);
+
+  VectorClock CopyOfSmall(Small);
+  EXPECT_TRUE(CopyOfSmall.isInline());
+  EXPECT_EQ(CopyOfSmall, Small);
+
+  VectorClock CopyOfBig(Big);
+  EXPECT_FALSE(CopyOfBig.isInline());
+  EXPECT_EQ(CopyOfBig, Big);
+
+  // Assign heap-backed into inline and vice versa; sources stay intact.
+  CopyOfSmall = Big;
+  EXPECT_EQ(CopyOfSmall, Big);
+  EXPECT_EQ(Big.get(40), 3u);
+  CopyOfBig = Small;
+  EXPECT_EQ(CopyOfBig, Small);
+  EXPECT_EQ(Small.get(2), 9u);
+}
+
+TEST(VectorClockSboTest, SelfAssignmentIsANoOp) {
+  VectorClock C;
+  C.set(30, 4);
+  C.set(1, 2);
+  VectorClock Expect(C);
+  C = *&C;
+  EXPECT_EQ(C, Expect);
+}
+
+TEST(VectorClockSboTest, MoveStealsHeapAndCopiesInline) {
+  VectorClock Big;
+  Big.set(40, 3);
+  VectorClock MovedBig(std::move(Big));
+  EXPECT_EQ(MovedBig.get(40), 3u);
+  EXPECT_EQ(Big.size(), 0u) << "moved-from clock must read as all-zero";
+  EXPECT_EQ(Big.get(40), 0u);
+  Big.set(40, 8); // moved-from clocks remain usable
+  EXPECT_EQ(Big.get(40), 8u);
+
+  VectorClock Small;
+  Small.set(2, 9);
+  VectorClock MovedSmall;
+  MovedSmall = std::move(Small);
+  EXPECT_TRUE(MovedSmall.isInline());
+  EXPECT_EQ(MovedSmall.get(2), 9u);
+  EXPECT_EQ(Small.size(), 0u);
+
+  // Move-assign over an existing heap buffer must not leak (ASan gates).
+  VectorClock Target;
+  Target.set(50, 1);
+  VectorClock Source;
+  Source.set(60, 2);
+  Target = std::move(Source);
+  EXPECT_EQ(Target.get(60), 2u);
+  EXPECT_EQ(Target.get(50), 0u);
+}
+
+TEST(VectorClockSboTest, ClearKeepsStorageAndReadsZero) {
+  VectorClock C;
+  C.set(40, 3);
+  C.clear();
+  EXPECT_EQ(C.size(), 0u);
+  EXPECT_EQ(C.get(40), 0u);
+  EXPECT_EQ(C, VectorClock());
+  C.set(40, 5); // reuses the retained buffer
+  EXPECT_EQ(C.get(40), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Property: equivalence with a naive reference clock
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The obviously-correct model: a plain map-as-vector with no storage
+/// tricks. Mirrors the subset of the VectorClock API the analyses use.
+struct ReferenceClock {
+  std::vector<ClockValue> Vals;
+
+  ClockValue get(ThreadId T) const { return T < Vals.size() ? Vals[T] : 0; }
+  void set(ThreadId T, ClockValue C) {
+    if (T >= Vals.size())
+      Vals.resize(T + 1, 0);
+    Vals[T] = C;
+  }
+  void joinWith(const ReferenceClock &O) {
+    for (size_t I = 0; I != O.Vals.size(); ++I)
+      set(static_cast<ThreadId>(I),
+          std::max(get(static_cast<ThreadId>(I)), O.Vals[I]));
+  }
+  bool leq(const ReferenceClock &O) const {
+    for (size_t I = 0; I != Vals.size(); ++I)
+      if (Vals[I] > O.get(static_cast<ThreadId>(I)))
+        return false;
+    return true;
+  }
+  bool equals(const ReferenceClock &O) const {
+    size_t N = std::max(Vals.size(), O.Vals.size());
+    for (size_t I = 0; I != N; ++I)
+      if (get(static_cast<ThreadId>(I)) != O.get(static_cast<ThreadId>(I)))
+        return false;
+    return true;
+  }
+};
+
+} // namespace
+
+TEST(VectorClockSboTest, PropertyRandomOpsMatchReferenceClock) {
+  // Random op sequences over a pool of clocks, with tids straddling the
+  // inline boundary so copies, moves, joins, and comparisons continuously
+  // cross between the two storage representations.
+  constexpr size_t Pool = 6;
+  constexpr unsigned MaxTid = 2 * VectorClock::InlineCapacity + 3;
+  Rng R(20260728);
+  for (unsigned Round = 0; Round != 50; ++Round) {
+    VectorClock C[Pool];
+    ReferenceClock M[Pool];
+    for (unsigned Step = 0; Step != 200; ++Step) {
+      size_t A = R.nextBelow(Pool), B = R.nextBelow(Pool);
+      switch (R.nextBelow(6)) {
+      case 0: { // set
+        ThreadId T = static_cast<ThreadId>(R.nextBelow(MaxTid));
+        ClockValue V = static_cast<ClockValue>(R.nextBelow(1000));
+        C[A].set(T, V);
+        M[A].set(T, V);
+        break;
+      }
+      case 1: { // increment
+        ThreadId T = static_cast<ThreadId>(R.nextBelow(MaxTid));
+        C[A].increment(T);
+        M[A].set(T, M[A].get(T) + 1);
+        break;
+      }
+      case 2: // join
+        C[A].joinWith(C[B]);
+        M[A].joinWith(M[B]);
+        break;
+      case 3: // copy-assign
+        C[A] = C[B];
+        M[A] = M[B];
+        break;
+      case 4: { // copy-construct + move back through a temporary
+        VectorClock Tmp(C[B]);
+        C[A] = std::move(Tmp);
+        M[A] = M[B];
+        break;
+      }
+      case 5: // clear
+        C[A].clear();
+        M[A].Vals.clear();
+        break;
+      }
+      // Full-state checks after every step so a divergence pinpoints the
+      // op that introduced it.
+      for (size_t I = 0; I != Pool; ++I) {
+        for (ThreadId T = 0; T != MaxTid + 2; ++T)
+          ASSERT_EQ(C[I].get(T), M[I].get(T))
+              << "round " << Round << " step " << Step << " clock " << I
+              << " tid " << T;
+        ASSERT_EQ(C[I].leq(C[A]), M[I].leq(M[A]));
+        ASSERT_EQ(C[I] == C[B], M[I].equals(M[B]));
+      }
+    }
+  }
 }

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <sys/wait.h>
 
@@ -55,6 +56,48 @@ TEST(AnalyzeCli, ListNamesEveryRegisteredAnalysis) {
     EXPECT_NE(R.Output.find(analysisKindName(K)), std::string::npos)
         << "missing " << analysisKindName(K) << " in:\n"
         << R.Output;
+}
+
+// --list and --help promise the documented Table 1 registry order; each
+// name must appear strictly after its registry predecessor. Advancing
+// past the full previous match matters: with Pos left AT the match, a
+// missing "Unopt-DC" row would go undetected because the scan would
+// accept the "Unopt-DC" prefix of the still-present "Unopt-DC w/G".
+void expectRegistryOrder(const std::string &Output, const char *Context) {
+  size_t Pos = 0;
+  for (AnalysisKind K : allAnalysisKinds()) {
+    const char *Name = analysisKindName(K);
+    size_t Found = Output.find(Name, Pos);
+    ASSERT_NE(Found, std::string::npos)
+        << Name << " missing or out of order in " << Context << ":\n"
+        << Output;
+    Pos = Found + std::strlen(Name);
+  }
+}
+
+TEST(AnalyzeCli, ListPrintsAnalysesInDocumentedRegistryOrder) {
+  RunResult R = runCommand(cli() + " --list");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("Table 1 registry order"), std::string::npos)
+      << "--list must document its ordering:\n"
+      << R.Output;
+  expectRegistryOrder(R.Output, "--list");
+  EXPECT_NE(R.Output.find("--format=json"), std::string::npos)
+      << "--list must mention the machine-readable report:\n"
+      << R.Output;
+}
+
+TEST(AnalyzeCli, HelpListsAnalysesInRegistryOrderAndMentionsJson) {
+  RunResult R = runCommand(cli() + " --help");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("Table 1 registry order"), std::string::npos)
+      << "--help must document the ordering:\n"
+      << R.Output;
+  expectRegistryOrder(R.Output, "--help");
+  EXPECT_NE(R.Output.find("--format=FMT"), std::string::npos);
+  EXPECT_NE(R.Output.find("json"), std::string::npos)
+      << "--format=json undocumented in help text:\n"
+      << R.Output;
 }
 
 TEST(AnalyzeCli, AnalysisSelectionWorksForEveryKind) {

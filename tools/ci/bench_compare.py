@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Regression gate over st-bench JSON reports.
+
+Compares a current BENCH_results.json against a checked-in baseline
+(bench/baseline.json) and fails on:
+
+  * schema mismatch (the formats are not comparable);
+  * coverage regression: a (workload, analysis) cell present in the
+    baseline is missing from the current run;
+  * correctness regression: race counts differ while the workload config
+    (events, seed) is unchanged — workloads are seeded and deterministic,
+    so any difference is an analysis behavior change, not noise;
+  * performance regression: a cell's cost relative to the in-run FT2
+    reference grew by more than --max-regress (default 35%). The gate
+    compares *relative* costs, not absolute ns/event, because the
+    baseline is recorded on a different machine than CI; the ratio
+    between two analyses measured in the same run is portable, raw
+    nanoseconds are not. Same-machine absolute comparison is available
+    with --absolute.
+
+Usage: bench_compare.py BASELINE CURRENT [--max-regress=F] [--absolute]
+
+Exit status: 0 when every check passes, 1 on regression, 2 on usage or
+malformed input.
+"""
+
+import json
+import sys
+
+EXPECTED_SCHEMA = "st-bench/v1"
+
+
+def usage_error(message):
+    """Exit 2: the invocation or its inputs are broken (not a regression)."""
+    print(f"bench_compare: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        usage_error(f"cannot read {path}: {err}")
+    if report.get("schema") != EXPECTED_SCHEMA:
+        usage_error(
+            f"{path} has schema {report.get('schema')!r}, "
+            f"expected {EXPECTED_SCHEMA!r}"
+        )
+    return report
+
+
+def cells(report):
+    return {(r["workload"], r["analysis"]): r for r in report["results"]}
+
+
+def main(argv):
+    max_regress = 0.35
+    absolute = False
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--max-regress="):
+            try:
+                max_regress = float(arg.split("=", 1)[1])
+            except ValueError:
+                usage_error(f"bad --max-regress in {arg!r}")
+        elif arg == "--absolute":
+            absolute = True
+        elif arg.startswith("-"):
+            usage_error(__doc__)
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        usage_error(__doc__)
+
+    base = load(paths[0])
+    cur = load(paths[1])
+    base_cells, cur_cells = cells(base), cells(cur)
+    same_config = base.get("config", {}).get("events") == cur.get(
+        "config", {}
+    ).get("events") and base.get("config", {}).get("seed") == cur.get(
+        "config", {}
+    ).get("seed")
+
+    metric = "ns_per_event" if absolute else "relative_cost"
+    failures = []
+    print(f"{'workload':<10} {'analysis':<9} {'base':>9} {'cur':>9} "
+          f"{'delta':>8}  ({metric}, limit +{max_regress:.0%})")
+    for key in sorted(base_cells):
+        workload, analysis = key
+        b = base_cells[key]
+        c = cur_cells.get(key)
+        if c is None:
+            failures.append(f"coverage: {workload}/{analysis} missing from "
+                            f"current run")
+            continue
+        if same_config and (
+            b["dynamic_races"] != c["dynamic_races"]
+            or b["static_races"] != c["static_races"]
+        ):
+            failures.append(
+                f"races: {workload}/{analysis} changed "
+                f"{b['static_races']} ({b['dynamic_races']}) -> "
+                f"{c['static_races']} ({c['dynamic_races']}) "
+                f"with identical workload config"
+            )
+        bv, cv = b.get(metric), c.get(metric)
+        if bv is None or cv is None or bv <= 0:
+            continue  # reference analysis itself, or metric absent
+        delta = cv / bv - 1.0
+        flag = ""
+        if delta > max_regress:
+            failures.append(
+                f"perf: {workload}/{analysis} {metric} regressed "
+                f"{bv:.3g} -> {cv:.3g} (+{delta:.0%}, limit "
+                f"+{max_regress:.0%})"
+            )
+            flag = "  <-- FAIL"
+        print(f"{workload:<10} {analysis:<9} {bv:>9.3g} {cv:>9.3g} "
+              f"{delta:>+7.1%}{flag}")
+
+    if not same_config:
+        print("note: workload config differs from baseline; race-count "
+              "checks skipped")
+    if failures:
+        print(f"\nbench_compare: {len(failures)} regression(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\nbench_compare: OK ({len(base_cells)} cells within "
+          f"+{max_regress:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

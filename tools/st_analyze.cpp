@@ -71,14 +71,15 @@ void printUsage(FILE *Out, const char *Prog) {
       "\n"
       "analysis options:\n"
       "  --analysis=NAME  analysis to run (repeatable; default ST-WDC);\n"
-      "                   see --list for the available names\n"
+      "                   names are listed below and by --list\n"
       "  --all            run every analysis in the registry\n"
       "  --list           list the registered analyses and exit\n"
       "  --vindicate      check each reported race for predictability and\n"
       "                   print the witness length (buffers the trace)\n"
       "  --stats          print the per-case access-frequency counters\n"
       "                   (Table 12) for analyses that track them\n"
-      "  --format=FMT     report format: text (default) or json\n"
+      "  --format=FMT     report format: text (default) or json (stable\n"
+      "                   machine-readable races/timings/case counters)\n"
       "  --max-races=N    store at most N race records per analysis\n"
       "  --quiet          print only the per-analysis summary lines\n"
       "\n"
@@ -93,12 +94,19 @@ void printUsage(FILE *Out, const char *Prog) {
       "                   threads vars locks volatiles events nesting\n"
       "                   psync pwrite pvolatile forkjoin seed\n"
       "  -o FILE          write --convert/--gen output to FILE\n"
-      "  -h, --help       show this message\n",
+      "  -h, --help       show this message\n"
+      "\n"
+      "available analyses (Table 1 registry order; see docs/analyses.md):\n"
+      " ",
       Prog);
+  for (AnalysisKind K : allAnalysisKinds())
+    std::fprintf(Out, " %s", analysisKindName(K));
+  std::fprintf(Out, "\n");
 }
 
 void printAnalysisList() {
-  std::printf("available analyses:\n");
+  std::printf("available analyses (Table 1 registry order; names are "
+              "accepted by --analysis):\n");
   for (AnalysisKind K : allAnalysisKinds())
     std::printf("  %-14s (%s%s)\n", analysisKindName(K),
                 buildsGraph(K) ? "records constraint graph, " : "",
@@ -115,15 +123,9 @@ void printAnalysisList() {
                   }
                   return "?";
                 }());
-}
-
-bool findKind(const char *Name, AnalysisKind &Out) {
-  for (AnalysisKind K : allAnalysisKinds())
-    if (std::strcmp(analysisKindName(K), Name) == 0) {
-      Out = K;
-      return true;
-    }
-  return false;
+  std::printf("docs/analyses.md maps each name to the paper's "
+              "configurations; --format=json\nemits the machine-readable "
+              "report.\n");
 }
 
 bool parseCount(const char *Value, const char *Flag, size_t &Out) {
@@ -143,7 +145,7 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     const char *Arg = Argv[I];
     if (std::strncmp(Arg, "--analysis=", 11) == 0) {
       AnalysisKind Kind;
-      if (!findKind(Arg + 11, Kind)) {
+      if (!findAnalysisKind(Arg + 11, Kind)) {
         std::fprintf(stderr, "error: unknown analysis '%s'; available:\n",
                      Arg + 11);
         for (AnalysisKind K : allAnalysisKinds())
