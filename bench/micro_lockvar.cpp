@@ -1,0 +1,140 @@
+//===- bench/micro_lockvar.cpp - LockVarStore microbenchmarks -------------===//
+//
+// Google-benchmark microbenchmarks for the shared per-(lock, variable)
+// metadata store on the shapes the per-event fast paths produce: point
+// lookups of existing and absent pairs, the touch (membership insert)
+// path, and the release-time fold. Each is measured against the
+// unordered_map<VarId, VectorClock> + unordered_set<VarId> representation
+// the analyses used before LockVarStore, so the replacement's win (or
+// regression) is a number, not an assumption.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LockVarStore.h"
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace st;
+
+namespace {
+
+/// The pre-refactor per-lock representation, for the baseline runs.
+struct MapLockState {
+  std::unordered_map<VarId, VectorClock> ReadCS, WriteCS;
+  std::unordered_set<VarId> ReadVars, WriteVars;
+};
+
+constexpr LockId BenchLock = 3;
+
+/// Populates \p Vars variables as released-write metadata under BenchLock.
+void fillStore(LockVarStore &S, unsigned Vars) {
+  VectorClock C;
+  C.set(1, 7);
+  for (VarId X = 0; X != Vars; ++X)
+    S.touchWrite(BenchLock, X);
+  S.fold(BenchLock, C, 1);
+}
+
+void fillMaps(MapLockState &L, unsigned Vars) {
+  VectorClock C;
+  C.set(1, 7);
+  for (VarId X = 0; X != Vars; ++X)
+    L.WriteCS[X].joinWith(C);
+}
+
+} // namespace
+
+// Point lookup of an existing (lock, variable) pair — the rule-(a) probe
+// every read/write under a held lock performs.
+static void BM_StoreLookupHit(benchmark::State &State) {
+  unsigned Vars = static_cast<unsigned>(State.range(0));
+  LockVarStore S;
+  fillStore(S, Vars);
+  VarId X = 0;
+  for (auto _ : State) {
+    const LockVarStore::Slot *Slot = S.find(BenchLock, X);
+    benchmark::DoNotOptimize(Slot);
+    X = (X + 13) % Vars;
+  }
+}
+BENCHMARK(BM_StoreLookupHit)->Arg(16)->Arg(256)->Arg(4096);
+
+static void BM_MapLookupHit(benchmark::State &State) {
+  unsigned Vars = static_cast<unsigned>(State.range(0));
+  MapLockState L;
+  fillMaps(L, Vars);
+  VarId X = 0;
+  for (auto _ : State) {
+    auto It = L.WriteCS.find(X);
+    benchmark::DoNotOptimize(It);
+    X = (X + 13) % Vars;
+  }
+}
+BENCHMARK(BM_MapLookupHit)->Arg(16)->Arg(256)->Arg(4096);
+
+// Lookup of a pair never touched — the dominant case for variables only
+// ever accessed outside critical sections on this lock.
+static void BM_StoreLookupMiss(benchmark::State &State) {
+  unsigned Vars = static_cast<unsigned>(State.range(0));
+  LockVarStore S;
+  fillStore(S, Vars);
+  VarId X = Vars;
+  for (auto _ : State) {
+    const LockVarStore::Slot *Slot = S.find(BenchLock, X);
+    benchmark::DoNotOptimize(Slot);
+    X = Vars + (X + 13) % Vars;
+  }
+}
+BENCHMARK(BM_StoreLookupMiss)->Arg(256);
+
+static void BM_MapLookupMiss(benchmark::State &State) {
+  unsigned Vars = static_cast<unsigned>(State.range(0));
+  MapLockState L;
+  fillMaps(L, Vars);
+  VarId X = Vars;
+  for (auto _ : State) {
+    auto It = L.WriteCS.find(X);
+    benchmark::DoNotOptimize(It);
+    X = Vars + (X + 13) % Vars;
+  }
+}
+BENCHMARK(BM_MapLookupMiss)->Arg(256);
+
+// One critical section's worth of membership inserts plus the release
+// fold — Algorithm 1's R_m/W_m bookkeeping and lines 9-11.
+static void BM_StoreTouchAndFold(benchmark::State &State) {
+  unsigned Touched = static_cast<unsigned>(State.range(0));
+  LockVarStore S;
+  fillStore(S, 1024);
+  VectorClock C;
+  C.set(1, 9);
+  for (auto _ : State) {
+    for (VarId X = 0; X != Touched; ++X)
+      S.touchWrite(BenchLock, X);
+    S.fold(BenchLock, C, 2);
+  }
+  State.SetItemsProcessed(State.iterations() * Touched);
+}
+BENCHMARK(BM_StoreTouchAndFold)->Arg(4)->Arg(64);
+
+static void BM_MapTouchAndFold(benchmark::State &State) {
+  unsigned Touched = static_cast<unsigned>(State.range(0));
+  MapLockState L;
+  fillMaps(L, 1024);
+  VectorClock C;
+  C.set(1, 9);
+  for (auto _ : State) {
+    for (VarId X = 0; X != Touched; ++X)
+      L.WriteVars.insert(X);
+    for (VarId X : L.WriteVars)
+      L.WriteCS[X].joinWith(C);
+    L.WriteVars.clear();
+  }
+  State.SetItemsProcessed(State.iterations() * Touched);
+}
+BENCHMARK(BM_MapTouchAndFold)->Arg(4)->Arg(64);
+
+BENCHMARK_MAIN();

@@ -56,9 +56,17 @@ void Analysis::reportRace(const Event &E, Epoch Prior) {
   RacedThisEvent = true;
   ++DynamicRaces;
   // Accesses without an explicit site fall back to a per-variable site so
-  // static counting still works for builder-made traces.
-  SiteId Site = E.Site != InvalidId ? E.Site : (E.Target | 0x80000000u);
-  RacySites.insert(Site);
+  // static counting still works for builder-made traces. The two id
+  // spaces are tracked in separate dense sets (the fallback ids are only
+  // dense in variable space).
+  SiteId Site;
+  if (E.Site != InvalidId) {
+    Site = E.Site;
+    ExplicitRacySites.insert(Site);
+  } else {
+    Site = E.Target | 0x80000000u;
+    FallbackRacySites.insert(E.Target);
+  }
   if (Races.size() < MaxStoredRaces)
     Races.push_back({EventIdx, E.var(), Site, E.Tid,
                      E.Kind == EventKind::Write, Prior});

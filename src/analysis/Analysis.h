@@ -16,11 +16,11 @@
 #ifndef SMARTTRACK_ANALYSIS_ANALYSIS_H
 #define SMARTTRACK_ANALYSIS_ANALYSIS_H
 
+#include "support/DenseIdSet.h"
 #include "support/Epoch.h"
 #include "trace/Trace.h"
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 namespace st {
@@ -82,15 +82,30 @@ public:
   /// Human-readable analysis name as used in the paper's tables.
   virtual const char *name() const = 0;
 
-  /// Live bytes of analysis metadata, for the memory experiments.
-  virtual size_t footprintBytes() const = 0;
+  /// Live bytes of analysis state, for the memory experiments: the
+  /// analysis's own metadata plus the base race accounting.
+  size_t footprintBytes() const {
+    return metadataFootprintBytes() + raceAccountingFootprintBytes();
+  }
+
+  /// Live bytes of the analysis-specific metadata.
+  virtual size_t metadataFootprintBytes() const = 0;
+
+  /// Live bytes of the base race accounting (stored records + racy-site
+  /// sets), identical machinery for every analysis.
+  size_t raceAccountingFootprintBytes() const {
+    return Races.capacity() * sizeof(RaceRecord) +
+           ExplicitRacySites.footprintBytes() +
+           FallbackRacySites.footprintBytes();
+  }
 
   /// FTO-case frequencies if this analysis tracks them (Table 12).
   virtual const CaseStats *caseStats() const { return nullptr; }
 
   uint64_t dynamicRaces() const { return DynamicRaces; }
   unsigned staticRaces() const {
-    return static_cast<unsigned>(RacySites.size());
+    return static_cast<unsigned>(ExplicitRacySites.size() +
+                                 FallbackRacySites.size());
   }
   const std::vector<RaceRecord> &raceRecords() const { return Races; }
 
@@ -127,7 +142,11 @@ private:
   bool RacedThisEvent = false;
   size_t MaxStoredRaces = SIZE_MAX;
   std::vector<RaceRecord> Races;
-  std::unordered_set<SiteId> RacySites;
+  // Statically distinct races, split by site provenance so each set stays
+  // dense (explicit SiteIds and the per-variable fallback ids live in
+  // disjoint dense spaces; see reportRace).
+  DenseIdSet ExplicitRacySites;
+  DenseIdSet FallbackRacySites; // keyed by variable id
 };
 
 } // namespace st

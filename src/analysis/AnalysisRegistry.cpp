@@ -7,11 +7,9 @@
 #include "analysis/AnalysisRegistry.h"
 
 #include "analysis/FT2.h"
+#include "analysis/FTOCore.h"
 #include "analysis/FTOHB.h"
-#include "analysis/FTOPredictive.h"
-#include "analysis/FTOWCP.h"
-#include "analysis/SmartTrack.h"
-#include "analysis/SmartTrackWCP.h"
+#include "analysis/STCore.h"
 #include "analysis/UnoptDC.h"
 #include "analysis/UnoptHB.h"
 #include "analysis/UnoptWCP.h"
@@ -114,18 +112,21 @@ std::unique_ptr<Analysis> st::createAnalysis(AnalysisKind K,
     return std::make_unique<UnoptDC>(UnoptDC::Options{false, nullptr});
   case AnalysisKind::UnoptWDCwG:
     return std::make_unique<UnoptDC>(UnoptDC::Options{false, Graph});
+  // The FTO and ST tiers are policy instantiations of one core each
+  // (analysis/RelationPolicy.h): the relation differences live in
+  // WCPPolicy/DCPolicy/WDCPolicy, not in per-relation classes.
   case AnalysisKind::FTOWCP:
-    return std::make_unique<FTOWCP>();
+    return std::make_unique<FTOCore<WCPPolicy>>();
   case AnalysisKind::FTODC:
-    return std::make_unique<FTOPredictive>(/*RuleB=*/true);
+    return std::make_unique<FTOCore<DCPolicy>>();
   case AnalysisKind::FTOWDC:
-    return std::make_unique<FTOPredictive>(/*RuleB=*/false);
+    return std::make_unique<FTOCore<WDCPolicy>>();
   case AnalysisKind::STWCP:
-    return std::make_unique<SmartTrackWCP>();
+    return std::make_unique<STCore<WCPPolicy>>();
   case AnalysisKind::STDC:
-    return std::make_unique<SmartTrack>(/*RuleB=*/true);
+    return std::make_unique<STCore<DCPolicy>>();
   case AnalysisKind::STWDC:
-    return std::make_unique<SmartTrack>(/*RuleB=*/false);
+    return std::make_unique<STCore<WDCPolicy>>();
   }
   assert(false && "analysis kind not yet registered");
   return nullptr;

@@ -1,0 +1,80 @@
+//===- analysis/CSList.h - SmartTrack critical-section lists ----*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The critical-section (CS) list representation of Algorithm 3, shared by
+/// every SmartTrack-tier analysis (STCore instantiations):
+///
+///  - H_t: the current thread's active critical sections, innermost first,
+///    each holding a *reference* to a vector clock that is filled in with
+///    the release time when the release happens (deferred update; until
+///    then the owner's entry reads ∞ so ordering queries fail).
+///  - L^w_x / L^r_x: CS lists mirroring W_x / R_x.
+///  - E^r_x / E^w_x: "extra" per-thread lock→clock maps holding CS
+///    information that a write would otherwise overwrite (Figures 4(c,d));
+///    empty in the common case, which is where SmartTrack's speedup lives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_CSLIST_H
+#define SMARTTRACK_ANALYSIS_CSLIST_H
+
+#include "support/Types.h"
+#include "support/VectorClock.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace st {
+
+/// One active-or-past critical section: the lock and a shared reference to
+/// its (eventual) release-time clock. The clock is allocated lazily — only
+/// when the section's list is first shared into per-variable metadata — so
+/// uncontended critical sections never touch the heap (a large constant-
+/// factor saving; Algorithm 3 allocates eagerly at every acquire).
+struct CSEntry {
+  std::shared_ptr<VectorClock> C;
+  LockId M = 0;
+};
+
+/// Critical-section list, innermost first ("head" = index 0).
+using CSList = std::vector<CSEntry>;
+
+/// Fills in deferred clocks (owner entry = ∞) before a thread's active list
+/// is copied into variable metadata.
+inline CSList &materializeCSList(CSList &H, ThreadId T) {
+  for (CSEntry &E : H) {
+    if (E.C)
+      continue;
+    E.C = std::make_shared<VectorClock>();
+    E.C->set(T, InfiniteClock);
+  }
+  return H;
+}
+
+/// Immutable shared snapshot of a CS list. The active list only changes at
+/// acquire/release, so all per-variable copies taken within one epoch share
+/// a single snapshot — the "shallow copies" of Algorithm 3 become pointer
+/// assignments.
+using CSListRef = std::shared_ptr<const CSList>;
+
+/// The canonical empty list (for variables last accessed outside any
+/// critical section).
+inline const CSList &derefCSList(const CSListRef &R) {
+  static const CSList Empty;
+  return R ? *R : Empty;
+}
+
+/// Lock -> release-clock reference ("extra" metadata leaf).
+using LockClockMap = std::unordered_map<LockId, std::shared_ptr<VectorClock>>;
+
+/// Thread-indexed extra metadata E^r_x / E^w_x.
+using ExtraMap = std::unordered_map<ThreadId, LockClockMap>;
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_CSLIST_H

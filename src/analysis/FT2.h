@@ -29,7 +29,7 @@ namespace st {
 class FT2 : public Analysis {
 public:
   const char *name() const override { return "FT2"; }
-  size_t footprintBytes() const override;
+  size_t metadataFootprintBytes() const override;
 
 protected:
   void onRead(const Event &E) override;

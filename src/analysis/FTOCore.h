@@ -1,0 +1,101 @@
+//===- analysis/FTOCore.h - Policy-parameterized FTO analyses ---*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FTO tier of the ladder — the paper's Algorithm 2 (FastTrack-
+/// Ownership's epoch and ownership cases applied to predictive last-access
+/// metadata) — written once over a RelationPolicy and instantiated for
+/// WCP, DC, and WDC. Conflicting critical sections are tracked with the
+/// shared per-(lock, variable) LockVarStore exactly as in Algorithm 1;
+/// replacing that state too is what separates the ST tier (STCore).
+///
+/// Relation-specific behavior comes entirely from the policy: the clock
+/// discipline (C_t vs H_t/P_t; left composition stores advance-clock
+/// release times, checks run against the predictive clock), the rule-(b)
+/// queue shape, and whether rule (b) exists at all. In the DC-family
+/// instantiations R_x, R_m, and L^r_{m,x} represent *reads and writes*
+/// (Algorithm 2's note below line 15); race checks mask the current
+/// thread's entry, which is a no-op for DC (PO-ordered accesses are
+/// DC-ordered) and required for WCP (PO is not WCP).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_FTOCORE_H
+#define SMARTTRACK_ANALYSIS_FTOCORE_H
+
+#include "analysis/LockVarStore.h"
+#include "analysis/RelationPolicy.h"
+
+#include <memory>
+#include <vector>
+
+namespace st {
+
+/// Epoch/ownership-optimized predictive analysis per Algorithm 2,
+/// parameterized by relation policy.
+template <typename Policy>
+class FTOCore : public PolicyCoreBase<Policy, FTOCore<Policy>> {
+public:
+  const char *name() const override { return Policy::FTOName; }
+  size_t metadataFootprintBytes() const override;
+
+protected:
+  void onRead(const Event &E) override;
+  void onWrite(const Event &E) override;
+  void onAcquire(const Event &E) override;
+  void onRelease(const Event &E) override;
+
+private:
+  using Base = PolicyCoreBase<Policy, FTOCore<Policy>>;
+  friend Base;
+  using AcqTime = typename Policy::FTOAcqTime;
+
+  struct VarState {
+    Epoch W;                              // last write
+    Epoch R;                              // last reads(+writes) (epoch mode)
+    std::unique_ptr<VectorClock> RShared; // shared mode
+  };
+
+  struct LockState : Policy::LockClocks {
+    std::unique_ptr<RuleBLog<AcqTime>> Queues;
+  };
+
+  VarState &varState(VarId X) {
+    if (X >= Vars.size())
+      Vars.resize(X + 1);
+    return Vars[X];
+  }
+
+  LockState &lockState(LockId M) {
+    if (M >= Locks.size())
+      Locks.resize(M + 1);
+    return Locks[M];
+  }
+
+  // Clock state per the PolicyCoreBase contract, ordered so the
+  // per-access-hot members share leading cache lines.
+  ThreadClockSet Threads;     // H_t (split clocks) or C_t
+  PClocksOf<Policy> PThreads; // P_t (split clocks only)
+  HeldLockSet Held;
+  std::vector<VarState> Vars;
+  std::vector<LockState> Locks;
+  LockVarStore CS; // L^r_{m,x} / L^w_{m,x} / R_m / W_m
+  ClockMap VolWriteClock, VolReadClock;
+  CaseStats Stats;
+};
+
+extern template class FTOCore<WCPPolicy>;
+extern template class FTOCore<DCPolicy>;
+extern template class FTOCore<WDCPolicy>;
+
+/// The Table 1 FTO configurations.
+using FTOWCP = FTOCore<WCPPolicy>;
+using FTODC = FTOCore<DCPolicy>;
+using FTOWDC = FTOCore<WDCPolicy>;
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_FTOCORE_H

@@ -1,0 +1,15 @@
+//===- analysis/FTOCoreDC.cpp - FTOCore<DCPolicy> instantiation ---------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// One explicit instantiation per translation unit — see FTOCoreImpl.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FTOCoreImpl.h"
+
+namespace st {
+template class FTOCore<DCPolicy>;
+} // namespace st

@@ -1,0 +1,197 @@
+//===- analysis/FTOCoreImpl.h - FTOCore member definitions ------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Member definitions for FTOCore, included only by the per-policy
+/// explicit instantiation units (FTOCoreWCP.cpp / FTOCoreDC.cpp /
+/// FTOCoreWDC.cpp). One instantiation per translation unit keeps each
+/// TU's code size at the level of the hand-written per-relation classes,
+/// which is what lets the compiler keep inlining the VectorClock
+/// primitives into the per-event handlers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_FTOCOREIMPL_H
+#define SMARTTRACK_ANALYSIS_FTOCOREIMPL_H
+
+#include "analysis/FTOCore.h"
+
+#include "analysis/Footprint.h"
+
+namespace st {
+
+template <typename Policy>
+size_t FTOCore<Policy>::metadataFootprintBytes() const {
+  size_t N = this->baseFootprintBytes() + CS.footprintBytes() +
+             Vars.capacity() * sizeof(VarState) +
+             Locks.capacity() * sizeof(LockState);
+  for (const VarState &V : Vars)
+    if (V.RShared)
+      N += sizeof(VectorClock) + V.RShared->footprintBytes();
+  for (const LockState &L : Locks) {
+    if constexpr (Policy::SplitClocks)
+      N += L.HRel.footprintBytes() + L.PRel.footprintBytes();
+    if (L.Queues)
+      N += L.Queues->footprintBytes();
+  }
+  return N;
+}
+
+template <typename Policy> void FTOCore<Policy>::onRead(const Event &E) {
+  VectorClock &Ht = Threads.of(E.Tid);
+  VectorClock &Pt = this->predictiveOf(E.Tid, Ht);
+  VarState &V = varState(E.var());
+  Epoch Now = Ht.epochOf(E.Tid);
+
+  if (!V.RShared && V.R == Now) {
+    ++Stats.ReadSameEpoch;
+    return; // [Read Same Epoch]
+  }
+  if (V.RShared && V.RShared->get(E.Tid) == Now.clock()) {
+    ++Stats.SharedSameEpoch;
+    return; // [Shared Same Epoch]
+  }
+
+  // Rule (a): prior critical sections on held locks that wrote x are
+  // ordered before this read (Algorithm 2 lines 29-31); join their
+  // release times into the predictive clock.
+  for (LockId M : Held.of(E.Tid)) {
+    if (const LockVarStore::Slot *S = CS.find(M, E.var());
+        S && S->hasWrite())
+      Pt.joinWith(S->WriteC);
+    CS.touchRead(M, E.var());
+  }
+
+  if (!V.RShared) {
+    if (V.R.tid() == E.Tid && !V.R.isNone()) {
+      ++Stats.ReadOwned; // [Read Owned]
+      V.R = Now;
+      return;
+    }
+    // Cross-thread epoch ordering check against the predictive clock
+    // (ownership dispatch guarantees V.R is another thread's epoch).
+    if (Pt.epochLeq(V.R)) {
+      ++Stats.ReadExclusive; // [Read Exclusive]
+      V.R = Now;
+      return;
+    }
+    ++Stats.ReadShare; // [Read Share]
+    if (V.W.tid() != E.Tid && !Pt.epochLeq(V.W))
+      this->reportRace(E, V.W);
+    V.RShared = std::make_unique<VectorClock>();
+    V.RShared->set(V.R.tid(), V.R.clock());
+    V.RShared->set(E.Tid, Now.clock());
+    V.R = Epoch::none();
+    return;
+  }
+  if (V.RShared->get(E.Tid) != 0) {
+    ++Stats.ReadSharedOwned; // [Read Shared Owned]
+    V.RShared->set(E.Tid, Now.clock());
+    return;
+  }
+  ++Stats.ReadShared; // [Read Shared]
+  if (V.W.tid() != E.Tid && !Pt.epochLeq(V.W))
+    this->reportRace(E, V.W);
+  V.RShared->set(E.Tid, Now.clock());
+}
+
+template <typename Policy> void FTOCore<Policy>::onWrite(const Event &E) {
+  VectorClock &Ht = Threads.of(E.Tid);
+  VectorClock &Pt = this->predictiveOf(E.Tid, Ht);
+  VarState &V = varState(E.var());
+  Epoch Now = Ht.epochOf(E.Tid);
+
+  if (V.W == Now) {
+    ++Stats.WriteSameEpoch;
+    return; // [Write Same Epoch]
+  }
+
+  // Rule (a): writes conflict with prior reads and writes (Algorithm 2
+  // lines 16-19); the write joins R_m as well since R_x/L^r track reads
+  // and writes.
+  for (LockId M : Held.of(E.Tid)) {
+    if (const LockVarStore::Slot *S = CS.find(M, E.var())) {
+      if (S->hasRead())
+        Pt.joinWith(S->ReadC);
+      if (S->hasWrite())
+        Pt.joinWith(S->WriteC);
+    }
+    CS.touchReadWrite(M, E.var());
+  }
+
+  if (!V.RShared) {
+    if (V.R.tid() == E.Tid && !V.R.isNone()) {
+      ++Stats.WriteOwned; // [Write Owned]
+    } else {
+      ++Stats.WriteExclusive; // [Write Exclusive]
+      if (!Pt.epochLeq(V.R))
+        this->reportRace(E, V.R);
+    }
+  } else {
+    ++Stats.WriteShared; // [Write Shared]
+    if (!V.RShared->leqIgnoring(Pt, E.Tid))
+      this->reportRace(E, Epoch::none());
+    V.RShared.reset();
+  }
+  V.W = Now;
+  V.R = Now;
+}
+
+template <typename Policy> void FTOCore<Policy>::onAcquire(const Event &E) {
+  VectorClock &Ht = Threads.of(E.Tid);
+  LockState &L = lockState(E.lock());
+
+  if constexpr (Policy::SplitClocks) {
+    // HB edge rel → acq; right composition carries the last release's
+    // genuine predictive knowledge (not its HB-only knowledge).
+    Ht.joinWith(L.HRel);
+    PThreads.of(E.Tid).joinWith(L.PRel);
+  }
+  if constexpr (Policy::RuleB) {
+    if (!L.Queues)
+      L.Queues = std::make_unique<RuleBLog<AcqTime>>(
+          Policy::PerReleaserCursors);
+    if constexpr (std::is_same_v<AcqTime, Epoch>)
+      L.Queues->onAcquire(E.Tid, Ht.epochOf(E.Tid)); // epoch check (§2.5)
+    else
+      L.Queues->onAcquire(E.Tid, Ht); // Algorithm 2 line 2
+  }
+  Held.pushLock(E.Tid, E.lock());
+  Ht.increment(E.Tid); // line 3
+}
+
+template <typename Policy> void FTOCore<Policy>::onRelease(const Event &E) {
+  VectorClock &Ht = Threads.of(E.Tid);
+  VectorClock &Pt = this->predictiveOf(E.Tid, Ht);
+  LockState &L = lockState(E.lock());
+
+  if constexpr (Policy::RuleB) {
+    if (L.Queues) {
+      // Algorithm 2 lines 5-8: join the releases of acquires now ordered
+      // before this release.
+      L.Queues->drainOrdered(E.Tid, Pt,
+                             [&](const VectorClock &Rel, uint64_t) {
+                               Pt.joinWith(Rel);
+                             });
+      L.Queues->onRelease(E.Tid, Ht, this->currentEventIndex()); // line 9
+    }
+  }
+
+  // Lines 10-12: fold the release's advance-clock time into the touched
+  // L^r/L^w slots (left composition with HB under split clocks).
+  CS.fold(E.lock(), Ht, this->currentEventIndex());
+
+  if constexpr (Policy::SplitClocks) {
+    L.HRel = Ht;
+    L.PRel = Pt;
+  }
+  Held.popLock(E.Tid, E.lock());
+  Ht.increment(E.Tid); // line 13
+}
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_FTOCOREIMPL_H

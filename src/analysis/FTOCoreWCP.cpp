@@ -1,0 +1,15 @@
+//===- analysis/FTOCoreWCP.cpp - FTOCore<WCPPolicy> instantiation ---------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// One explicit instantiation per translation unit — see FTOCoreImpl.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FTOCoreImpl.h"
+
+namespace st {
+template class FTOCore<WCPPolicy>;
+} // namespace st

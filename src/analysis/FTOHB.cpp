@@ -8,7 +8,7 @@
 
 using namespace st;
 
-size_t FTOHB::footprintBytes() const {
+size_t FTOHB::metadataFootprintBytes() const {
   size_t N = Threads.footprintBytes() + LockRelease.footprintBytes() +
              VolWriteClock.footprintBytes() + VolReadClock.footprintBytes() +
              Vars.capacity() * sizeof(VarState);

@@ -27,7 +27,7 @@ namespace st {
 class FTOHB : public Analysis {
 public:
   const char *name() const override { return "FTO-HB"; }
-  size_t footprintBytes() const override;
+  size_t metadataFootprintBytes() const override;
   const CaseStats *caseStats() const override { return &Stats; }
 
 protected:

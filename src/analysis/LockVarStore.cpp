@@ -1,0 +1,28 @@
+//===- analysis/LockVarStore.cpp - Per-(lock,variable) CS store -----------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LockVarStore.h"
+
+using namespace st;
+
+LockVarStore::Slot &LockVarStore::ensure(LockId M, VarId X,
+                                         uint32_t &IdxOut) {
+  if (M >= Locks.size())
+    Locks.resize(M + 1);
+  PerLock &L = Locks[M];
+  size_t Page = X >> PageBits;
+  if (Page >= L.Pages.size())
+    L.Pages.resize(Page + 1);
+  if (!L.Pages[Page])
+    L.Pages[Page] = std::make_unique<IndexPage>();
+  uint32_t &Idx = L.Pages[Page]->SlotIdx[X & PageMask];
+  if (Idx == NoSlot) {
+    Idx = static_cast<uint32_t>(Arena.size());
+    Arena.emplace_back();
+  }
+  IdxOut = Idx;
+  return Arena[Idx];
+}

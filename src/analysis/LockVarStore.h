@@ -1,0 +1,189 @@
+//===- analysis/LockVarStore.h - Per-(lock,variable) CS store ---*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared storage layer for the per-(lock, variable) conflicting-
+/// critical-section metadata of Algorithms 1 and 2: the L^r_{m,x} /
+/// L^w_{m,x} release clocks and the R_m / W_m current-section membership
+/// sets. Every pre-SmartTrack predictive analysis (Unopt-WCP, Unopt-DC/WDC,
+/// FTO-WCP, FTO-DC/WDC) keeps exactly this state; they all share this one
+/// implementation instead of hand-rolling unordered_map<VarId, VectorClock>
+/// + unordered_set<VarId> members per lock.
+///
+/// Storage shape: one slot arena (a deque, so slots are reference-stable
+/// across growth like ClockSets) plus a per-lock paged index keyed by
+/// VarId. A slot is created the first time a (lock, variable) pair is
+/// touched inside a critical section; lookups on the per-event fast path
+/// are two array probes — no hashing, no node chasing. Membership in the
+/// lock's current critical section is a per-slot flag plus a per-lock list
+/// of touched slots, so fold() (the release-time L ⊔= C update, Algorithm 1
+/// lines 9-11) is O(variables touched in this section).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_LOCKVARSTORE_H
+#define SMARTTRACK_ANALYSIS_LOCKVARSTORE_H
+
+#include "support/VectorClock.h"
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace st {
+
+/// Arena-backed dense store of per-(lock, variable) critical-section
+/// metadata. References returned by find() stay valid for the lifetime of
+/// the store.
+class LockVarStore {
+public:
+  /// Metadata of one (lock, variable) pair.
+  struct Slot {
+    VectorClock ReadC;  ///< L^r_{m,x}: join of release times after reads
+    VectorClock WriteC; ///< L^w_{m,x}: join of release times after writes
+    /// Trace index of the last release folded into ReadC / WriteC, for
+    /// constraint-graph edges (the w/G configurations).
+    uint64_t ReadRelIdx = 0;
+    uint64_t WriteRelIdx = 0;
+
+    /// True once a release has folded a read (write) of this variable —
+    /// the equivalent of "the map has an entry for x".
+    bool hasRead() const { return HasRead; }
+    bool hasWrite() const { return HasWrite; }
+
+  private:
+    friend class LockVarStore;
+    bool HasRead = false, HasWrite = false;
+    bool InReadSet = false, InWriteSet = false; // R_m / W_m membership
+  };
+
+  /// Lookup without growth; null when the pair was never touched.
+  const Slot *find(LockId M, VarId X) const {
+    if (M >= Locks.size())
+      return nullptr;
+    const PerLock &L = Locks[M];
+    size_t Page = X >> PageBits;
+    if (Page >= L.Pages.size() || !L.Pages[Page])
+      return nullptr;
+    uint32_t Idx = L.Pages[Page]->SlotIdx[X & PageMask];
+    return Idx == NoSlot ? nullptr : &Arena[Idx];
+  }
+
+  Slot *find(LockId M, VarId X) {
+    return const_cast<Slot *>(
+        static_cast<const LockVarStore *>(this)->find(M, X));
+  }
+
+  /// Marks \p X read (R_m) in \p M's current critical section.
+  void touchRead(LockId M, VarId X) {
+    uint32_t Idx;
+    Slot &S = ensure(M, X, Idx);
+    if (!S.InReadSet) {
+      S.InReadSet = true;
+      Locks[M].CurReads.push_back(Idx);
+    }
+  }
+
+  /// Marks \p X written (W_m) in \p M's current critical section.
+  void touchWrite(LockId M, VarId X) {
+    uint32_t Idx;
+    Slot &S = ensure(M, X, Idx);
+    if (!S.InWriteSet) {
+      S.InWriteSet = true;
+      Locks[M].CurWrites.push_back(Idx);
+    }
+  }
+
+  /// Marks \p X read and written in one index walk — the FTO-tier write
+  /// path, where R_m tracks reads and writes (Algorithm 2's note below
+  /// line 15).
+  void touchReadWrite(LockId M, VarId X) {
+    uint32_t Idx;
+    Slot &S = ensure(M, X, Idx);
+    if (!S.InReadSet) {
+      S.InReadSet = true;
+      Locks[M].CurReads.push_back(Idx);
+    }
+    if (!S.InWriteSet) {
+      S.InWriteSet = true;
+      Locks[M].CurWrites.push_back(Idx);
+    }
+  }
+
+  /// Release-time update (Algorithm 1 lines 9-11): joins \p C into the
+  /// read (write) clock of every slot in R_m (W_m), stamps \p RelIdx, and
+  /// clears the membership sets.
+  void fold(LockId M, const VectorClock &C, uint64_t RelIdx) {
+    if (M >= Locks.size())
+      return;
+    PerLock &L = Locks[M];
+    for (uint32_t Idx : L.CurReads) {
+      Slot &S = Arena[Idx];
+      S.ReadC.joinWith(C);
+      S.ReadRelIdx = RelIdx;
+      S.HasRead = true;
+      S.InReadSet = false;
+    }
+    for (uint32_t Idx : L.CurWrites) {
+      Slot &S = Arena[Idx];
+      S.WriteC.joinWith(C);
+      S.WriteRelIdx = RelIdx;
+      S.HasWrite = true;
+      S.InWriteSet = false;
+    }
+    L.CurReads.clear();
+    L.CurWrites.clear();
+  }
+
+  /// Number of (lock, variable) pairs ever touched.
+  size_t slotCount() const { return Arena.size(); }
+
+  /// Live bytes: index pages, membership lists, and the slot arena
+  /// including each clock's heap spill.
+  size_t footprintBytes() const {
+    size_t N = Locks.capacity() * sizeof(PerLock) +
+               Arena.size() * sizeof(Slot);
+    for (const PerLock &L : Locks) {
+      N += L.Pages.capacity() * sizeof(std::unique_ptr<IndexPage>) +
+           L.CurReads.capacity() * sizeof(uint32_t) +
+           L.CurWrites.capacity() * sizeof(uint32_t);
+      for (const auto &P : L.Pages)
+        if (P)
+          N += sizeof(IndexPage);
+    }
+    for (const Slot &S : Arena)
+      N += S.ReadC.footprintBytes() + S.WriteC.footprintBytes();
+    return N;
+  }
+
+private:
+  static constexpr unsigned PageBits = 6;
+  static constexpr size_t PageSize = size_t(1) << PageBits;
+  static constexpr size_t PageMask = PageSize - 1;
+  static constexpr uint32_t NoSlot = UINT32_MAX;
+
+  struct IndexPage {
+    uint32_t SlotIdx[PageSize];
+    IndexPage() {
+      for (uint32_t &I : SlotIdx)
+        I = NoSlot;
+    }
+  };
+
+  struct PerLock {
+    std::vector<std::unique_ptr<IndexPage>> Pages; // keyed by VarId page
+    std::vector<uint32_t> CurReads, CurWrites;     // R_m / W_m arena indices
+  };
+
+  Slot &ensure(LockId M, VarId X, uint32_t &IdxOut);
+
+  std::vector<PerLock> Locks;
+  std::deque<Slot> Arena; // reference-stable slot storage
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_LOCKVARSTORE_H

@@ -31,6 +31,7 @@
 #ifndef SMARTTRACK_ANALYSIS_RULEBLOG_H
 #define SMARTTRACK_ANALYSIS_RULEBLOG_H
 
+#include "support/Compiler.h"
 #include "support/VectorClock.h"
 
 #include <cassert>
@@ -87,9 +88,12 @@ public:
   /// Processes rule (b) at a rel(m) by \p Releaser whose current clock is
   /// \p C: for every other acquiring thread, dequeues queued acquires
   /// ordered before \p C and invokes \p OnOrdered(RelClock, RelIdx) for each
-  /// so the caller can join the rel–rel edge.
+  /// so the caller can join the rel–rel edge. Force-inlined into the
+  /// per-release handlers: the common case touches only the cursor
+  /// bookkeeping, and an outlined call per release is measurable.
   template <typename F>
-  void drainOrdered(ThreadId Releaser, const VectorClock &C, F &&OnOrdered) {
+  ST_ALWAYS_INLINE void drainOrdered(ThreadId Releaser, const VectorClock &C,
+                                     F &&OnOrdered) {
     for (ThreadId U = 0; U < Logs.size(); ++U) {
       if (U == Releaser)
         continue;

@@ -1,0 +1,15 @@
+//===- analysis/STCoreDC.cpp - STCore<DCPolicy> instantiation -----------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// One explicit instantiation per translation unit — see STCoreImpl.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/STCoreImpl.h"
+
+namespace st {
+template class STCore<DCPolicy>;
+} // namespace st

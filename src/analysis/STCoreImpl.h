@@ -1,18 +1,30 @@
-//===- analysis/SmartTrackWCP.cpp - SmartTrack-WCP analysis ---------------===//
+//===- analysis/STCoreImpl.h - STCore member definitions --------*- C++ -*-===//
 //
 // Part of the SmartTrack reproduction, under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Member definitions for STCore, included only by the per-policy explicit
+/// instantiation units (STCoreWCP.cpp / STCoreDC.cpp / STCoreWDC.cpp).
+/// One instantiation per translation unit keeps each TU's code size at the
+/// level of the hand-written per-relation classes, which is what lets the
+/// compiler keep inlining the VectorClock primitives into the per-event
+/// handlers (measurably lost when all three policies share one TU).
+///
+//===----------------------------------------------------------------------===//
 
-#include "analysis/SmartTrackWCP.h"
+#ifndef SMARTTRACK_ANALYSIS_STCOREIMPL_H
+#define SMARTTRACK_ANALYSIS_STCOREIMPL_H
+
+#include "analysis/STCore.h"
 
 #include "analysis/Footprint.h"
 
 #include <unordered_set>
 
-using namespace st;
-
-namespace {
+namespace st {
+namespace st_core_detail {
 
 /// Charges each shared list buffer and release clock exactly once, however
 /// many variables reference it (lists and clocks are shared snapshots).
@@ -37,20 +49,21 @@ struct SharedFootprint {
   }
 };
 
-size_t extraFootprint(const ExtraMap &E) {
+inline size_t extraFootprint(const ExtraMap &E) {
   size_t N = unorderedFootprint(E);
   for (const auto &KV : E)
     N += unorderedFootprint(KV.second);
   return N;
 }
 
-} // namespace
+} // namespace st_core_detail
 
-size_t SmartTrackWCP::footprintBytes() const {
-  size_t N = HThreads.footprintBytes() + PThreads.footprintBytes() +
-             Held.footprintBytes() + Vars.capacity() * sizeof(VarState) +
-             Locks.capacity() * sizeof(LockState) +
-             VolWriteHC.footprintBytes() + VolReadHC.footprintBytes();
+template <typename Policy>
+size_t STCore<Policy>::metadataFootprintBytes() const {
+  using st_core_detail::SharedFootprint;
+  size_t N = this->baseFootprintBytes() +
+             Vars.capacity() * sizeof(VarState) +
+             Locks.capacity() * sizeof(LockState);
   SharedFootprint Shared;
   for (const CSList &L : ActiveCS)
     Shared.addList(L);
@@ -68,13 +81,13 @@ size_t SmartTrackWCP::footprintBytes() const {
         Shared.addListRef(KV.second);
     }
     if (V.Er) {
-      N += extraFootprint(*V.Er);
+      N += st_core_detail::extraFootprint(*V.Er);
       for (const auto &KV : *V.Er)
         for (const auto &LC : KV.second)
           Shared.addClock(LC.second);
     }
     if (V.Ew) {
-      N += extraFootprint(*V.Ew);
+      N += st_core_detail::extraFootprint(*V.Ew);
       for (const auto &KV : *V.Ew)
         for (const auto &LC : KV.second)
           Shared.addClock(LC.second);
@@ -82,41 +95,52 @@ size_t SmartTrackWCP::footprintBytes() const {
   }
   N += Shared.Bytes;
   for (const LockState &L : Locks) {
-    N += L.HRel.footprintBytes() + L.PRel.footprintBytes();
+    if constexpr (Policy::SplitClocks)
+      N += L.HRel.footprintBytes() + L.PRel.footprintBytes();
     if (L.Queues)
       N += L.Queues->footprintBytes();
   }
   return N;
 }
 
-LockClockMap SmartTrackWCP::multiCheck(const CSList &L, ThreadId U, Epoch A,
-                                       const Event &Ev, VectorClock &Pt) {
+template <typename Policy>
+LockClockMap STCore<Policy>::multiCheck(const CSList &L, ThreadId U, Epoch A,
+                                        const Event &Ev, VectorClock &Pt) {
   LockClockMap E;
+  // The list owner's accesses are PO-ordered before the current thread's
+  // only when they are the same thread; then nothing below applies
+  // (DESIGN.md interpretation note 5).
   if (U == Ev.Tid)
-    return E; // same-thread accesses are PO-ordered; never a WCP race
-  for (size_t I = L.size(); I-- > 0;) {
+    return E;
+  for (size_t I = L.size(); I-- > 0;) { // tail (outermost) to head
     const CSEntry &CS = L[I];
-    // WCP ordering of the section's release before the current access.
+    // Release ordered before the current access? Subsumes inner sections
+    // and the race check (Algorithm 3 line 29). Unreleased sections hold ∞
+    // in the owner's entry and never pass.
     if (CS.C->get(U) <= Pt.get(U))
       return E;
+    // Conflicting critical sections on a held lock: rule (a); the prior
+    // section must have released the lock for us to hold it, so the clock
+    // is final (Algorithm 3 lines 30-32). Under split clocks the stored
+    // clock holds H at the release — left composition.
     if (Held.holds(Ev.Tid, CS.M)) {
-      // Rule (a) + left composition: the clock holds H at the release.
       Pt.joinWith(*CS.C);
       return E;
     }
-    E[CS.M] = CS.C;
+    E[CS.M] = CS.C; // residual (line 33)
   }
   if (!A.isNone() && !Pt.epochLeq(A))
-    reportRace(Ev, A);
+    this->reportRace(Ev, A); // line 34
   return E;
 }
 
-void SmartTrackWCP::applyExtra(ExtraMap *Extra, const Event &Ev,
-                               VectorClock &Pt, bool Consume) {
-  if (!Extra || Extra->empty())
-    return;
+template <typename Policy>
+void STCore<Policy>::applyExtraSlow(ExtraMap &ExtraRef, const Event &Ev,
+                                    VectorClock &Pt, bool Consume) {
+  ExtraMap *Extra = &ExtraRef;
   for (auto It = Extra->begin(); It != Extra->end();) {
     if (It->first == Ev.Tid) {
+      // Algorithm 3 line 23: the writer's own entries are dropped.
       It = Consume ? Extra->erase(It) : std::next(It);
       continue;
     }
@@ -125,6 +149,8 @@ void SmartTrackWCP::applyExtra(ExtraMap *Extra, const Event &Ev,
       auto LIt = LM.find(M);
       if (LIt == LM.end())
         continue;
+      // These sections closed before we could hold M, so the clock is
+      // final (never ∞ in any entry).
       Pt.joinWith(*LIt->second);
       if (Consume)
         LM.erase(LIt);
@@ -136,7 +162,8 @@ void SmartTrackWCP::applyExtra(ExtraMap *Extra, const Event &Ev,
   }
 }
 
-const CSListRef &SmartTrackWCP::snapshotCS(ThreadId T) {
+template <typename Policy>
+const CSListRef &STCore<Policy>::snapshotCS(ThreadId T) {
   if (T >= CSSnapshot.size())
     CSSnapshot.resize(T + 1);
   CSListRef &S = CSSnapshot[T];
@@ -150,43 +177,47 @@ const CSListRef &SmartTrackWCP::snapshotCS(ThreadId T) {
   return S;
 }
 
-void SmartTrackWCP::onRead(const Event &E) {
-  VectorClock &Ht = HThreads.of(E.Tid);
-  VectorClock &Pt = PThreads.of(E.Tid);
+template <typename Policy> void STCore<Policy>::onRead(const Event &E) {
+  VectorClock &Ht = Threads.of(E.Tid);
+  VectorClock &Pt = this->predictiveOf(E.Tid, Ht);
   VarState &V = varState(E.var());
   Epoch Now = Ht.epochOf(E.Tid);
 
   if (!V.RShared && V.R == Now) {
     ++Stats.ReadSameEpoch;
-    return;
+    return; // [Read Same Epoch]
   }
   if (V.RShared && V.RShared->get(E.Tid) == Now.clock()) {
     ++Stats.SharedSameEpoch;
-    return;
+    return; // [Shared Same Epoch]
   }
 
+  // Algorithm 3 read lines 4-6: consume lost write-CS information.
   applyExtra(V.Ew.get(), E, Pt, /*Consume=*/false);
 
   const CSListRef &Hcs = snapshotCS(E.Tid);
 
   if (!V.RShared) {
     if (V.R.tid() == E.Tid && !V.R.isNone()) {
-      ++Stats.ReadOwned;
+      ++Stats.ReadOwned; // [Read Owned]
       V.LR = Hcs;
       V.R = Now;
       return;
     }
+    // [Read Exclusive] requires the prior access's *outermost* critical
+    // section release ordered before this read (Algorithm 3 line 11);
+    // otherwise CS information would be lost (Figure 4(b)).
     ThreadId U = V.R.tid();
     const CSList &LRList = derefCSList(V.LR);
     bool Ordered = LRList.empty() ? Pt.epochLeq(V.R)
-                                : LRList.back().C->get(U) <= Pt.get(U);
+                                  : LRList.back().C->get(U) <= Pt.get(U);
     if (Ordered) {
-      ++Stats.ReadExclusive;
+      ++Stats.ReadExclusive; // [Read Exclusive]
       V.LR = Hcs;
       V.R = Now;
       return;
     }
-    ++Stats.ReadShare;
+    ++Stats.ReadShare; // [Read Share]
     multiCheck(derefCSList(V.LW), V.W.tid(), V.W, E, Pt);
     V.LRShared = std::make_unique<std::unordered_map<ThreadId, CSListRef>>();
     (*V.LRShared)[U] = std::move(V.LR);
@@ -198,28 +229,31 @@ void SmartTrackWCP::onRead(const Event &E) {
     return;
   }
   if (V.RShared->get(E.Tid) != 0) {
-    ++Stats.ReadSharedOwned;
+    ++Stats.ReadSharedOwned; // [Read Shared Owned]
     (*V.LRShared)[E.Tid] = Hcs;
     V.RShared->set(E.Tid, Now.clock());
     return;
   }
-  ++Stats.ReadShared;
+  ++Stats.ReadShared; // [Read Shared]
   multiCheck(derefCSList(V.LW), V.W.tid(), V.W, E, Pt);
   (*V.LRShared)[E.Tid] = Hcs;
   V.RShared->set(E.Tid, Now.clock());
 }
 
-void SmartTrackWCP::onWrite(const Event &E) {
-  VectorClock &Ht = HThreads.of(E.Tid);
-  VectorClock &Pt = PThreads.of(E.Tid);
+template <typename Policy> void STCore<Policy>::onWrite(const Event &E) {
+  VectorClock &Ht = Threads.of(E.Tid);
+  VectorClock &Pt = this->predictiveOf(E.Tid, Ht);
   VarState &V = varState(E.var());
   Epoch Now = Ht.epochOf(E.Tid);
 
   if (V.W == Now) {
     ++Stats.WriteSameEpoch;
-    return;
+    return; // [Write Same Epoch]
   }
 
+  // Algorithm 3 write lines 19-23: consume lost CS information. Writes
+  // conflict with reads and writes, so both maps contribute genuine
+  // rule-(a) edges (DESIGN.md interpretation note 6).
   applyExtra(V.Er.get(), E, Pt, /*Consume=*/true);
   applyExtra(V.Ew.get(), E, Pt, /*Consume=*/true);
 
@@ -227,9 +261,9 @@ void SmartTrackWCP::onWrite(const Event &E) {
 
   if (!V.RShared) {
     if (V.R.tid() == E.Tid && !V.R.isNone()) {
-      ++Stats.WriteOwned;
+      ++Stats.WriteOwned; // [Write Owned]
     } else {
-      ++Stats.WriteExclusive;
+      ++Stats.WriteExclusive; // [Write Exclusive]
       ThreadId U = V.R.tid();
       LockClockMap Res = multiCheck(derefCSList(V.LR), U, V.R, E, Pt);
       if (!Res.empty()) {
@@ -245,7 +279,7 @@ void SmartTrackWCP::onWrite(const Event &E) {
       }
     }
   } else {
-    ++Stats.WriteShared;
+    ++Stats.WriteShared; // [Write Shared]
     for (auto &KV : *V.LRShared) {
       ThreadId U = KV.first;
       if (U == E.Tid)
@@ -261,6 +295,8 @@ void SmartTrackWCP::onWrite(const Event &E) {
       if (!V.Ew)
         V.Ew = std::make_unique<ExtraMap>();
       (*V.Er)[U] = std::move(Res);
+      // Line 35: the last write's CS list matters for the thread that owns
+      // the last write (interpretation note 7).
       if (U == V.W.tid() && !V.W.isNone()) {
         LockClockMap WRes =
             multiCheck(derefCSList(V.LW), V.W.tid(), Epoch::none(), E, Pt);
@@ -272,24 +308,28 @@ void SmartTrackWCP::onWrite(const Event &E) {
     V.RShared.reset();
   }
 
-  V.LW = Hcs;
+  V.LW = Hcs; // line 36
   V.LR = Hcs;
-  V.W = Now;
+  V.W = Now; // line 37
   V.R = Now;
 }
 
-void SmartTrackWCP::onAcquire(const Event &E) {
-  VectorClock &Ht = HThreads.of(E.Tid);
-  VectorClock &Pt = PThreads.of(E.Tid);
+template <typename Policy> void STCore<Policy>::onAcquire(const Event &E) {
+  VectorClock &Ht = Threads.of(E.Tid);
   LockState &L = lockState(E.lock());
 
-  Ht.joinWith(L.HRel);
-  Pt.joinWith(L.PRel);
-
-  if (!L.Queues)
-    L.Queues = std::make_unique<RuleBLog<Epoch>>(/*PerReleaserCursors=*/false);
-  L.Queues->onAcquire(E.Tid, Ht.epochOf(E.Tid));
-
+  if constexpr (Policy::SplitClocks) {
+    Ht.joinWith(L.HRel);
+    PThreads.of(E.Tid).joinWith(L.PRel);
+  }
+  if constexpr (Policy::RuleB) {
+    if (!L.Queues)
+      L.Queues = std::make_unique<RuleBLog<Epoch>>(
+          Policy::PerReleaserCursors);
+    L.Queues->onAcquire(E.Tid, Ht.epochOf(E.Tid)); // line 2 (epoch queue)
+  }
+  // Lines 3-5: push a new critical section whose release clock is not yet
+  // known; ∞ in the owner's entry makes ordering queries fail until then.
   if (E.Tid >= ActiveCS.size())
     ActiveCS.resize(E.Tid + 1);
   CSList &H = ActiveCS[E.Tid];
@@ -297,24 +337,27 @@ void SmartTrackWCP::onAcquire(const Event &E) {
   if (E.Tid < CSSnapshot.size())
     CSSnapshot[E.Tid].reset();
   Held.pushLock(E.Tid, E.lock());
-  Ht.increment(E.Tid);
+  Ht.increment(E.Tid); // line 6
 }
 
-void SmartTrackWCP::onRelease(const Event &E) {
-  VectorClock &Ht = HThreads.of(E.Tid);
-  VectorClock &Pt = PThreads.of(E.Tid);
+template <typename Policy> void STCore<Policy>::onRelease(const Event &E) {
+  VectorClock &Ht = Threads.of(E.Tid);
+  VectorClock &Pt = this->predictiveOf(E.Tid, Ht);
   LockState &L = lockState(E.lock());
 
-  if (L.Queues) {
-    L.Queues->drainOrdered(E.Tid, Pt,
-                           [&](const VectorClock &Rel, uint64_t) {
-                             Pt.joinWith(Rel);
-                           });
-    L.Queues->onRelease(E.Tid, Ht, currentEventIndex());
+  if constexpr (Policy::RuleB) {
+    if (L.Queues) {
+      // Lines 8-12.
+      L.Queues->drainOrdered(E.Tid, Pt,
+                             [&](const VectorClock &Rel, uint64_t) {
+                               Pt.joinWith(Rel);
+                             });
+      L.Queues->onRelease(E.Tid, Ht, this->currentEventIndex());
+    }
   }
-
-  // Deferred release clock: HB time, for left composition when another
-  // thread's MultiCheck joins this section.
+  // Lines 13-15: fill in the deferred release clock (the advance clock:
+  // HB time under split clocks, for left composition when another
+  // thread's MultiCheck joins this section) and pop the section.
   assert(E.Tid < ActiveCS.size() && "release on thread with no sections");
   CSList &H = ActiveCS[E.Tid];
   for (size_t I = 0, N = H.size(); I != N; ++I) {
@@ -325,42 +368,16 @@ void SmartTrackWCP::onRelease(const Event &E) {
       break;
     }
   }
-
-  L.HRel = Ht;
-  L.PRel = Pt;
+  if constexpr (Policy::SplitClocks) {
+    L.HRel = Ht;
+    L.PRel = Pt;
+  }
   if (E.Tid < CSSnapshot.size())
     CSSnapshot[E.Tid].reset();
   Held.popLock(E.Tid, E.lock());
-  Ht.increment(E.Tid);
+  Ht.increment(E.Tid); // line 16
 }
 
-void SmartTrackWCP::onFork(const Event &E) {
-  VectorClock &Ht = HThreads.of(E.Tid);
-  HThreads.of(E.childTid()).joinWith(Ht);
-  PThreads.of(E.childTid()).joinWith(Ht);
-  Ht.increment(E.Tid);
-}
+} // namespace st
 
-void SmartTrackWCP::onJoin(const Event &E) {
-  VectorClock &ChildH = HThreads.of(E.childTid());
-  HThreads.of(E.Tid).joinWith(ChildH);
-  PThreads.of(E.Tid).joinWith(ChildH);
-}
-
-void SmartTrackWCP::onVolRead(const Event &E) {
-  VectorClock &Ht = HThreads.of(E.Tid);
-  Ht.joinWith(VolWriteHC.of(E.var()));
-  PThreads.of(E.Tid).joinWith(VolWriteHC.of(E.var()));
-  VolReadHC.of(E.var()).joinWith(Ht);
-  Ht.increment(E.Tid);
-}
-
-void SmartTrackWCP::onVolWrite(const Event &E) {
-  VectorClock &Ht = HThreads.of(E.Tid);
-  Ht.joinWith(VolWriteHC.of(E.var()));
-  Ht.joinWith(VolReadHC.of(E.var()));
-  PThreads.of(E.Tid).joinWith(VolWriteHC.of(E.var()));
-  PThreads.of(E.Tid).joinWith(VolReadHC.of(E.var()));
-  VolWriteHC.of(E.var()).joinWith(Ht);
-  Ht.increment(E.Tid);
-}
+#endif // SMARTTRACK_ANALYSIS_STCOREIMPL_H

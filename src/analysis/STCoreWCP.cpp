@@ -1,0 +1,15 @@
+//===- analysis/STCoreWCP.cpp - STCore<WCPPolicy> instantiation -----------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// One explicit instantiation per translation unit — see STCoreImpl.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/STCoreImpl.h"
+
+namespace st {
+template class STCore<WCPPolicy>;
+} // namespace st

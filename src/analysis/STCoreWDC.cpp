@@ -1,0 +1,15 @@
+//===- analysis/STCoreWDC.cpp - STCore<WDCPolicy> instantiation -----------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// One explicit instantiation per translation unit — see STCoreImpl.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/STCoreImpl.h"
+
+namespace st {
+template class STCore<WDCPolicy>;
+} // namespace st

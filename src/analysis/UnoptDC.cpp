@@ -18,21 +18,14 @@ const char *UnoptDC::name() const {
   return Graph ? "Unopt-WDC w/G" : "Unopt-WDC";
 }
 
-size_t UnoptDC::footprintBytes() const {
+size_t UnoptDC::metadataFootprintBytes() const {
   size_t N = Threads.footprintBytes() + Held.footprintBytes() +
              ReadClocks.footprintBytes() + WriteClocks.footprintBytes() +
              VolWriteClock.footprintBytes() + VolReadClock.footprintBytes() +
-             Locks.capacity() * sizeof(LockState);
-  for (const LockState &L : Locks) {
-    N += unorderedFootprint(L.ReadCS) + unorderedFootprint(L.WriteCS) +
-         unorderedFootprint(L.ReadVars) + unorderedFootprint(L.WriteVars);
-    for (const auto &KV : L.ReadCS)
-      N += KV.second.C.footprintBytes();
-    for (const auto &KV : L.WriteCS)
-      N += KV.second.C.footprintBytes();
+             CS.footprintBytes() + Locks.capacity() * sizeof(LockState);
+  for (const LockState &L : Locks)
     if (L.Queues)
       N += L.Queues->footprintBytes();
-  }
   if (Graph)
     N += Graph->footprintBytes();
   N += vectorFootprint(LastEventOfThread) + vectorFootprint(PendingForkEdge) +
@@ -68,15 +61,13 @@ void UnoptDC::onRead(const Event &E) {
   // DC rule (a): join with prior critical sections on each held lock that
   // wrote x (Algorithm 1 lines 21-23).
   for (LockId M : Held.of(E.Tid)) {
-    LockState &L = lockState(M);
-    auto It = L.WriteCS.find(E.var());
-    if (It != L.WriteCS.end()) {
-      Ct.joinWith(It->second.C);
+    if (const LockVarStore::Slot *S = CS.find(M, E.var());
+        S && S->hasWrite()) {
+      Ct.joinWith(S->WriteC);
       if (Graph)
-        Graph->addEdge(It->second.LastRelIdx, currentEventIndex(),
-                       EdgeKind::RuleA);
+        Graph->addEdge(S->WriteRelIdx, currentEventIndex(), EdgeKind::RuleA);
     }
-    L.ReadVars.insert(E.var());
+    CS.touchRead(M, E.var());
   }
 
   if (!WriteClocks.of(E.var()).leq(Ct))
@@ -94,20 +85,21 @@ void UnoptDC::onWrite(const Event &E) {
   // DC rule (a): join with prior critical sections on each held lock that
   // read or wrote x (Algorithm 1 lines 14-16).
   for (LockId M : Held.of(E.Tid)) {
-    LockState &L = lockState(M);
-    if (auto It = L.ReadCS.find(E.var()); It != L.ReadCS.end()) {
-      Ct.joinWith(It->second.C);
-      if (Graph)
-        Graph->addEdge(It->second.LastRelIdx, currentEventIndex(),
-                       EdgeKind::RuleA);
+    if (const LockVarStore::Slot *S = CS.find(M, E.var())) {
+      if (S->hasRead()) {
+        Ct.joinWith(S->ReadC);
+        if (Graph)
+          Graph->addEdge(S->ReadRelIdx, currentEventIndex(),
+                         EdgeKind::RuleA);
+      }
+      if (S->hasWrite()) {
+        Ct.joinWith(S->WriteC);
+        if (Graph)
+          Graph->addEdge(S->WriteRelIdx, currentEventIndex(),
+                         EdgeKind::RuleA);
+      }
     }
-    if (auto It = L.WriteCS.find(E.var()); It != L.WriteCS.end()) {
-      Ct.joinWith(It->second.C);
-      if (Graph)
-        Graph->addEdge(It->second.LastRelIdx, currentEventIndex(),
-                       EdgeKind::RuleA);
-    }
-    L.WriteVars.insert(E.var());
+    CS.touchWrite(M, E.var());
   }
 
   if (!Wx.leq(Ct))
@@ -149,18 +141,7 @@ void UnoptDC::onRelease(const Event &E) {
 
   // DC rule (a) bookkeeping: fold this critical section's accesses into the
   // per-(lock, variable) clocks (lines 9-11).
-  for (VarId X : L.ReadVars) {
-    CSClock &CS = L.ReadCS[X];
-    CS.C.joinWith(Ct);
-    CS.LastRelIdx = currentEventIndex();
-  }
-  for (VarId X : L.WriteVars) {
-    CSClock &CS = L.WriteCS[X];
-    CS.C.joinWith(Ct);
-    CS.LastRelIdx = currentEventIndex();
-  }
-  L.ReadVars.clear();
-  L.WriteVars.clear();
+  CS.fold(E.lock(), Ct, currentEventIndex());
 
   Held.popLock(E.Tid, E.lock());
   Ct.increment(E.Tid); // line 12

@@ -22,12 +22,11 @@
 
 #include "analysis/Analysis.h"
 #include "analysis/ClockSets.h"
+#include "analysis/LockVarStore.h"
 #include "analysis/RuleBLog.h"
 #include "graph/EdgeRecorder.h"
 
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace st {
 
@@ -44,7 +43,7 @@ public:
   explicit UnoptDC(Options Opts);
 
   const char *name() const override;
-  size_t footprintBytes() const override;
+  size_t metadataFootprintBytes() const override;
 
   /// Ordering query for tests: is every prior write to \p X DC-ordered
   /// before thread \p T's current time?
@@ -62,18 +61,7 @@ protected:
   void onVolWrite(const Event &E) override;
 
 private:
-  /// A joined release clock plus the most recent contributing release event
-  /// (for graph edges).
-  struct CSClock {
-    VectorClock C;
-    uint64_t LastRelIdx = 0;
-  };
-
   struct LockState {
-    std::unordered_map<VarId, CSClock> ReadCS;  // L^r_{m,x} (reads)
-    std::unordered_map<VarId, CSClock> WriteCS; // L^w_{m,x} (writes)
-    std::unordered_set<VarId> ReadVars;         // R_m
-    std::unordered_set<VarId> WriteVars;        // W_m
     std::unique_ptr<RuleBLog<VectorClock>> Queues; // created when RuleB
   };
 
@@ -91,6 +79,7 @@ private:
   ThreadClockSet Threads;
   HeldLockSet Held;
   std::vector<LockState> Locks;
+  LockVarStore CS; // L^r_{m,x} / L^w_{m,x} / R_m / W_m (+ release indices)
   ClockMap ReadClocks;  // R_x
   ClockMap WriteClocks; // W_x
   ClockMap VolWriteClock;

@@ -8,7 +8,7 @@
 
 using namespace st;
 
-size_t UnoptHB::footprintBytes() const {
+size_t UnoptHB::metadataFootprintBytes() const {
   return Threads.footprintBytes() + LockRelease.footprintBytes() +
          WriteClocks.footprintBytes() + ReadClocks.footprintBytes() +
          VolWriteClock.footprintBytes() + VolReadClock.footprintBytes();

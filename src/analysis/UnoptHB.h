@@ -24,7 +24,7 @@ namespace st {
 class UnoptHB : public Analysis {
 public:
   const char *name() const override { return "Unopt-HB"; }
-  size_t footprintBytes() const override;
+  size_t metadataFootprintBytes() const override;
 
   /// HB ordering query for tests: is the last write to \p X ordered before
   /// thread \p T's current time?

@@ -6,23 +6,16 @@
 
 #include "analysis/UnoptWCP.h"
 
-#include "analysis/Footprint.h"
-
 using namespace st;
 
-size_t UnoptWCP::footprintBytes() const {
+size_t UnoptWCP::metadataFootprintBytes() const {
   size_t N = HThreads.footprintBytes() + PThreads.footprintBytes() +
              Held.footprintBytes() + ReadClocks.footprintBytes() +
              WriteClocks.footprintBytes() + VolWriteHC.footprintBytes() +
-             VolReadHC.footprintBytes() + Locks.capacity() * sizeof(LockState);
+             VolReadHC.footprintBytes() + CS.footprintBytes() +
+             Locks.capacity() * sizeof(LockState);
   for (const LockState &L : Locks) {
-    N += L.HRel.footprintBytes() + L.PRel.footprintBytes() +
-         unorderedFootprint(L.ReadCS) + unorderedFootprint(L.WriteCS) +
-         unorderedFootprint(L.ReadVars) + unorderedFootprint(L.WriteVars);
-    for (const auto &KV : L.ReadCS)
-      N += KV.second.footprintBytes();
-    for (const auto &KV : L.WriteCS)
-      N += KV.second.footprintBytes();
+    N += L.HRel.footprintBytes() + L.PRel.footprintBytes();
     if (L.Queues)
       N += L.Queues->footprintBytes();
   }
@@ -44,10 +37,10 @@ void UnoptWCP::onRead(const Event &E) {
   // ordered before this read; join their HB release times (left
   // composition) into P_t.
   for (LockId M : Held.of(E.Tid)) {
-    LockState &L = lockState(M);
-    if (auto It = L.WriteCS.find(E.var()); It != L.WriteCS.end())
-      Pt.joinWith(It->second);
-    L.ReadVars.insert(E.var());
+    if (const LockVarStore::Slot *S = CS.find(M, E.var());
+        S && S->hasWrite())
+      Pt.joinWith(S->WriteC);
+    CS.touchRead(M, E.var());
   }
 
   if (!WriteClocks.of(E.var()).leqIgnoring(Pt, E.Tid))
@@ -63,12 +56,13 @@ void UnoptWCP::onWrite(const Event &E) {
     return; // same-epoch fast path (§5.1)
 
   for (LockId M : Held.of(E.Tid)) {
-    LockState &L = lockState(M);
-    if (auto It = L.ReadCS.find(E.var()); It != L.ReadCS.end())
-      Pt.joinWith(It->second);
-    if (auto It = L.WriteCS.find(E.var()); It != L.WriteCS.end())
-      Pt.joinWith(It->second);
-    L.WriteVars.insert(E.var());
+    if (const LockVarStore::Slot *S = CS.find(M, E.var())) {
+      if (S->hasRead())
+        Pt.joinWith(S->ReadC);
+      if (S->hasWrite())
+        Pt.joinWith(S->WriteC);
+    }
+    CS.touchWrite(M, E.var());
   }
 
   if (!Wx.leqIgnoring(Pt, E.Tid))
@@ -116,12 +110,7 @@ void UnoptWCP::onRelease(const Event &E) {
 
   // Rule (a) bookkeeping: record this critical section's accesses with the
   // release's HB time (left composition with HB).
-  for (VarId X : L.ReadVars)
-    L.ReadCS[X].joinWith(Ht);
-  for (VarId X : L.WriteVars)
-    L.WriteCS[X].joinWith(Ht);
-  L.ReadVars.clear();
-  L.WriteVars.clear();
+  CS.fold(E.lock(), Ht, currentEventIndex());
 
   L.HRel = Ht;
   L.PRel = Pt;

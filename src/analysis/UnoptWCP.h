@@ -42,11 +42,10 @@
 
 #include "analysis/Analysis.h"
 #include "analysis/ClockSets.h"
+#include "analysis/LockVarStore.h"
 #include "analysis/RuleBLog.h"
 
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace st {
 
@@ -54,7 +53,7 @@ namespace st {
 class UnoptWCP : public Analysis {
 public:
   const char *name() const override { return "Unopt-WCP"; }
-  size_t footprintBytes() const override;
+  size_t metadataFootprintBytes() const override;
 
   /// Ordering query for tests: is every prior write to \p X (by other
   /// threads) WCP-ordered before thread \p T's current time?
@@ -74,11 +73,7 @@ private:
   struct LockState {
     VectorClock HRel; // HB clock of the last release
     VectorClock PRel; // WCP clock of the last release
-    std::unordered_map<VarId, VectorClock> ReadCS;  // L^r_{m,x} (HB times)
-    std::unordered_map<VarId, VectorClock> WriteCS; // L^w_{m,x} (HB times)
-    std::unordered_set<VarId> ReadVars;             // R_m
-    std::unordered_set<VarId> WriteVars;            // W_m
-    std::unique_ptr<RuleBLog<Epoch>> Queues;        // shared cursors
+    std::unique_ptr<RuleBLog<Epoch>> Queues; // shared cursors
   };
 
   LockState &lockState(LockId M) {
@@ -91,6 +86,7 @@ private:
   ClockMap PThreads;       // P_t (genuine WCP knowledge only)
   HeldLockSet Held;
   std::vector<LockState> Locks;
+  LockVarStore CS; // L^r_{m,x} / L^w_{m,x} (HB times) and R_m / W_m
   ClockMap ReadClocks;  // R_x (local access times)
   ClockMap WriteClocks; // W_x
   ClockMap VolWriteHC;  // join of H at volatile writes

@@ -1,0 +1,25 @@
+//===- support/Compiler.h - Compiler portability helpers --------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler-portability macros. ST_ALWAYS_INLINE forces inlining of
+/// per-event fast-path wrappers whose out-of-line call cost is measurable
+/// (compilers decline to partial-inline comdat template members that they
+/// happily split when the same code is a plain class; see the core impl
+/// headers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_SUPPORT_COMPILER_H
+#define SMARTTRACK_SUPPORT_COMPILER_H
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ST_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define ST_ALWAYS_INLINE inline
+#endif
+
+#endif // SMARTTRACK_SUPPORT_COMPILER_H

@@ -1,0 +1,63 @@
+//===- support/DenseIdSet.h - Dense bit-set over small ids ------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set of dense, zero-based identifiers stored as a growable bit vector.
+/// All id spaces in this codebase (threads, variables, locks, sites) are
+/// dense by construction (support/Types.h), so membership costs one word
+/// probe and the whole set costs max-id/8 bytes — versus ~20 bytes per
+/// element plus bucket arrays for an unordered_set. Used wherever an
+/// analysis keeps a monotonically growing id set (e.g. the racy-site
+/// accounting in Analysis).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_SUPPORT_DENSEIDSET_H
+#define SMARTTRACK_SUPPORT_DENSEIDSET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace st {
+
+/// Growable bit-vector set over dense uint32_t ids.
+class DenseIdSet {
+public:
+  /// Adds \p Id; returns true when it was not already present.
+  bool insert(uint32_t Id) {
+    size_t Word = Id >> 6;
+    if (Word >= Words.size())
+      Words.resize(Word + 1, 0);
+    uint64_t Bit = uint64_t(1) << (Id & 63);
+    if (Words[Word] & Bit)
+      return false;
+    Words[Word] |= Bit;
+    ++Count;
+    return true;
+  }
+
+  bool contains(uint32_t Id) const {
+    size_t Word = Id >> 6;
+    return Word < Words.size() && (Words[Word] >> (Id & 63)) & 1;
+  }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// Live bytes of the bit vector, for footprint accounting.
+  size_t footprintBytes() const {
+    return Words.capacity() * sizeof(uint64_t);
+  }
+
+private:
+  std::vector<uint64_t> Words;
+  size_t Count = 0;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_SUPPORT_DENSEIDSET_H

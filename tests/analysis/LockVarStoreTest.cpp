@@ -1,0 +1,211 @@
+//===- tests/analysis/LockVarStoreTest.cpp - Storage-layer tests ----------===//
+//
+// Unit tests for the shared per-(lock, variable) metadata store: slot
+// creation and lookup semantics (a slot "has" a clock only once a release
+// folded it), fold() membership clearing, reference stability across
+// arbitrary growth, and footprint accounting. Plus DenseIdSet and the
+// racy-site accounting built on it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisRegistry.h"
+#include "analysis/LockVarStore.h"
+#include "support/DenseIdSet.h"
+#include "trace/TraceText.h"
+
+#include <gtest/gtest.h>
+
+using namespace st;
+
+namespace {
+
+TEST(LockVarStoreTest, FindReturnsNullUntilTouched) {
+  LockVarStore S;
+  EXPECT_EQ(S.find(0, 0), nullptr);
+  EXPECT_EQ(S.find(7, 123), nullptr);
+  S.touchRead(7, 123);
+  ASSERT_NE(S.find(7, 123), nullptr);
+  EXPECT_EQ(S.find(7, 122), nullptr) << "neighbor slot must not appear";
+  EXPECT_EQ(S.find(6, 123), nullptr) << "other lock must not appear";
+  EXPECT_EQ(S.slotCount(), 1u);
+}
+
+TEST(LockVarStoreTest, HasFlagsOnlySetByFold) {
+  LockVarStore S;
+  S.touchRead(0, 1);
+  S.touchWrite(0, 2);
+  // Mid-critical-section: membership exists but no release folded yet, so
+  // lookups must behave like the maps' "no entry".
+  EXPECT_FALSE(S.find(0, 1)->hasRead());
+  EXPECT_FALSE(S.find(0, 2)->hasWrite());
+
+  VectorClock C;
+  C.set(3, 42);
+  S.fold(0, C, /*RelIdx=*/9);
+
+  const LockVarStore::Slot *R = S.find(0, 1);
+  ASSERT_NE(R, nullptr);
+  EXPECT_TRUE(R->hasRead());
+  EXPECT_FALSE(R->hasWrite());
+  EXPECT_EQ(R->ReadC.get(3), 42u);
+  EXPECT_EQ(R->ReadRelIdx, 9u);
+
+  const LockVarStore::Slot *W = S.find(0, 2);
+  ASSERT_NE(W, nullptr);
+  EXPECT_TRUE(W->hasWrite());
+  EXPECT_FALSE(W->hasRead());
+  EXPECT_EQ(W->WriteC.get(3), 42u);
+  EXPECT_EQ(W->WriteRelIdx, 9u);
+}
+
+TEST(LockVarStoreTest, FoldClearsMembershipAndJoins) {
+  LockVarStore S;
+  S.touchRead(1, 5);
+  VectorClock C1;
+  C1.set(0, 10);
+  S.fold(1, C1, 1);
+
+  // Second critical section does not re-touch var 5: the next fold must
+  // not advance its clock.
+  S.touchRead(1, 6);
+  VectorClock C2;
+  C2.set(0, 20);
+  S.fold(1, C2, 2);
+
+  EXPECT_EQ(S.find(1, 5)->ReadC.get(0), 10u);
+  EXPECT_EQ(S.find(1, 5)->ReadRelIdx, 1u);
+  EXPECT_EQ(S.find(1, 6)->ReadC.get(0), 20u);
+
+  // Re-touch and fold again: clocks join (pointwise max), index advances.
+  S.touchRead(1, 5);
+  VectorClock C3;
+  C3.set(0, 15);
+  C3.set(1, 7);
+  S.fold(1, C3, 3);
+  EXPECT_EQ(S.find(1, 5)->ReadC.get(0), 15u);
+  EXPECT_EQ(S.find(1, 5)->ReadC.get(1), 7u);
+  EXPECT_EQ(S.find(1, 5)->ReadRelIdx, 3u);
+}
+
+TEST(LockVarStoreTest, TouchReadWriteMarksBothSets) {
+  LockVarStore S;
+  S.touchReadWrite(2, 9);
+  EXPECT_EQ(S.slotCount(), 1u);
+  VectorClock C;
+  C.set(0, 5);
+  S.fold(2, C, 4);
+  const LockVarStore::Slot *Slot = S.find(2, 9);
+  ASSERT_NE(Slot, nullptr);
+  EXPECT_TRUE(Slot->hasRead());
+  EXPECT_TRUE(Slot->hasWrite());
+  EXPECT_EQ(Slot->ReadC.get(0), 5u);
+  EXPECT_EQ(Slot->WriteC.get(0), 5u);
+  // Equivalent to touchRead + touchWrite: no duplicate membership.
+  S.touchRead(2, 9);
+  S.touchReadWrite(2, 9);
+  S.fold(2, C, 5);
+  EXPECT_EQ(S.slotCount(), 1u);
+}
+
+TEST(LockVarStoreTest, DuplicateTouchesFoldOnce) {
+  LockVarStore S;
+  S.touchRead(0, 3);
+  S.touchRead(0, 3);
+  S.touchRead(0, 3);
+  VectorClock C;
+  C.set(0, 1);
+  S.fold(0, C, 1);
+  EXPECT_EQ(S.slotCount(), 1u);
+  EXPECT_EQ(S.find(0, 3)->ReadC.get(0), 1u);
+}
+
+TEST(LockVarStoreTest, SlotsAreReferenceStableAcrossGrowth) {
+  LockVarStore S;
+  S.touchRead(0, 0);
+  const LockVarStore::Slot *First = S.find(0, 0);
+  // Grow across many pages, locks, and arena segments.
+  for (LockId M = 0; M != 16; ++M)
+    for (VarId X = 0; X != 300; ++X)
+      S.touchWrite(M, X);
+  EXPECT_EQ(S.find(0, 0), First)
+      << "slot moved: references held across growth would dangle";
+  EXPECT_EQ(S.slotCount(), 16u * 300u);
+}
+
+TEST(LockVarStoreTest, FootprintGrowsWithSlotsAndSpilledClocks) {
+  LockVarStore S;
+  size_t Empty = S.footprintBytes();
+  S.touchRead(0, 0);
+  size_t OneSlot = S.footprintBytes();
+  EXPECT_GT(OneSlot, Empty);
+
+  // Fold a clock wider than the inline capacity: the heap spill must be
+  // charged.
+  VectorClock Wide;
+  Wide.set(VectorClock::InlineCapacity + 4, 1);
+  S.touchRead(0, 0);
+  S.fold(0, Wide, 1);
+  EXPECT_GT(S.footprintBytes(), OneSlot);
+}
+
+TEST(DenseIdSetTest, InsertContainsSize) {
+  DenseIdSet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_FALSE(S.contains(0));
+  EXPECT_TRUE(S.insert(0));
+  EXPECT_FALSE(S.insert(0)) << "duplicate insert must report not-new";
+  EXPECT_TRUE(S.insert(63));
+  EXPECT_TRUE(S.insert(64));
+  EXPECT_TRUE(S.insert(1000));
+  EXPECT_EQ(S.size(), 4u);
+  EXPECT_TRUE(S.contains(63));
+  EXPECT_TRUE(S.contains(64));
+  EXPECT_TRUE(S.contains(1000));
+  EXPECT_FALSE(S.contains(999));
+  EXPECT_GT(S.footprintBytes(), 0u);
+}
+
+TEST(DenseIdSetTest, FootprintIsBitVectorSized) {
+  DenseIdSet S;
+  S.insert(8191); // 8192 bits = 128 words
+  EXPECT_GE(S.footprintBytes(), 128 * sizeof(uint64_t));
+  // Far below an unordered_set's per-element cost once ids are dense.
+  EXPECT_LE(S.footprintBytes(), 4096u);
+}
+
+TEST(RacySiteAccounting, FootprintCoversRaceState) {
+  // The base race accounting (records + racy-site sets) must be part of
+  // footprintBytes() for every analysis, and grow once races are found.
+  auto A = createAnalysis(AnalysisKind::FTOHB);
+  size_t Before = A->footprintBytes();
+  A->processTrace(traceFromText("T1: wr(x)\nT2: wr(x)\nT1: wr(y)\n"
+                                "T2: wr(y)\n"));
+  EXPECT_EQ(A->dynamicRaces(), 2u);
+  EXPECT_EQ(A->staticRaces(), 2u);
+  EXPECT_GT(A->footprintBytes(), Before);
+  EXPECT_GT(A->raceAccountingFootprintBytes(), 0u);
+}
+
+TEST(RacySiteAccounting, ExplicitAndFallbackSitesStayDistinct) {
+  // Same variable ids with explicit sites vs. without: static counting
+  // keys on site where present, variable otherwise (disjoint id spaces).
+  auto WithSites = createAnalysis(AnalysisKind::FTOHB);
+  {
+    // Two dynamic races at one shared static site -> one static race.
+    TraceBuilder B;
+    B.write(0, 0, /*Site=*/7).write(1, 0, 7).write(0, 1, 7).write(1, 1, 7);
+    WithSites->processTrace(B.build());
+  }
+  EXPECT_EQ(WithSites->dynamicRaces(), 2u);
+  EXPECT_EQ(WithSites->staticRaces(), 1u);
+
+  auto NoSites = createAnalysis(AnalysisKind::FTOHB);
+  {
+    TraceBuilder B;
+    B.write(0, 0).write(1, 0).write(0, 1).write(1, 1);
+    NoSites->processTrace(B.build());
+  }
+  EXPECT_EQ(NoSites->staticRaces(), 2u) << "fallback keys on variable";
+}
+
+} // namespace

@@ -7,9 +7,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/FTOPredictive.h"
-#include "analysis/SmartTrack.h"
-#include "analysis/SmartTrackWCP.h"
+#include "analysis/FTOCore.h"
+#include "analysis/STCore.h"
 #include "trace/TraceText.h"
 #include "workload/Figures.h"
 
@@ -22,7 +21,7 @@ namespace {
 TEST(SmartTrackTest, Fig4aWalkthroughIsRaceFree) {
   // The paper's §4.2 walkthrough: nested critical sections on p/m/n; the
   // deferred release clocks and MultiCheck joins must order everything.
-  SmartTrack A(/*RuleB=*/true);
+  SmartTrackDC A;
   A.processTrace(figures::fig4a());
   EXPECT_EQ(A.dynamicRaces(), 0u);
 }
@@ -36,12 +35,12 @@ TEST(SmartTrackTest, Fig4aTakesReadShareWhereFTOTakesReadExclusive) {
   // sections are unreleased or DC-unordered); T2's rd(oVar) is the first
   // access (exclusive). FTO orders all three accesses directly and never
   // shares.
-  SmartTrack ST(/*RuleB=*/true);
+  SmartTrackDC ST;
   ST.processTrace(figures::fig4a());
   EXPECT_EQ(ST.caseStats()->ReadShare, 2u);
   EXPECT_EQ(ST.caseStats()->ReadExclusive, 1u);
 
-  FTOPredictive FTO(/*RuleB=*/true);
+  FTODC FTO;
   FTO.processTrace(figures::fig4a());
   EXPECT_EQ(FTO.caseStats()->ReadExclusive, 3u);
   EXPECT_EQ(FTO.caseStats()->ReadShare, 0u);
@@ -50,7 +49,7 @@ TEST(SmartTrackTest, Fig4aTakesReadShareWhereFTOTakesReadExclusive) {
 TEST(SmartTrackTest, Fig4bExtendedNeedsReadShareBehavior) {
   // Without the [Read Share] behavior, ST-WDC would lose Thread 1's
   // critical section on m and report a spurious race on z (Figure 4(b)).
-  SmartTrack A(/*RuleB=*/false);
+  SmartTrackWDC A;
   A.processTrace(figures::fig4bExtended());
   EXPECT_EQ(A.dynamicRaces(), 0u);
 }
@@ -58,14 +57,14 @@ TEST(SmartTrackTest, Fig4bExtendedNeedsReadShareBehavior) {
 TEST(SmartTrackTest, Fig4cExtendedNeedsExtraWriteMetadata) {
   // Thread 2's un-locked wr(x) overwrites L^w_x; E^w_x must preserve
   // Thread 1's critical section (Figure 4(c)).
-  SmartTrack A(/*RuleB=*/false);
+  SmartTrackWDC A;
   A.processTrace(figures::fig4cExtended());
   EXPECT_EQ(A.dynamicRaces(), 0u);
 }
 
 TEST(SmartTrackTest, Fig4dExtendedNeedsExtraReadMetadata) {
   // Same as fig4c but the lost section contains a read: E^r_x (Figure 4(d)).
-  SmartTrack A(/*RuleB=*/false);
+  SmartTrackWDC A;
   A.processTrace(figures::fig4dExtended());
   EXPECT_EQ(A.dynamicRaces(), 0u);
 }
@@ -74,7 +73,7 @@ TEST(SmartTrackTest, DeferredReleaseClockResolvesAcrossThreads) {
   // T2 conflicts with T1's still-open critical section on m at the time of
   // T1's wr(x); the CS-list entry is filled at rel(m) and T2's MultiCheck
   // must pick up the final clock, ordering everything.
-  SmartTrack A(/*RuleB=*/true);
+  SmartTrackDC A;
   A.processTrace(traceFromText(R"(
     T1: acq(m)
     T1: wr(x)
@@ -93,7 +92,7 @@ TEST(SmartTrackTest, UnreleasedSectionNeverOrders) {
   // T1 still holds m when T2 writes x without the lock: the ∞ sentinel in
   // the CS-list clock must make the ordering check fail, and the write must
   // race with T1's read.
-  SmartTrack A(/*RuleB=*/true);
+  SmartTrackDC A;
   A.processTrace(traceFromText(R"(
     T1: acq(m)
     T1: rd(x)
@@ -106,7 +105,7 @@ TEST(SmartTrackTest, MultiCheckJoinsInnerSectionWhenOuterUnmatched) {
   // T1's wr(x) sits in nested sections on p (outer) and m (inner); T2 holds
   // only m. MultiCheck walks outermost-to-innermost: p is unmatched (and
   // unordered), m matches and joins. No race.
-  SmartTrack A(/*RuleB=*/true);
+  SmartTrackDC A;
   A.processTrace(traceFromText(R"(
     T1: acq(p)
     T1: acq(m)
@@ -128,8 +127,8 @@ TEST(SmartTrackTest, CaseStatsMatchFTOOnOwnedPatterns) {
     T1: wr(x)
     T1: rel(m)
   )";
-  SmartTrack ST(/*RuleB=*/true);
-  FTOPredictive FTO(/*RuleB=*/true);
+  SmartTrackDC ST;
+  FTODC FTO;
   ST.processTrace(traceFromText(Text));
   FTO.processTrace(traceFromText(Text));
   EXPECT_EQ(ST.caseStats()->ReadOwned, FTO.caseStats()->ReadOwned);
@@ -142,16 +141,16 @@ TEST(SmartTrackTest, STWCPComposesWithHB) {
   SmartTrackWCP A;
   A.processTrace(figures::fig2a());
   EXPECT_EQ(A.dynamicRaces(), 0u) << "WCP composes with HB: no race";
-  SmartTrack DC(/*RuleB=*/true);
+  SmartTrackDC DC;
   DC.processTrace(figures::fig2a());
   EXPECT_EQ(DC.dynamicRaces(), 1u) << "DC composes with PO only: race";
 }
 
 TEST(SmartTrackTest, STDCRuleBOrdersFig3) {
-  SmartTrack DC(/*RuleB=*/true);
+  SmartTrackDC DC;
   DC.processTrace(figures::fig3());
   EXPECT_EQ(DC.dynamicRaces(), 0u);
-  SmartTrack WDC(/*RuleB=*/false);
+  SmartTrackWDC WDC;
   WDC.processTrace(figures::fig3());
   EXPECT_EQ(WDC.dynamicRaces(), 1u);
 }
@@ -159,14 +158,14 @@ TEST(SmartTrackTest, STDCRuleBOrdersFig3) {
 TEST(SmartTrackTest, ExtraMetadataConsumedAtWrites) {
   // After fig4c's pattern, a later same-thread write holding m should have
   // consumed (and cleared) the extra metadata without changing verdicts.
-  SmartTrack A(/*RuleB=*/false);
+  SmartTrackWDC A;
   Trace Tr = figures::fig4cExtended();
   A.processTrace(Tr);
   EXPECT_EQ(A.dynamicRaces(), 0u);
 }
 
 TEST(SmartTrackTest, SameEpochFastPathsCount) {
-  SmartTrack A(/*RuleB=*/true);
+  SmartTrackDC A;
   A.processTrace(traceFromText(R"(
     T1: wr(x)
     T1: wr(x)
@@ -181,7 +180,7 @@ TEST(SmartTrackTest, SameEpochFastPathsCount) {
 
 TEST(SmartTrackTest, LocksReleasedOutOfOrderStillTracked) {
   // Hand-over-hand (non-nested) locking: acq(a); acq(b); rel(a); rel(b).
-  SmartTrack A(/*RuleB=*/true);
+  SmartTrackDC A;
   A.processTrace(traceFromText(R"(
     T1: acq(a)
     T1: acq(b)
@@ -198,8 +197,8 @@ TEST(SmartTrackTest, LocksReleasedOutOfOrderStillTracked) {
 TEST(SmartTrackTest, WriteSharedChecksEveryReader) {
   // Two unordered readers, then an unordered writer: exactly one dynamic
   // race is counted at the write (paper §5.1), and the verdict matches FTO.
-  SmartTrack ST(/*RuleB=*/true);
-  FTOPredictive FTO(/*RuleB=*/true);
+  SmartTrackDC ST;
+  FTODC FTO;
   Trace Tr = traceFromText("T1: rd(x)\nT2: rd(x)\nT3: wr(x)\n");
   ST.processTrace(Tr);
   FTO.processTrace(Tr);
@@ -208,7 +207,7 @@ TEST(SmartTrackTest, WriteSharedChecksEveryReader) {
 }
 
 TEST(SmartTrackTest, FootprintTracksCSLists) {
-  SmartTrack A(/*RuleB=*/true);
+  SmartTrackDC A;
   size_t Empty = A.footprintBytes();
   TraceBuilder B;
   B.acq(0, 0).acq(0, 1).acq(0, 2).write(0, 0);

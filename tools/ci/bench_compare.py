@@ -18,7 +18,13 @@ Compares a current BENCH_results.json against a checked-in baseline
     nanoseconds are not. Same-machine absolute comparison is available
     with --absolute.
 
+With --require-main-table the gate additionally fails loudly when the
+CURRENT report is missing any (baseline workload, main-table analysis)
+cell — a bench run that silently skipped part of the Table 4-6 grid must
+not pass just because the baseline happened to lack the cell too.
+
 Usage: bench_compare.py BASELINE CURRENT [--max-regress=F] [--absolute]
+                        [--require-main-table]
 
 Exit status: 0 when every check passes, 1 on regression, 2 on usage or
 malformed input.
@@ -28,6 +34,15 @@ import json
 import sys
 
 EXPECTED_SCHEMA = "st-bench/v1"
+
+# The eleven analyses of the paper's Tables 4-6 (mainTableAnalysisKinds()
+# in src/analysis/AnalysisRegistry.cpp), in registry order.
+MAIN_TABLE_ANALYSES = [
+    "Unopt-HB", "FTO-HB",
+    "Unopt-WCP", "FTO-WCP", "ST-WCP",
+    "Unopt-DC", "FTO-DC", "ST-DC",
+    "Unopt-WDC", "FTO-WDC", "ST-WDC",
+]
 
 
 def usage_error(message):
@@ -57,6 +72,7 @@ def cells(report):
 def main(argv):
     max_regress = 0.35
     absolute = False
+    require_main_table = False
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--max-regress="):
@@ -66,6 +82,8 @@ def main(argv):
                 usage_error(f"bad --max-regress in {arg!r}")
         elif arg == "--absolute":
             absolute = True
+        elif arg == "--require-main-table":
+            require_main_table = True
         elif arg.startswith("-"):
             usage_error(__doc__)
         else:
@@ -84,6 +102,14 @@ def main(argv):
 
     metric = "ns_per_event" if absolute else "relative_cost"
     failures = []
+    if require_main_table:
+        for workload in [w["name"] for w in base.get("workloads", [])]:
+            for analysis in MAIN_TABLE_ANALYSES:
+                if (workload, analysis) not in cur_cells:
+                    failures.append(
+                        f"main-table: {workload}/{analysis} missing from "
+                        f"current run (cell skipped?)"
+                    )
     print(f"{'workload':<10} {'analysis':<9} {'base':>9} {'cur':>9} "
           f"{'delta':>8}  ({metric}, limit +{max_regress:.0%})")
     for key in sorted(base_cells):
