@@ -20,9 +20,12 @@ namespace {
 
 double runMode(const WorkloadProfile &P, const BenchConfig &Config,
                bool SinglePass, bool Parallel, uint64_t &Events) {
+  // This bench deliberately drives the raw engine (not the Session
+  // facade): it measures AnalysisDriver's pass structure itself.
   const auto &Kinds = mainTableAnalysisKinds();
-  DriverOptions Opts = Config.driverOptions();
-  Opts.SampleFootprint = false;
+  DriverOptions Opts;
+  Opts.BatchSize = Config.BatchSize;
+  Opts.MaxStoredRaces = Config.MaxStoredRaces;
   Opts.Parallel = Parallel;
   double Seconds = 0;
   Events = 0;

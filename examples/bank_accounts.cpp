@@ -4,7 +4,8 @@
 // where the audit counter is updated with inconsistent locking. The "lucky"
 // schedule exercised here never trips the bug, so happens-before analysis
 // stays silent — but SmartTrack's predictive analysis, watching the same
-// execution through the TSan-style runtime, exposes the race, and offline
+// execution through the TSan-style runtime, exposes the race *while the
+// service is still running* (a CallbackSink prints it live), and offline
 // vindication proves it real.
 //
 // Build & run:   cmake --build build && ./build/examples/bank_accounts
@@ -12,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/AnalysisRegistry.h"
+#include "report/RaceSink.h"
 #include "runtime/Runtime.h"
 #include "vindicate/Vindicator.h"
 
@@ -42,6 +44,21 @@ struct Bank {
 int main() {
   Detector D(createAnalysis(AnalysisKind::STWDC), /*KeepTrace=*/true);
   Detector DHb(createAnalysis(AnalysisKind::FTOHB));
+
+  // React at race time: the first report is printed while the "service"
+  // threads are still executing, not scraped after the run. The callback
+  // fires on the racing thread inside the detector's intake section, so
+  // it stays short and does not call back into the detector.
+  unsigned LiveRaces = 0;
+  CallbackSink Live([&](const RaceReport &R) {
+    if (LiveRaces++ == 0)
+      std::printf("LIVE %s race: %s of x%u by T%u at event %llu (%s)\n",
+                  R.AnalysisName, R.IsWrite ? "write" : "read", R.Var,
+                  R.Tid, static_cast<unsigned long long>(R.EventIdx),
+                  raceSiteString(R).c_str());
+  });
+  D.setRaceSink(&Live);
+
   Bank B(D);
 
   // Mirror of the bank for the HB detector (so both observe equal events).
@@ -118,9 +135,9 @@ int main() {
               "audit-counter bug\n",
               static_cast<unsigned long long>(D.analysis().dynamicRaces()));
 
-  for (const RaceRecord &R : D.analysis().raceRecords()) {
+  for (const RaceReport &R : D.analysis().raceRecords()) {
     VindicationResult V = vindicateRaceAtEvent(D.recordedTrace(), R.EventIdx);
-    std::printf("  race at site %u: %s\n", R.Site,
+    std::printf("  race at %s: %s\n", raceSiteString(R).c_str(),
                 V.Vindicated ? "vindicated (true predictable race)"
                              : V.FailureReason.c_str());
   }

@@ -46,7 +46,7 @@ int main() {
 
   // 3. Vindicate: build a predicted trace that exposes the race, proving
   //    it is real before a human spends time on it.
-  const RaceRecord &Race = St->raceRecords().front();
+  const RaceReport &Race = St->raceRecords().front();
   std::printf("race at event %llu on variable x%u\n",
               static_cast<unsigned long long>(Race.EventIdx), Race.Var);
   VindicationResult V = vindicateRaceAtEvent(Tr, Race.EventIdx);

@@ -1,8 +1,9 @@
 //===- examples/trace_analyzer.cpp - Command-line trace analysis ----------===//
 //
-// A small downstream-user tool: reads a trace in the TraceText DSL (file
-// or stdin), runs the requested analysis, reports races, and optionally
-// vindicates them.
+// A small downstream-user tool showing the Session API end to end: open a
+// streaming event source over a file or stdin, register an analysis, react
+// to races live through a CallbackSink, and read the collected RunReport —
+// no driver assembly or result scraping.
 //
 // Usage:
 //   trace_analyzer [--analysis=ST-WDC] [--vindicate] [file.trace]
@@ -11,25 +12,14 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/AnalysisRegistry.h"
-#include "graph/EdgeRecorder.h"
+#include "report/Session.h"
 #include "trace/TraceText.h"
-#include "vindicate/Vindicator.h"
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 using namespace st;
-
-static bool findKind(const char *Name, AnalysisKind &Out) {
-  for (AnalysisKind K : allAnalysisKinds())
-    if (std::strcmp(analysisKindName(K), Name) == 0) {
-      Out = K;
-      return true;
-    }
-  return false;
-}
 
 int main(int Argc, char **Argv) {
   AnalysisKind Kind = AnalysisKind::STWDC;
@@ -39,7 +29,7 @@ int main(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     if (std::strncmp(Arg, "--analysis=", 11) == 0) {
-      if (!findKind(Arg + 11, Kind)) {
+      if (!findAnalysisKind(Arg + 11, Kind)) {
         std::fprintf(stderr, "unknown analysis '%s'; available:\n", Arg + 11);
         for (AnalysisKind K : allAnalysisKinds())
           std::fprintf(stderr, "  %s\n", analysisKindName(K));
@@ -57,59 +47,66 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  std::string Text;
-  {
-    FILE *In = Path ? std::fopen(Path, "r") : stdin;
-    if (!In) {
-      std::fprintf(stderr, "error: cannot open %s\n", Path);
-      return 1;
-    }
-    char Buf[4096];
-    size_t N;
-    while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
-      Text.append(Buf, N);
-    if (Path)
-      std::fclose(In);
+  FILE *In = Path ? std::fopen(Path, "rb") : stdin;
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path);
+    return 1;
   }
 
-  ParsedTrace Parsed;
+  // 1. A streaming source over the raw bytes (format auto-detected).
+  FileByteSource Bytes(In);
+  OpenedEventSource Input = openEventSource(Bytes);
+  const TraceTextParser *Names = Input.textParser();
+  const std::vector<std::string> *Threads =
+      Names ? &Names->threadNames() : nullptr;
+  const std::vector<std::string> *Vars = Names ? &Names->varNames() : nullptr;
+
+  // 2. A session: one analysis, races pushed to us the moment they are
+  //    detected.
+  SessionOptions Opts;
+  Opts.Vindicate = Vindicate;
+  Session S(Opts);
+  S.add(Kind);
+  CallbackSink Printer([&](const RaceReport &R) {
+    std::printf("  race: %s of %s by %s at event %llu (%s)\n",
+                R.IsWrite ? "write" : "read",
+                symbolOrId(Vars, R.Var, 'x').c_str(),
+                symbolOrId(Threads, R.Tid, 'T').c_str(),
+                static_cast<unsigned long long>(R.EventIdx),
+                raceSiteString(R).c_str());
+  });
+  S.addSink(Printer);
+
+  // 3. One pass; the report carries everything a consumer needs.
+  RunReport Rep = S.run(*Input.Events);
+  if (Path)
+    std::fclose(In);
+
   std::string Error;
-  if (!parseTraceText(Text, Parsed, &Error)) {
+  if (Input.Events->error(&Error)) {
     std::fprintf(stderr, "parse error: %s\n", Error.c_str());
     return 1;
   }
 
-  EdgeRecorder Graph;
-  auto A = createAnalysis(Kind, &Graph);
-  A->processTrace(Parsed.Tr);
-
-  std::printf("%s over %zu events (%u threads, %u vars, %u locks): "
+  const AnalysisRunResult &A = Rep.Analyses.front();
+  std::printf("%s over %llu events (%u threads, %u vars, %u locks): "
               "%llu dynamic race(s), %u static site(s)\n",
-              A->name(), Parsed.Tr.size(), Parsed.Tr.numThreads(),
-              Parsed.Tr.numVars(), Parsed.Tr.numLocks(),
-              static_cast<unsigned long long>(A->dynamicRaces()),
-              A->staticRaces());
-
-  for (const RaceRecord &R : A->raceRecords()) {
-    const Event &E = Parsed.Tr[R.EventIdx];
-    std::string Var = R.Var < Parsed.VarNames.size()
-                          ? Parsed.VarNames[R.Var]
-                          : "x" + std::to_string(R.Var);
-    std::string Thread = E.Tid < Parsed.ThreadNames.size()
-                             ? Parsed.ThreadNames[E.Tid]
-                             : "T" + std::to_string(E.Tid);
-    std::printf("  race: %s of %s by %s at event %llu",
-                R.IsWrite ? "write" : "read", Var.c_str(), Thread.c_str(),
-                static_cast<unsigned long long>(R.EventIdx));
-    if (Vindicate) {
-      VindicationResult V = vindicateRaceAtEvent(Parsed.Tr, R.EventIdx);
-      if (V.Vindicated)
-        std::printf("  [vindicated: %zu-event witness]",
-                    V.Witness.Prefix.size());
-      else
-        std::printf("  [not vindicated: %s]", V.FailureReason.c_str());
-    }
-    std::printf("\n");
+              A.Name.c_str(),
+              static_cast<unsigned long long>(Rep.Stream.Events),
+              Rep.Stream.NumThreads, Rep.Stream.NumVars,
+              Rep.Stream.NumLocks,
+              static_cast<unsigned long long>(A.DynamicRaces),
+              A.StaticRaces);
+  for (size_t I = 0; I != A.Vindications.size(); ++I) {
+    const VindicationResult &V = A.Vindications[I];
+    if (V.Vindicated)
+      std::printf("  event %llu: vindicated (%zu-event witness)\n",
+                  static_cast<unsigned long long>(A.Races[I].EventIdx),
+                  V.Witness.Prefix.size());
+    else
+      std::printf("  event %llu: not vindicated (%s)\n",
+                  static_cast<unsigned long long>(A.Races[I].EventIdx),
+                  V.FailureReason.c_str());
   }
-  return A->dynamicRaces() ? 2 : 0;
+  return A.DynamicRaces ? 2 : 0;
 }

@@ -13,6 +13,7 @@
 #include "analysis/AnalysisRegistry.h"
 #include "graph/EdgeRecorder.h"
 #include "harness/Table.h"
+#include "report/RaceSink.h"
 #include "trace/Trace.h"
 #include "vindicate/Vindicator.h"
 
@@ -98,9 +99,10 @@ int main() {
   std::printf("\nHB misses the shutdown-flag race because the queue lock "
               "ordered the observed schedule;\npredictive analyses catch "
               "it. Vindication check:\n");
-  for (const RaceRecord &R : Wdc->raceRecords()) {
+  for (const RaceReport &R : Wdc->raceRecords()) {
     VindicationResult V = vindicateRaceAtEvent(Tr, R.EventIdx);
-    std::printf("  race on site %u at event %llu: %s\n", R.Site,
+    std::printf("  race on %s at event %llu: %s\n",
+                raceSiteString(R).c_str(),
                 static_cast<unsigned long long>(R.EventIdx),
                 V.Vindicated ? "TRUE race (witness constructed)"
                              : V.FailureReason.c_str());

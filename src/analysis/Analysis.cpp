@@ -54,20 +54,25 @@ void Analysis::reportRace(const Event &E, Epoch Prior) {
   if (RacedThisEvent)
     return;
   RacedThisEvent = true;
-  ++DynamicRaces;
+  RaceReport R;
+  R.EventIdx = EventIdx;
+  R.Var = E.var();
+  R.Tid = E.Tid;
+  R.IsWrite = E.Kind == EventKind::Write;
   // Accesses without an explicit site fall back to a per-variable site so
-  // static counting still works for builder-made traces. The two id
-  // spaces are tracked in separate dense sets (the fallback ids are only
-  // dense in variable space).
-  SiteId Site;
+  // static counting still works for builder-made traces; the provenance
+  // field keeps the two id spaces apart.
   if (E.Site != InvalidId) {
-    Site = E.Site;
-    ExplicitRacySites.insert(Site);
+    R.Site = E.Site;
+    R.Provenance = SiteProvenance::Explicit;
   } else {
-    Site = E.Target | 0x80000000u;
-    FallbackRacySites.insert(E.Target);
+    R.Site = E.Target;
+    R.Provenance = SiteProvenance::FallbackVar;
   }
-  if (Races.size() < MaxStoredRaces)
-    Races.push_back({EventIdx, E.var(), Site, E.Tid,
-                     E.Kind == EventKind::Write, Prior});
+  R.Prior = Prior;
+  R.AnalysisName = name();
+  Accounting.onRace(R);
+  Stored.onRace(R);
+  if (Sink)
+    Sink->onRace(R);
 }

@@ -6,17 +6,20 @@
 ///
 /// \file
 /// The common interface every race detection analysis implements: an online
-/// consumer of trace events that reports data races. Race accounting follows
-/// the paper's methodology (§5.1): analyses keep running after a race; at
-/// most one dynamic race is counted per access event; races at the same
-/// static site count as one statically distinct race.
+/// consumer of trace events that reports data races. Races are *pushed*
+/// through the report layer (report/RaceSink.h) the moment they are found:
+/// every analysis owns a CountingSink implementing the paper's accounting
+/// (§5.1: analyses keep running after a race; at most one dynamic race is
+/// counted per access event; races at the same static site count as one
+/// statically distinct race) plus a bounded CollectingSink, and callers may
+/// attach any further sink with setRaceSink().
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SMARTTRACK_ANALYSIS_ANALYSIS_H
 #define SMARTTRACK_ANALYSIS_ANALYSIS_H
 
-#include "support/DenseIdSet.h"
+#include "report/RaceSink.h"
 #include "support/Epoch.h"
 #include "trace/Trace.h"
 
@@ -24,18 +27,6 @@
 #include <vector>
 
 namespace st {
-
-/// One detected dynamic race: the current access plus a representative prior
-/// conflicting access (the epoch the failed ordering check compared against).
-struct RaceRecord {
-  uint64_t EventIdx = 0;
-  VarId Var = 0;
-  SiteId Site = InvalidId;
-  ThreadId Tid = 0;
-  bool IsWrite = false;
-  /// Epoch of one prior conflicting access (⊥ when only a clock was known).
-  Epoch Prior;
-};
 
 /// Frequencies of the FTO/SmartTrack access-handling cases, reported by the
 /// epoch-optimized analyses (paper Appendix B, Table 12).
@@ -91,27 +82,37 @@ public:
   /// Live bytes of the analysis-specific metadata.
   virtual size_t metadataFootprintBytes() const = 0;
 
-  /// Live bytes of the base race accounting (stored records + racy-site
-  /// sets), identical machinery for every analysis.
+  /// Live bytes of the base race accounting (the counting and collecting
+  /// sinks), identical machinery for every analysis.
   size_t raceAccountingFootprintBytes() const {
-    return Races.capacity() * sizeof(RaceRecord) +
-           ExplicitRacySites.footprintBytes() +
-           FallbackRacySites.footprintBytes();
+    return Accounting.footprintBytes() + Stored.footprintBytes();
   }
 
   /// FTO-case frequencies if this analysis tracks them (Table 12).
   virtual const CaseStats *caseStats() const { return nullptr; }
 
-  uint64_t dynamicRaces() const { return DynamicRaces; }
-  unsigned staticRaces() const {
-    return static_cast<unsigned>(ExplicitRacySites.size() +
-                                 FallbackRacySites.size());
-  }
-  const std::vector<RaceRecord> &raceRecords() const { return Races; }
+  uint64_t dynamicRaces() const { return Accounting.dynamicRaces(); }
+  unsigned staticRaces() const { return Accounting.staticRaces(); }
 
-  /// Caps the number of stored RaceRecords (counting is unaffected); the
-  /// benches use this to keep multi-million-race runs bounded.
-  void setMaxStoredRaces(size_t N) { MaxStoredRaces = N; }
+  /// Reports retained by the built-in bounded CollectingSink (the first
+  /// maxStoredRaces of the run).
+  const std::vector<RaceReport> &raceRecords() const {
+    return Stored.reports();
+  }
+
+  /// Caps the number of stored RaceReports (counting and attached sinks
+  /// are unaffected); the benches use this to keep multi-million-race
+  /// runs bounded.
+  void setMaxStoredRaces(size_t N) { Stored.setCapacity(N); }
+
+  /// Attaches \p S to receive every race report at detection time, after
+  /// the built-in accounting (null detaches). The sink is borrowed and
+  /// must outlive the analysis's processing.
+  void setRaceSink(RaceSink *S) { Sink = S; }
+
+  /// The currently attached sink (null when none). Session composes its
+  /// fan-out with a caller-attached sink through this.
+  RaceSink *raceSink() const { return Sink; }
 
   uint64_t eventsProcessed() const { return EventIdx; }
 
@@ -129,8 +130,9 @@ protected:
   virtual void onVolRead(const Event &E) = 0;
   virtual void onVolWrite(const Event &E) = 0;
 
-  /// Reports a race at the current access against \p Prior. Multiple reports
-  /// during one event count once (paper §5.1).
+  /// Reports a race at the current access against \p Prior. Multiple
+  /// reports during one event count once (paper §5.1); the first builds a
+  /// RaceReport and pushes it through the sinks.
   void reportRace(const Event &E, Epoch Prior);
 
   /// Index of the event currently being processed.
@@ -138,15 +140,14 @@ protected:
 
 private:
   uint64_t EventIdx = 0;
-  uint64_t DynamicRaces = 0;
   bool RacedThisEvent = false;
-  size_t MaxStoredRaces = SIZE_MAX;
-  std::vector<RaceRecord> Races;
-  // Statically distinct races, split by site provenance so each set stays
-  // dense (explicit SiteIds and the per-variable fallback ids live in
-  // disjoint dense spaces; see reportRace).
-  DenseIdSet ExplicitRacySites;
-  DenseIdSet FallbackRacySites; // keyed by variable id
+  /// The paper's dedup/static-site accounting — always on, the default
+  /// path every consumer's race counts come from.
+  CountingSink Accounting;
+  /// Bounded report store backing raceRecords().
+  CollectingSink Stored;
+  /// Optional caller-attached sink (live callbacks, NDJSON, tees, ...).
+  RaceSink *Sink = nullptr;
 };
 
 } // namespace st

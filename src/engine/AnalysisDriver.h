@@ -37,7 +37,7 @@ struct DriverOptions {
   bool Parallel = false;
   /// Track peak footprintBytes() per analysis (sampled once per batch).
   bool SampleFootprint = false;
-  /// Cap stored RaceRecords for analyses created through add(); counting
+  /// Cap stored RaceReports for analyses created through add(); counting
   /// is unaffected.
   size_t MaxStoredRaces = SIZE_MAX;
 };

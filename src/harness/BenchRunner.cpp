@@ -6,7 +6,7 @@
 
 #include "harness/BenchRunner.h"
 
-#include "engine/AnalysisDriver.h"
+#include "report/Session.h"
 
 #include <cstdio>
 #include <cstring>
@@ -70,8 +70,8 @@ bool st::parseBenchArgs(int Argc, char **Argv, BenchConfig &Config) {
   return true;
 }
 
-DriverOptions st::BenchConfig::driverOptions() const {
-  DriverOptions O;
+SessionOptions st::BenchConfig::sessionOptions() const {
+  SessionOptions O;
   O.BatchSize = BatchSize;
   O.SampleFootprint = true;
   O.MaxStoredRaces = MaxStoredRaces;
@@ -80,13 +80,12 @@ DriverOptions st::BenchConfig::driverOptions() const {
 
 double st::measureBaseline(const WorkloadProfile &P,
                            const BenchConfig &Config) {
-  // A driver with zero analyses is the uninstrumented baseline: the same
+  // A session with zero analyses is the uninstrumented baseline: the same
   // batched stream drain the instrumented runs pay, with no consumer.
   WorkloadGenerator Gen(P, Config.eventsFor(P), Config.Seed);
   GeneratorEventSource Src(Gen);
-  AnalysisDriver Driver(Config.driverOptions());
-  Driver.run(Src);
-  return Driver.wallSeconds();
+  Session S(Config.sessionOptions());
+  return S.run(Src).WallSeconds;
 }
 
 RunResult st::runOnce(AnalysisKind Kind, const WorkloadProfile &P,
@@ -94,20 +93,20 @@ RunResult st::runOnce(AnalysisKind Kind, const WorkloadProfile &P,
                       uint64_t TrialSeed) {
   WorkloadGenerator Gen(P, Config.eventsFor(P), TrialSeed);
   GeneratorEventSource Src(Gen);
-  AnalysisDriver Driver(Config.driverOptions());
-  Analysis &A = Driver.add(Kind);
-  Driver.run(Src);
+  Session S(Config.sessionOptions());
+  S.add(Kind);
+  RunReport Rep = S.run(Src);
 
+  const AnalysisRunResult &A = Rep.Analyses.front();
   RunResult R;
   R.BaselineSeconds = BaselineSeconds;
-  R.Seconds = Driver.wallSeconds();
-  R.PeakFootprintBytes = Driver.slot(0).PeakFootprintBytes;
-  size_t Bytes = A.footprintBytes();
-  if (Bytes > R.PeakFootprintBytes)
-    R.PeakFootprintBytes = Bytes;
-  R.DynamicRaces = A.dynamicRaces();
-  R.StaticRaces = A.staticRaces();
-  R.Events = A.eventsProcessed();
+  R.Seconds = Rep.WallSeconds;
+  R.PeakFootprintBytes = A.PeakFootprintBytes;
+  if (A.FinalFootprintBytes > R.PeakFootprintBytes)
+    R.PeakFootprintBytes = A.FinalFootprintBytes;
+  R.DynamicRaces = A.DynamicRaces;
+  R.StaticRaces = A.StaticRaces;
+  R.Events = Rep.Stream.Events;
   return R;
 }
 

@@ -33,7 +33,7 @@
 
 namespace st {
 
-struct DriverOptions;
+struct SessionOptions;
 
 /// Command-line configuration shared by all table benches.
 struct BenchConfig {
@@ -67,8 +67,8 @@ struct BenchConfig {
 
   bool wantsProgram(const char *Name) const;
 
-  /// Engine options for a measured run (footprint sampling on).
-  DriverOptions driverOptions() const;
+  /// Session options for a measured run (footprint sampling on).
+  SessionOptions sessionOptions() const;
 };
 
 /// Parses --events-scale=N --trials=N --seed=N --programs=a,b,c

@@ -6,7 +6,7 @@
 
 #include "harness/GridBench.h"
 
-#include "engine/AnalysisDriver.h"
+#include "report/Session.h"
 
 #include <cstdio>
 
@@ -51,23 +51,21 @@ GridResults st::runMainGridSinglePass(const BenchConfig &Config) {
       WorkloadGenerator Gen(P, Config.eventsFor(P),
                             Config.Seed + T * 1299709);
       GeneratorEventSource Src(Gen);
-      DriverOptions Opts = Config.driverOptions();
+      SessionOptions Opts = Config.sessionOptions();
       Opts.Parallel = Config.Parallel;
-      AnalysisDriver Driver(Opts);
+      Session S(Opts);
       for (AnalysisKind K : Kinds)
-        Driver.add(K);
-      Driver.run(Src);
+        S.add(K);
+      RunReport Rep = S.run(Src);
       for (size_t I = 0; I != Kinds.size(); ++I) {
-        const AnalysisDriver::Slot &S = Driver.slot(I);
+        const AnalysisRunResult &A = Rep.Analyses[I];
         Row[I].Slowdowns.push_back(
-            Baseline > 0 ? (Baseline + S.Seconds) / Baseline : 0);
+            Baseline > 0 ? (Baseline + A.Seconds) / Baseline : 0);
         Row[I].MemFactors.push_back(
-            1.0 + static_cast<double>(S.PeakFootprintBytes) /
+            1.0 + static_cast<double>(A.PeakFootprintBytes) /
                       static_cast<double>(Config.UninstrumentedBytes));
-        Row[I].StaticRaces.push_back(
-            static_cast<double>(S.A->staticRaces()));
-        Row[I].DynamicRaces.push_back(
-            static_cast<double>(S.A->dynamicRaces()));
+        Row[I].StaticRaces.push_back(static_cast<double>(A.StaticRaces));
+        Row[I].DynamicRaces.push_back(static_cast<double>(A.DynamicRaces));
       }
     }
     G.Programs.push_back(&P);

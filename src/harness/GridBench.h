@@ -30,11 +30,11 @@ struct GridResults {
 
 /// Runs the full grid (respecting Config.Programs), printing one progress
 /// line per program to stderr. Each (program, analysis) cell is an
-/// isolated AnalysisDriver run, so per-cell timings are uncontended — the
-/// mode the run-time and memory tables need.
+/// isolated single-analysis Session run, so per-cell timings are
+/// uncontended — the mode the run-time and memory tables need.
 GridResults runMainGrid(const BenchConfig &Config);
 
-/// Runs the full grid with ONE single-pass driver per (program, trial):
+/// Runs the full grid with ONE single-pass session per (program, trial):
 /// the workload streams once and fans out to all eleven analyses (in
 /// parallel when Config.Parallel). Cell slowdowns use per-analysis consume
 /// time, so this mode suits tables keyed on race counts or memory rather

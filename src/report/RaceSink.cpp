@@ -1,0 +1,110 @@
+//===- report/RaceSink.cpp - Streaming race-report consumers --------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/RaceSink.h"
+
+#include <cstdio>
+
+using namespace st;
+
+std::string st::raceSiteString(const RaceReport &R) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%s:%u",
+                R.Provenance == SiteProvenance::Explicit ? "line" : "var",
+                R.Site);
+  return Buf;
+}
+
+std::string st::symbolOrId(const std::vector<std::string> *Names,
+                           uint32_t Id, char Prefix) {
+  if (Names && Id < Names->size())
+    return (*Names)[Id];
+  return Prefix + std::to_string(Id);
+}
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void appendSymbol(std::string &Out, const std::vector<std::string> *Names,
+                  uint32_t Id, char Prefix) {
+  appendEscaped(Out, symbolOrId(Names, Id, Prefix));
+}
+
+void appendUInt(std::string &Out, uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(V));
+  Out += Buf;
+}
+
+} // namespace
+
+void NdjsonSink::onRace(const RaceReport &R) {
+  if (WriteFailed)
+    return;
+  if (MaxPerAnalysis != SIZE_MAX) {
+    size_t *Count = nullptr;
+    for (auto &E : Emitted)
+      if (E.first == R.AnalysisName)
+        Count = &E.second;
+    if (!Count) {
+      Emitted.emplace_back(R.AnalysisName, 0);
+      Count = &Emitted.back().second;
+    }
+    if (*Count >= MaxPerAnalysis)
+      return;
+    ++*Count;
+  }
+
+  std::string Line = "{\"type\":\"race\",\"analysis\":";
+  appendEscaped(Line, R.AnalysisName);
+  Line += ",\"event\":";
+  appendUInt(Line, R.EventIdx);
+  Line += R.IsWrite ? ",\"kind\":\"write\"" : ",\"kind\":\"read\"";
+  Line += ",\"var\":";
+  appendSymbol(Line, VarNames, R.Var, 'x');
+  Line += ",\"thread\":";
+  appendSymbol(Line, ThreadNames, R.Tid, 'T');
+  Line += ",\"site\":";
+  appendEscaped(Line, raceSiteString(R));
+  if (!R.Prior.isNone()) {
+    Line += ",\"prior_thread\":";
+    appendSymbol(Line, ThreadNames, R.Prior.tid(), 'T');
+    Line += ",\"prior_clock\":";
+    appendUInt(Line, R.Prior.clock());
+  }
+  Line += "}\n";
+  if (!Out.write(Line.data(), Line.size()))
+    WriteFailed = true;
+}

@@ -1,0 +1,138 @@
+//===- report/Session.h - One-stop analysis session facade -----*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The consumer-facing entry point to the whole pipeline: a Session
+/// bundles the streaming engine (EventSource + single-pass
+/// AnalysisDriver), the report layer (RaceSink fan-out), and optional
+/// vindication behind one configure → run() → RunReport shape. The CLIs,
+/// the benches, and downstream users all sit on this; nobody outside the
+/// engine layer assembles a driver and scrapes analysis state by hand.
+///
+///   Session S({.MaxStoredRaces = 100});
+///   S.add(AnalysisKind::STWDC);
+///   S.addSink(MyLiveSink);              // optional: races stream out
+///   RunReport Rep = S.run(Source);      // one pass, any number of
+///   Rep.Analyses[0].DynamicRaces;       // analyses
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_REPORT_SESSION_H
+#define SMARTTRACK_REPORT_SESSION_H
+
+#include "engine/AnalysisDriver.h"
+#include "report/RaceSink.h"
+#include "vindicate/Vindicator.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace st {
+
+/// Everything a run can be configured with; the engine knobs mirror
+/// DriverOptions.
+struct SessionOptions {
+  /// Events per engine batch (also the footprint sampling period).
+  size_t BatchSize = 1 << 14;
+  /// Thread-per-analysis fan-out over the shared batch ring.
+  bool Parallel = false;
+  /// Track peak footprintBytes() per analysis (sampled once per batch).
+  bool SampleFootprint = false;
+  /// Cap on reports retained per analysis (counting and attached sinks
+  /// are unaffected) — the bound that keeps multi-million-race runs in
+  /// O(1) race memory.
+  size_t MaxStoredRaces = SIZE_MAX;
+  /// Buffer the stream and vindicate every retained race after the run
+  /// (the one mode that is not O(analysis-metadata) in space).
+  bool Vindicate = false;
+};
+
+/// Everything one analysis contributed to a run, copied out so the report
+/// outlives the session.
+struct AnalysisRunResult {
+  std::string Name;
+  uint64_t DynamicRaces = 0;
+  unsigned StaticRaces = 0;
+  /// Wall time this analysis spent consuming batches.
+  double Seconds = 0;
+  /// Peak/final footprintBytes() (0 unless SampleFootprint).
+  size_t PeakFootprintBytes = 0;
+  size_t FinalFootprintBytes = 0;
+  /// Table 12 case frequencies (HasCaseStats false for analyses that do
+  /// not track them).
+  bool HasCaseStats = false;
+  CaseStats Cases;
+  /// The retained reports (first MaxStoredRaces of the run).
+  std::vector<RaceReport> Races;
+  /// Parallel to Races when SessionOptions::Vindicate; empty otherwise.
+  std::vector<VindicationResult> Vindications;
+};
+
+/// The result of one Session::run(): stream statistics plus a per-analysis
+/// results slice, as one self-contained struct.
+struct RunReport {
+  /// Id-space maxima and event count of the streamed input.
+  StreamStats Stream;
+  /// Wall-clock seconds of the whole run (decode + all analyses).
+  double WallSeconds = 0;
+  uint64_t TotalDynamicRaces = 0;
+  std::vector<AnalysisRunResult> Analyses;
+
+  bool anyRaces() const { return TotalDynamicRaces != 0; }
+};
+
+/// Facade over EventSource → AnalysisDriver → sinks. Configure with add()
+/// and addSink(), then run() exactly once per input stream; analyses
+/// accumulate state across runs (streaming semantics), so use a fresh
+/// Session per independent input.
+class Session {
+public:
+  explicit Session(SessionOptions Opts = SessionOptions());
+
+  /// Registers a registry analysis (creating its constraint-graph
+  /// recorder when the kind needs one).
+  Analysis &add(AnalysisKind K);
+
+  /// Registers an externally constructed analysis.
+  Analysis &add(std::unique_ptr<Analysis> A);
+
+  /// Attaches \p S to receive every registered analysis's race reports at
+  /// detection time (RaceReport::AnalysisName identifies the producer).
+  /// Borrowed; must outlive run(). In Parallel sessions the analyses run
+  /// on worker threads, so the session serializes sink calls — sinks
+  /// never need their own locking. Composes with (never replaces) a sink
+  /// attached to one analysis via Analysis::setRaceSink().
+  void addSink(RaceSink &S);
+
+  /// Streams \p Src to completion through every registered analysis in
+  /// one pass and returns the collected report. With zero analyses this
+  /// is the uninstrumented drain (stream statistics only). Check
+  /// Src.error() afterwards for truncated/malformed inputs.
+  RunReport run(EventSource &Src);
+
+  size_t analysisCount() const { return Driver.size(); }
+  Analysis &analysis(size_t I) { return Driver.analysis(I); }
+
+private:
+  SessionOptions Opts;
+  AnalysisDriver Driver;
+  TeeSink Fanout;
+  /// Mutex-guarded wrapper over Fanout, wired instead of it when the
+  /// parallel engine mode could invoke sinks from several workers.
+  std::unique_ptr<RaceSink> SerializedFanout;
+  /// Per-analysis tees composing a caller-attached sink with the
+  /// session fan-out, plus what run() installed on each analysis and
+  /// what the caller had attached (so re-runs can tell a caller's sink
+  /// from the session's own wiring and never drop it).
+  std::vector<std::unique_ptr<TeeSink>> PerAnalysisTees;
+  std::vector<RaceSink *> Wired;
+  std::vector<RaceSink *> CallerSinks;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_REPORT_SESSION_H

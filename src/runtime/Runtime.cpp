@@ -52,6 +52,11 @@ void Detector::onVolWrite(ThreadId T, VarId V) {
   submit(Event(EventKind::VolWrite, T, V));
 }
 
+void Detector::setRaceSink(RaceSink *S) {
+  std::lock_guard<std::mutex> Guard(IntakeMutex);
+  Impl->setRaceSink(S);
+}
+
 Trace Detector::recordedTrace() const {
   std::lock_guard<std::mutex> Guard(IntakeMutex);
   return Trace(Recorded);

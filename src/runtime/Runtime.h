@@ -59,6 +59,14 @@ public:
   void onVolRead(ThreadId T, VarId V);
   void onVolWrite(ThreadId T, VarId V);
 
+  /// Routes every race report to \p S the moment the analysis detects it
+  /// (null detaches), so online detection can react while the program is
+  /// still executing. The callback runs on the thread that performed the
+  /// racing access, inside the intake critical section: it must be quick
+  /// and must not call back into this Detector (self-deadlock). Safe to
+  /// call concurrently with intake.
+  void setRaceSink(RaceSink *S);
+
   /// The underlying analysis (race counts, records, stats).
   const Analysis &analysis() const { return *Impl; }
 

@@ -73,10 +73,11 @@ Trace st::generateRandomTrace(const RandomTraceConfig &Config) {
     }
 
     VarId X = static_cast<VarId>(R.nextBelow(Vars));
+    SiteId Site = Config.AccessSites ? X : InvalidId;
     if (R.nextBool(Config.PWrite))
-      B.write(T, X, /*Site=*/X);
+      B.write(T, X, Site);
     else
-      B.read(T, X, /*Site=*/X);
+      B.read(T, X, Site);
   }
 
   // Close every open critical section so the trace ends quiescent.

@@ -33,6 +33,9 @@ struct RandomTraceConfig {
   double PWrite = 0.5;    ///< writes among accesses
   double PVolatile = 0.0; ///< volatile ops among accesses
   bool ForkJoin = false;  ///< fork workers at start, join at end
+  /// Give accesses a (var-keyed) static site; false leaves Site unset so
+  /// race reporting exercises the fallback-site path.
+  bool AccessSites = true;
   uint64_t Seed = 1;
 };
 

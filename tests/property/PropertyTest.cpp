@@ -36,7 +36,7 @@ std::set<uint64_t> raceEvents(AnalysisKind K, const Trace &Tr) {
   auto A = createAnalysis(K);
   A->processTrace(Tr);
   std::set<uint64_t> Events;
-  for (const RaceRecord &R : A->raceRecords())
+  for (const RaceReport &R : A->raceRecords())
     Events.insert(R.EventIdx);
   return Events;
 }

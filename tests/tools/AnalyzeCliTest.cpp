@@ -229,6 +229,101 @@ TEST(AnalyzeCli, JsonReportIncludesVindicationAndStats) {
       << R.Output;
 }
 
+TEST(AnalyzeCli, NdjsonStreamsRaceAndSummaryLines) {
+  RunResult R =
+      runCommand("printf 'T1: wr(x)\\nT2: wr(x)\\nT1: wr(y)\\nT2: wr(y)\\n' "
+                 "| " +
+                 cli() + " --analysis=ST-WDC --format=ndjson -");
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  // Two race lines streamed at race time, then one summary per analysis
+  // and a final stream line — every line a standalone JSON object.
+  size_t Lines = 0;
+  size_t Pos = 0;
+  while (Pos < R.Output.size()) {
+    size_t Eol = R.Output.find('\n', Pos);
+    ASSERT_NE(Eol, std::string::npos) << "unterminated line:\n" << R.Output;
+    std::string Line = R.Output.substr(Pos, Eol - Pos);
+    EXPECT_EQ(Line.front(), '{') << Line;
+    EXPECT_EQ(Line.back(), '}') << Line;
+    Pos = Eol + 1;
+    ++Lines;
+  }
+  EXPECT_EQ(Lines, 4u) << R.Output;
+  for (const char *Key :
+       {"\"type\":\"race\"", "\"type\":\"summary\"", "\"type\":\"stream\"",
+        "\"analysis\":\"ST-WDC\"", "\"site\":\"line:2\"",
+        "\"dynamic_races\":2", "\"total_dynamic_races\":2"})
+    EXPECT_NE(R.Output.find(Key), std::string::npos)
+        << "missing " << Key << " in:\n"
+        << R.Output;
+}
+
+TEST(AnalyzeCli, NdjsonMaxRacesCapsLinesNotCounts) {
+  RunResult R =
+      runCommand("printf 'T1: wr(x)\\nT2: wr(x)\\nT1: wr(y)\\nT2: wr(y)\\n' "
+                 "| " +
+                 cli() +
+                 " --analysis=ST-WDC --format=ndjson --max-races=1 -");
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  size_t RaceLines = 0;
+  for (size_t Pos = 0;
+       (Pos = R.Output.find("\"type\":\"race\"", Pos)) != std::string::npos;
+       ++Pos)
+    ++RaceLines;
+  EXPECT_EQ(RaceLines, 1u) << R.Output;
+  EXPECT_NE(R.Output.find("\"dynamic_races\":2"), std::string::npos)
+      << "counting must be unaffected by the line cap:\n"
+      << R.Output;
+}
+
+TEST(AnalyzeCli, MaxRacesBoundsStoredRecordsInTextMode) {
+  RunResult R =
+      runCommand("printf 'T1: wr(x)\\nT2: wr(x)\\nT1: wr(y)\\nT2: wr(y)\\n' "
+                 "| " +
+                 cli() + " --analysis=ST-WDC --max-races=1 -");
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find("2 dynamic race(s)"), std::string::npos)
+      << R.Output;
+  size_t RaceLines = 0;
+  for (size_t Pos = 0;
+       (Pos = R.Output.find("  race: ", Pos)) != std::string::npos; ++Pos)
+    ++RaceLines;
+  EXPECT_EQ(RaceLines, 1u) << "--max-races must bound printed records:\n"
+                           << R.Output;
+}
+
+TEST(AnalyzeCli, NdjsonRejectsVindicate) {
+  RunResult R = runCommand(cli() + " --format=ndjson --vindicate " +
+                           trace("racy.trace"));
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("incompatible"), std::string::npos) << R.Output;
+}
+
+TEST(AnalyzeCli, FallbackSitesPrintVariableIds) {
+  // sites=0 drops static sites from the generated accesses; the STB
+  // encoding preserves their absence (text would re-assign line numbers),
+  // so the report must fall back to var:<id> sites — not a bogus line id.
+  std::string Gen =
+      cli() + " --gen threads=2,vars=1,events=60,seed=7,sites=0 "
+              "--convert=stb | ";
+  RunResult R = runCommand(Gen + cli() + " --analysis=FT2 --max-races=1 -");
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find("(site var:0)"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("1 static site(s)"), std::string::npos)
+      << "all fallback races on one variable are one static race:\n"
+      << R.Output;
+  EXPECT_EQ(R.Output.find("line"), std::string::npos) << R.Output;
+
+  RunResult J = runCommand(Gen + cli() +
+                           " --analysis=FT2 --max-races=1 --format=json -");
+  EXPECT_EQ(J.ExitCode, 2) << J.Output;
+  EXPECT_NE(J.Output.find("\"site\":\"var:0\""), std::string::npos)
+      << J.Output;
+  EXPECT_EQ(J.Output.find("\"site_line\""), std::string::npos)
+      << "site_line is explicit-provenance only:\n"
+      << J.Output;
+}
+
 TEST(AnalyzeCli, AllRunsSingleImplicitPassOverStdin) {
   // --all over stdin: one parse feeds every analysis (stdin cannot be
   // re-read, so this only works single-pass) and summaries agree on the

@@ -154,7 +154,7 @@ TEST_P(VindicatorProperty, VindicatedRacesAreTruePredictableRaces) {
 
   auto A = createAnalysis(AnalysisKind::UnoptWDC);
   A->processTrace(Tr);
-  for (const RaceRecord &R : A->raceRecords()) {
+  for (const RaceReport &R : A->raceRecords()) {
     VindicationResult V = vindicateRaceAtEvent(Tr, R.EventIdx);
     if (!V.Vindicated)
       continue; // incompleteness is permitted; soundness is not
@@ -183,7 +183,7 @@ TEST_P(VindicatorProperty, VindicationMatchesOracleOnSimpleTraces) {
 
   auto A = createAnalysis(AnalysisKind::UnoptWDC);
   A->processTrace(Tr);
-  for (const RaceRecord &R : A->raceRecords()) {
+  for (const RaceReport &R : A->raceRecords()) {
     // Reconstruct the pair the detector compared against.
     size_t Second = R.EventIdx;
     long First = -1;

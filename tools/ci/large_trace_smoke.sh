@@ -53,6 +53,33 @@ expect_races 1048576 "$DIR/big.stb" "$ST" --all --quiet --max-races=16
 echo "== all 14 analyses, parallel fan-out, STB stdin, 1GB cap"
 expect_races 1048576 "$DIR/big.stb" "$ST" --all --quiet --max-races=16 --parallel
 
+echo "== NDJSON race stream, 256MB cap, every line valid JSON"
+# Races stream out through the NdjsonSink as they are detected, so even a
+# racy 1M-event run holds O(1) race memory (hence the same cap as the
+# single-analysis cell). Every emitted line must parse as a standalone
+# JSON object.
+rc=0
+(
+    ulimit -v 262144
+    timeout "$TIME_BUDGET" "$ST" --analysis=ST-WDC --format=ndjson - \
+        < "$DIR/big.trace" > "$DIR/races.ndjson"
+) || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "FAIL: ndjson run exited $rc (wanted 2: races, in budget," \
+         "under the 256MB cap)"
+    exit 1
+fi
+if ! python3 -m json.tool --json-lines < "$DIR/races.ndjson" > /dev/null; then
+    echo "FAIL: ndjson output contains an invalid line"
+    exit 1
+fi
+race_lines=$(grep -c '"type":"race"' "$DIR/races.ndjson")
+if ! grep -q '"type":"summary"' "$DIR/races.ndjson"; then
+    echo "FAIL: ndjson output is missing the summary line"
+    exit 1
+fi
+echo "   $race_lines race lines + summaries, all valid JSON"
+
 echo "== text and STB encodings agree on every analysis"
 for f in big.trace big.stb; do
     rc=0

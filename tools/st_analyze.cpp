@@ -5,16 +5,18 @@
 //===----------------------------------------------------------------------===//
 //
 // The command-line entry point to the whole analysis ladder, built on the
-// streaming engine: the input (TraceText DSL or STB binary, file or stdin,
-// format sniffed from the first bytes) streams through every selected
-// analysis in a single pass — one parse for --all, O(analysis-metadata)
-// memory, optional thread-per-analysis fan-out. Also converts between the
-// two trace formats and generates random workload traces so large inputs
+// report-layer Session facade: the input (TraceText DSL or STB binary,
+// file or stdin, format sniffed from the first bytes) streams through
+// every selected analysis in a single pass — one parse for --all,
+// O(analysis-metadata) memory, optional thread-per-analysis fan-out —
+// and races stream out through RaceSinks (NDJSON for constant-memory
+// reporting of multi-million-race runs). Also converts between the two
+// trace formats and generates random workload traces so large inputs
 // need no separate tool.
 //
 // Usage:
 //   st-analyze [--analysis=NAME]... [--all] [--vindicate] [--stats]
-//              [--format=text|json] [--max-races=N] [--quiet]
+//              [--format=text|json|ndjson] [--max-races=N] [--quiet]
 //              [--batch=N] [--parallel] [file|-]
 //   st-analyze --convert=text|stb [-o FILE] [file|-]
 //   st-analyze --gen SPEC [--convert=text|stb] [-o FILE]
@@ -25,10 +27,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "engine/AnalysisDriver.h"
+#include "report/Session.h"
 #include "trace/Stb.h"
 #include "trace/TraceText.h"
-#include "vindicate/Vindicator.h"
 #include "workload/RandomTrace.h"
 
 #include <cerrno>
@@ -42,7 +43,7 @@ using namespace st;
 
 namespace {
 
-enum class ReportFormat : uint8_t { Text, Json };
+enum class ReportFormat : uint8_t { Text, Json, Ndjson };
 
 struct Options {
   std::vector<AnalysisKind> Kinds;
@@ -78,9 +79,12 @@ void printUsage(FILE *Out, const char *Prog) {
       "                   print the witness length (buffers the trace)\n"
       "  --stats          print the per-case access-frequency counters\n"
       "                   (Table 12) for analyses that track them\n"
-      "  --format=FMT     report format: text (default) or json (stable\n"
-      "                   machine-readable races/timings/case counters)\n"
-      "  --max-races=N    store at most N race records per analysis\n"
+      "  --format=FMT     report format: text (default), json (stable\n"
+      "                   machine-readable races/timings/case counters),\n"
+      "                   or ndjson (one JSON object per line, streamed\n"
+      "                   at race time in O(1) race memory)\n"
+      "  --max-races=N    store at most N race records per analysis (in\n"
+      "                   ndjson: emit at most N race lines per analysis)\n"
       "  --quiet          print only the per-analysis summary lines\n"
       "\n"
       "engine options:\n"
@@ -92,7 +96,7 @@ void printUsage(FILE *Out, const char *Prog) {
       "  --gen SPEC       no input: generate a random well-formed trace;\n"
       "                   SPEC is key=value pairs joined by commas, keys:\n"
       "                   threads vars locks volatiles events nesting\n"
-      "                   psync pwrite pvolatile forkjoin seed\n"
+      "                   psync pwrite pvolatile forkjoin sites seed\n"
       "  -o FILE          write --convert/--gen output to FILE\n"
       "  -h, --help       show this message\n"
       "\n"
@@ -168,9 +172,13 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         Opts.Format = ReportFormat::Text;
       } else if (std::strcmp(V, "json") == 0) {
         Opts.Format = ReportFormat::Json;
+      } else if (std::strcmp(V, "ndjson") == 0) {
+        Opts.Format = ReportFormat::Ndjson;
       } else {
-        std::fprintf(stderr,
-                     "error: bad --format '%s' (expected text or json)\n", V);
+        std::fprintf(
+            stderr,
+            "error: bad --format '%s' (expected text, json, or ndjson)\n",
+            V);
         return false;
       }
     } else if (std::strncmp(Arg, "--convert=", 10) == 0) {
@@ -226,6 +234,11 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
   }
   if (Opts.Kinds.empty())
     Opts.Kinds.push_back(AnalysisKind::STWDC);
+  if (Opts.Format == ReportFormat::Ndjson && Opts.Vindicate) {
+    std::fprintf(stderr, "error: --vindicate needs stored races; it is "
+                         "incompatible with --format=ndjson\n");
+    return false;
+  }
   return true;
 }
 
@@ -280,13 +293,15 @@ bool parseGenSpec(const char *Spec, RandomTraceConfig &C) {
       C.PVolatile = V;
     else if (Key == "forkjoin")
       C.ForkJoin = V != 0;
+    else if (Key == "sites")
+      C.AccessSites = V != 0;
     else if (Key == "seed")
       C.Seed = static_cast<uint64_t>(V);
     else {
       std::fprintf(stderr,
                    "error: unknown --gen key '%s' (keys: threads vars locks "
                    "volatiles events nesting psync pwrite pvolatile forkjoin "
-                   "seed)\n",
+                   "sites seed)\n",
                    Key.c_str());
       return false;
     }
@@ -379,41 +394,30 @@ int convertTrace(const Options &Opts, OpenedEventSource &In) {
 // Race reporting
 //===----------------------------------------------------------------------===//
 
-std::string symbolName(const std::vector<std::string> *Names, uint32_t Id,
-                       char Prefix) {
-  if (Names && Id < Names->size())
-    return (*Names)[Id];
-  return Prefix + std::to_string(Id);
-}
-
 /// Names interned by the text parser, or null vectors for STB inputs.
 struct SymbolTables {
   const std::vector<std::string> *Threads = nullptr;
   const std::vector<std::string> *Vars = nullptr;
 };
 
-/// Vindication results computed once per analysis (empty when off).
-struct VindicationReport {
-  std::vector<VindicationResult> PerRace;
-};
-
-void printRaces(const Analysis &A, const SymbolTables &Syms,
-                const VindicationReport &Vind) {
+void printRaces(const AnalysisRunResult &A, const SymbolTables &Syms) {
   size_t Idx = 0;
-  for (const RaceRecord &R : A.raceRecords()) {
-    std::string Var = symbolName(Syms.Vars, R.Var, 'x');
-    std::string Thread = symbolName(Syms.Threads, R.Tid, 'T');
+  for (const RaceReport &R : A.Races) {
+    std::string Var = symbolOrId(Syms.Vars, R.Var, 'x');
+    std::string Thread = symbolOrId(Syms.Threads, R.Tid, 'T');
     std::printf("  race: %s of %s by %s at event %llu",
                 R.IsWrite ? "write" : "read", Var.c_str(), Thread.c_str(),
                 static_cast<unsigned long long>(R.EventIdx));
-    if (R.Site != InvalidId)
+    if (R.Provenance == SiteProvenance::Explicit)
       std::printf(" (line %u)", R.Site);
+    else
+      std::printf(" (site var:%u)", R.Site);
     if (!R.Prior.isNone())
       std::printf(" vs %s@%u",
-                  symbolName(Syms.Threads, R.Prior.tid(), 'T').c_str(),
+                  symbolOrId(Syms.Threads, R.Prior.tid(), 'T').c_str(),
                   R.Prior.clock());
-    if (Idx < Vind.PerRace.size()) {
-      const VindicationResult &V = Vind.PerRace[Idx];
+    if (Idx < A.Vindications.size()) {
+      const VindicationResult &V = A.Vindications[Idx];
       if (V.Vindicated)
         std::printf("  [vindicated: %zu-event witness]",
                     V.Witness.Prefix.size());
@@ -425,39 +429,39 @@ void printRaces(const Analysis &A, const SymbolTables &Syms,
   }
 }
 
-void printCaseStats(const Analysis &A) {
-  const CaseStats *S = A.caseStats();
-  if (!S) {
+void printCaseStats(const AnalysisRunResult &A) {
+  if (!A.HasCaseStats) {
     std::printf("  (no per-case counters: %s is not an epoch-optimized "
                 "analysis)\n",
-                A.name());
+                A.Name.c_str());
     return;
   }
+  const CaseStats &S = A.Cases;
   auto Row = [](const char *Label, uint64_t N) {
     std::printf("    %-18s %llu\n", Label,
                 static_cast<unsigned long long>(N));
   };
   std::printf("  case frequencies (Table 12):\n");
   std::printf("   same-epoch fast paths:\n");
-  Row("read", S->ReadSameEpoch);
-  Row("shared read", S->SharedSameEpoch);
-  Row("write", S->WriteSameEpoch);
+  Row("read", S.ReadSameEpoch);
+  Row("shared read", S.SharedSameEpoch);
+  Row("write", S.WriteSameEpoch);
   std::printf("   non-same-epoch reads (%llu):\n",
-              static_cast<unsigned long long>(S->nonSameEpochReads()));
-  Row("owned excl", S->ReadOwned);
-  Row("owned shared", S->ReadSharedOwned);
-  Row("unowned excl", S->ReadExclusive);
-  Row("unowned share", S->ReadShare);
-  Row("unowned shared", S->ReadShared);
+              static_cast<unsigned long long>(S.nonSameEpochReads()));
+  Row("owned excl", S.ReadOwned);
+  Row("owned shared", S.ReadSharedOwned);
+  Row("unowned excl", S.ReadExclusive);
+  Row("unowned share", S.ReadShare);
+  Row("unowned shared", S.ReadShared);
   std::printf("   non-same-epoch writes (%llu):\n",
-              static_cast<unsigned long long>(S->nonSameEpochWrites()));
-  Row("owned", S->WriteOwned);
-  Row("exclusive", S->WriteExclusive);
-  Row("shared", S->WriteShared);
+              static_cast<unsigned long long>(S.nonSameEpochWrites()));
+  Row("owned", S.WriteOwned);
+  Row("exclusive", S.WriteExclusive);
+  Row("shared", S.WriteShared);
 }
 
 //===----------------------------------------------------------------------===//
-// JSON report
+// JSON / NDJSON reports
 //===----------------------------------------------------------------------===//
 
 void jsonEscape(const std::string &S, std::string &Out) {
@@ -531,10 +535,9 @@ void jsonCaseStats(std::string &Out, const CaseStats &S) {
   Out += '}';
 }
 
-std::string jsonReport(AnalysisDriver &Driver, const Options &Opts,
-                       TraceFormat Fmt, const SymbolTables &Syms,
-                       const std::vector<VindicationReport> &Vind) {
-  const StreamStats &St = Driver.streamStats();
+std::string jsonReport(const RunReport &Rep, const Options &Opts,
+                       TraceFormat Fmt, const SymbolTables &Syms) {
+  const StreamStats &St = Rep.Stream;
   std::string Out = "{";
   jsonKey(Out, "input");
   Out += '{';
@@ -557,37 +560,35 @@ std::string jsonReport(AnalysisDriver &Driver, const Options &Opts,
   jsonUInt(Out, St.NumVolatiles);
   Out += "},";
 
-  uint64_t Total = 0;
   jsonKey(Out, "analyses");
   Out += '[';
-  for (size_t I = 0; I != Driver.size(); ++I) {
+  for (size_t I = 0; I != Rep.Analyses.size(); ++I) {
     if (I)
       Out += ',';
-    const Analysis &A = *Driver.slot(I).A;
-    Total += A.dynamicRaces();
+    const AnalysisRunResult &A = Rep.Analyses[I];
     Out += '{';
     jsonKey(Out, "name");
-    jsonEscape(A.name(), Out);
+    jsonEscape(A.Name, Out);
     Out += ',';
     jsonKey(Out, "dynamic_races");
-    jsonUInt(Out, A.dynamicRaces());
+    jsonUInt(Out, A.DynamicRaces);
     Out += ',';
     jsonKey(Out, "static_races");
-    jsonUInt(Out, A.staticRaces());
+    jsonUInt(Out, A.StaticRaces);
     Out += ',';
     jsonKey(Out, "seconds");
-    jsonNumber(Out, Driver.slot(I).Seconds);
-    if (Opts.Stats && A.caseStats()) {
+    jsonNumber(Out, A.Seconds);
+    if (Opts.Stats && A.HasCaseStats) {
       Out += ',';
       jsonKey(Out, "case_stats");
-      jsonCaseStats(Out, *A.caseStats());
+      jsonCaseStats(Out, A.Cases);
     }
     if (!Opts.Quiet) {
       Out += ',';
       jsonKey(Out, "races");
       Out += '[';
       size_t RI = 0;
-      for (const RaceRecord &R : A.raceRecords()) {
+      for (const RaceReport &R : A.Races) {
         if (RI)
           Out += ',';
         Out += '{';
@@ -598,11 +599,14 @@ std::string jsonReport(AnalysisDriver &Driver, const Options &Opts,
         Out += R.IsWrite ? "\"write\"" : "\"read\"";
         Out += ',';
         jsonKey(Out, "var");
-        jsonEscape(symbolName(Syms.Vars, R.Var, 'x'), Out);
+        jsonEscape(symbolOrId(Syms.Vars, R.Var, 'x'), Out);
         Out += ',';
         jsonKey(Out, "thread");
-        jsonEscape(symbolName(Syms.Threads, R.Tid, 'T'), Out);
-        if (R.Site != InvalidId) {
+        jsonEscape(symbolOrId(Syms.Threads, R.Tid, 'T'), Out);
+        Out += ',';
+        jsonKey(Out, "site");
+        jsonEscape(raceSiteString(R), Out);
+        if (R.Provenance == SiteProvenance::Explicit) {
           Out += ',';
           jsonKey(Out, "site_line");
           jsonUInt(Out, R.Site);
@@ -610,13 +614,13 @@ std::string jsonReport(AnalysisDriver &Driver, const Options &Opts,
         if (!R.Prior.isNone()) {
           Out += ',';
           jsonKey(Out, "prior_thread");
-          jsonEscape(symbolName(Syms.Threads, R.Prior.tid(), 'T'), Out);
+          jsonEscape(symbolOrId(Syms.Threads, R.Prior.tid(), 'T'), Out);
           Out += ',';
           jsonKey(Out, "prior_clock");
           jsonUInt(Out, R.Prior.clock());
         }
-        if (I < Vind.size() && RI < Vind[I].PerRace.size()) {
-          const VindicationResult &V = Vind[I].PerRace[RI];
+        if (RI < A.Vindications.size()) {
+          const VindicationResult &V = A.Vindications[RI];
           Out += ',';
           jsonKey(Out, "vindicated");
           Out += V.Vindicated ? "true" : "false";
@@ -639,12 +643,65 @@ std::string jsonReport(AnalysisDriver &Driver, const Options &Opts,
   }
   Out += "],";
   jsonKey(Out, "total_dynamic_races");
-  jsonUInt(Out, Total);
+  jsonUInt(Out, Rep.TotalDynamicRaces);
   Out += ',';
   jsonKey(Out, "wall_seconds");
-  jsonNumber(Out, Driver.wallSeconds());
+  jsonNumber(Out, Rep.WallSeconds);
   Out += "}\n";
   return Out;
+}
+
+/// After an NDJSON run, emits one "summary" line per analysis plus a final
+/// "stream" line — constant memory regardless of how many race lines the
+/// sink already streamed.
+void printNdjsonSummaries(const RunReport &Rep, const Options &Opts) {
+  std::string Out;
+  for (const AnalysisRunResult &A : Rep.Analyses) {
+    Out.clear();
+    Out += "{\"type\":\"summary\",";
+    jsonKey(Out, "analysis");
+    jsonEscape(A.Name, Out);
+    Out += ',';
+    jsonKey(Out, "events");
+    jsonUInt(Out, Rep.Stream.Events);
+    Out += ',';
+    jsonKey(Out, "dynamic_races");
+    jsonUInt(Out, A.DynamicRaces);
+    Out += ',';
+    jsonKey(Out, "static_races");
+    jsonUInt(Out, A.StaticRaces);
+    Out += ',';
+    jsonKey(Out, "seconds");
+    jsonNumber(Out, A.Seconds);
+    if (Opts.Stats && A.HasCaseStats) {
+      Out += ',';
+      jsonKey(Out, "case_stats");
+      jsonCaseStats(Out, A.Cases);
+    }
+    Out += "}\n";
+    std::fwrite(Out.data(), 1, Out.size(), stdout);
+  }
+  Out.clear();
+  Out += "{\"type\":\"stream\",";
+  jsonKey(Out, "events");
+  jsonUInt(Out, Rep.Stream.Events);
+  Out += ',';
+  jsonKey(Out, "threads");
+  jsonUInt(Out, Rep.Stream.NumThreads);
+  Out += ',';
+  jsonKey(Out, "vars");
+  jsonUInt(Out, Rep.Stream.NumVars);
+  Out += ',';
+  jsonKey(Out, "locks");
+  jsonUInt(Out, Rep.Stream.NumLocks);
+  Out += ',';
+  jsonKey(Out, "total_dynamic_races");
+  jsonUInt(Out, Rep.TotalDynamicRaces);
+  Out += ',';
+  jsonKey(Out, "wall_seconds");
+  jsonNumber(Out, Rep.WallSeconds);
+  Out += "}\n";
+  std::fwrite(Out.data(), 1, Out.size(), stdout);
 }
 
 } // namespace
@@ -673,22 +730,39 @@ int main(int Argc, char **Argv) {
     return RC;
   }
 
-  DriverOptions DriverOpts;
-  DriverOpts.BatchSize = Opts.BatchSize;
-  DriverOpts.Parallel = Opts.Parallel;
-  DriverOpts.MaxStoredRaces = Opts.MaxStoredRaces;
-  AnalysisDriver Driver(DriverOpts);
-  for (AnalysisKind Kind : Opts.Kinds)
-    Driver.add(Kind);
+  SymbolTables Syms;
+  if (const TraceTextParser *P = Input.textParser()) {
+    Syms.Threads = &P->threadNames();
+    Syms.Vars = &P->varNames();
+  }
 
-  // Vindication replays the trace, so it is the one mode that buffers the
-  // event stream; plain detection stays O(analysis-metadata).
-  std::vector<Event> Captured;
-  CapturingEventSource Tee(*Input.Events, Captured);
-  if (Opts.Vindicate)
-    Driver.run(Tee);
-  else
-    Driver.run(*Input.Events);
+  SessionOptions SessOpts;
+  SessOpts.BatchSize = Opts.BatchSize;
+  SessOpts.Parallel = Opts.Parallel;
+  SessOpts.MaxStoredRaces = Opts.MaxStoredRaces;
+  SessOpts.Vindicate = Opts.Vindicate;
+  // NDJSON streams races out as they happen; nothing needs to be
+  // retained, which is what keeps race memory O(1).
+  if (Opts.Format == ReportFormat::Ndjson)
+    SessOpts.MaxStoredRaces = 0;
+
+  Session S(SessOpts);
+  for (AnalysisKind Kind : Opts.Kinds)
+    S.add(Kind);
+
+  FileByteSink StdoutBytes(stdout);
+  NdjsonSink Ndjson(StdoutBytes);
+  if (Opts.Format == ReportFormat::Ndjson && !Opts.Quiet) {
+    // In parallel mode the decode thread keeps interning names into the
+    // text parser's tables while workers report races, so sharing the
+    // tables would race; parallel runs print canonical T<id>/x<id> ids.
+    if (!Opts.Parallel)
+      Ndjson.setSymbols(Syms.Threads, Syms.Vars);
+    Ndjson.setMaxRacesPerAnalysis(Opts.MaxStoredRaces);
+    S.addSink(Ndjson);
+  }
+
+  RunReport Rep = S.run(*Input.Events);
   if (!UseStdin)
     std::fclose(In);
 
@@ -698,46 +772,32 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  SymbolTables Syms;
-  if (const TraceTextParser *P = Input.textParser()) {
-    Syms.Threads = &P->threadNames();
-    Syms.Vars = &P->varNames();
-  }
-
-  // One vindication pass per analysis, shared by both report formats.
-  std::vector<VindicationReport> Vind(Driver.size());
-  if (Opts.Vindicate) {
-    Trace CapturedTr{std::move(Captured)};
-    for (size_t I = 0; I != Driver.size(); ++I)
-      for (const RaceRecord &R : Driver.analysis(I).raceRecords())
-        Vind[I].PerRace.push_back(
-            vindicateRaceAtEvent(CapturedTr, R.EventIdx));
-  }
-
-  uint64_t TotalRaces = 0;
-  for (size_t I = 0; I != Driver.size(); ++I)
-    TotalRaces += Driver.analysis(I).dynamicRaces();
-
-  if (Opts.Format == ReportFormat::Json) {
-    std::string Report =
-        jsonReport(Driver, Opts, Input.Format, Syms, Vind);
+  switch (Opts.Format) {
+  case ReportFormat::Json: {
+    std::string Report = jsonReport(Rep, Opts, Input.Format, Syms);
     std::fwrite(Report.data(), 1, Report.size(), stdout);
-  } else {
-    const StreamStats &St = Driver.streamStats();
-    for (size_t I = 0; I != Driver.size(); ++I) {
-      const Analysis &A = *Driver.slot(I).A;
+    break;
+  }
+  case ReportFormat::Ndjson:
+    printNdjsonSummaries(Rep, Opts);
+    break;
+  case ReportFormat::Text:
+    for (const AnalysisRunResult &A : Rep.Analyses) {
       std::printf("%s over %llu events (%u threads, %u vars, %u locks): "
                   "%llu dynamic race(s), %u static site(s)\n",
-                  A.name(), static_cast<unsigned long long>(St.Events),
-                  St.NumThreads, St.NumVars, St.NumLocks,
-                  static_cast<unsigned long long>(A.dynamicRaces()),
-                  A.staticRaces());
+                  A.Name.c_str(),
+                  static_cast<unsigned long long>(Rep.Stream.Events),
+                  Rep.Stream.NumThreads, Rep.Stream.NumVars,
+                  Rep.Stream.NumLocks,
+                  static_cast<unsigned long long>(A.DynamicRaces),
+                  A.StaticRaces);
       if (!Opts.Quiet) {
-        printRaces(A, Syms, Vind[I]);
+        printRaces(A, Syms);
         if (Opts.Stats)
           printCaseStats(A);
       }
     }
+    break;
   }
-  return TotalRaces ? 2 : 0;
+  return Rep.anyRaces() ? 2 : 0;
 }

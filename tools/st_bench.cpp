@@ -6,11 +6,12 @@
 //
 // Runs a declarative benchmark suite — synthetic DaCapo-shaped workloads
 // (src/workload) crossed with the analysis ladder (AnalysisRegistry) — on
-// top of the streaming engine, and emits a stable, schema-versioned JSON
-// report (BENCH_results.json) plus a human-readable table.
+// top of the report-layer Session facade, and emits a stable,
+// schema-versioned JSON report (BENCH_results.json) plus a human-readable
+// table.
 //
 // Methodology: every (workload, analysis) cell streams the seeded workload
-// generator through ONE analysis per AnalysisDriver run, so per-analysis
+// generator through ONE analysis per Session run, so per-analysis
 // time excludes event generation and co-running analyses. Each cell runs
 // --warmup unmeasured trials then --repeats measured trials; the median is
 // reported. The uninstrumented baseline (a pure stream drain) is measured
@@ -28,7 +29,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "engine/AnalysisDriver.h"
+#include "report/Session.h"
 #include "workload/Workload.h"
 
 #include <algorithm>
@@ -314,27 +315,28 @@ double median(std::vector<double> Xs) {
   return N % 2 ? Xs[N / 2] : (Xs[N / 2 - 1] + Xs[N / 2]) / 2;
 }
 
-/// Streams the workload through \p Driver once (rebuilding the generator so
+/// Streams the workload through \p S once (rebuilding the generator so
 /// every trial sees the identical event stream).
-uint64_t streamOnce(const WorkloadProfile &P, const Options &Opts,
-                    AnalysisDriver &Driver) {
+RunReport streamOnce(const WorkloadProfile &P, const Options &Opts,
+                     Session &S) {
   WorkloadGenerator Gen(P, Opts.Events, Opts.Seed);
   GeneratorEventSource Src(Gen);
-  return Driver.run(Src);
+  return S.run(Src);
 }
 
 /// Median uninstrumented drain (event generation + engine batching alone),
 /// warmed up like every analysis cell so the slowdown denominator does not
-/// carry cold-start cost the cells already shed.
+/// carry cold-start cost the cells already shed. A Session with zero
+/// analyses is exactly that drain.
 double measureDrain(const WorkloadProfile &P, const Options &Opts) {
   std::vector<double> Trials;
   for (unsigned T = 0; T != Opts.Warmup + std::max(Opts.Repeats, 1u); ++T) {
-    DriverOptions DO;
-    DO.BatchSize = Opts.BatchSize;
-    AnalysisDriver Driver(DO);
-    streamOnce(P, Opts, Driver);
+    SessionOptions SO;
+    SO.BatchSize = Opts.BatchSize;
+    Session S(SO);
+    RunReport Rep = streamOnce(P, Opts, S);
     if (T >= Opts.Warmup)
-      Trials.push_back(Driver.wallSeconds());
+      Trials.push_back(Rep.WallSeconds);
   }
   return median(std::move(Trials));
 }
@@ -345,22 +347,23 @@ CellResult measureCell(const WorkloadProfile &P, AnalysisKind Kind,
   Cell.Workload = P.Name;
   Cell.Kind = Kind;
   for (unsigned T = 0; T != Opts.Warmup + Opts.Repeats; ++T) {
-    DriverOptions DO;
-    DO.BatchSize = Opts.BatchSize;
-    DO.SampleFootprint = true;
-    DO.MaxStoredRaces = 64;
-    AnalysisDriver Driver(DO);
-    Driver.add(Kind);
-    Cell.Events = streamOnce(P, Opts, Driver);
+    SessionOptions SO;
+    SO.BatchSize = Opts.BatchSize;
+    SO.SampleFootprint = true;
+    SO.MaxStoredRaces = 64;
+    Session S(SO);
+    S.add(Kind);
+    RunReport Rep = streamOnce(P, Opts, S);
+    Cell.Events = Rep.Stream.Events;
     if (T < Opts.Warmup)
       continue;
-    const AnalysisDriver::Slot &S = Driver.slot(0);
-    Cell.Seconds.push_back(S.Seconds);
+    const AnalysisRunResult &A = Rep.Analyses.front();
+    Cell.Seconds.push_back(A.Seconds);
     Cell.PeakFootprintBytes =
-        std::max(Cell.PeakFootprintBytes, S.PeakFootprintBytes);
-    Cell.FinalFootprintBytes = S.FinalFootprintBytes;
-    Cell.DynamicRaces = S.A->dynamicRaces();
-    Cell.StaticRaces = S.A->staticRaces();
+        std::max(Cell.PeakFootprintBytes, A.PeakFootprintBytes);
+    Cell.FinalFootprintBytes = A.FinalFootprintBytes;
+    Cell.DynamicRaces = A.DynamicRaces;
+    Cell.StaticRaces = A.StaticRaces;
   }
   Cell.MedianSeconds = median(Cell.Seconds);
   return Cell;
