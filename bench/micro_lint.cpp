@@ -1,0 +1,153 @@
+//===- bench/micro_lint.cpp - Lint-pass overhead microbenchmarks ----------===//
+//
+// Google-benchmark microbenchmarks for the streaming lint engine on the
+// shapes the Session interposes it on: the hard rule set alone (what the
+// validating sources run per event), the full rule set (Session
+// Warn/Strict), and the same stream with no linting at all as the
+// baseline. The claim under test: hard-rule validation adds <5% to the
+// per-event cost of draining a realistic synthetic workload. The dense
+// vector Holder in the lock-discipline rule (vs. the unordered_map the
+// WellFormedChecker used before the lint engine absorbed it) is what
+// keeps the per-event probe allocation-free.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/EventSource.h"
+#include "lint/Lint.h"
+#include "report/Session.h"
+#include "workload/RandomTrace.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace st;
+
+namespace {
+
+/// A realistic mixed workload: forks/joins, nested locks, volatiles.
+Trace benchTrace(uint64_t Events) {
+  RandomTraceConfig C;
+  C.Seed = 20200615; // SmartTrack's PLDI year+month+day, fixed forever
+  C.Threads = 8;
+  C.Vars = 64;
+  C.Locks = 8;
+  C.Volatiles = 2;
+  C.PVolatile = 0.02;
+  C.Events = Events;
+  C.MaxNesting = 2;
+  C.PSync = 0.3;
+  C.ForkJoin = true;
+  return generateRandomTrace(C);
+}
+
+enum class RuleSet { None, Hard, All };
+
+void drainWithRules(benchmark::State &State, RuleSet Rules) {
+  Trace Tr = benchTrace(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State) {
+    LintEngine Eng;
+    if (Rules == RuleSet::Hard)
+      addHardRules(Eng);
+    else if (Rules == RuleSet::All)
+      addAllRules(Eng);
+    for (const Event &E : Tr.events()) {
+      if (Rules != RuleSet::None)
+        Eng.processEvent(E);
+      benchmark::DoNotOptimize(&E);
+    }
+    Eng.finish();
+    benchmark::DoNotOptimize(Eng.errorCount());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          State.range(0));
+}
+
+} // namespace
+
+// Baseline: the same event walk with no lint engine in the loop.
+static void BM_DrainNoLint(benchmark::State &State) {
+  drainWithRules(State, RuleSet::None);
+}
+BENCHMARK(BM_DrainNoLint)->Arg(1 << 14)->Arg(1 << 17);
+
+// The hard well-formedness set — what TextEventSource/StbEventSource run
+// per event when opened with Validate=true.
+static void BM_DrainHardRules(benchmark::State &State) {
+  drainWithRules(State, RuleSet::Hard);
+}
+BENCHMARK(BM_DrainHardRules)->Arg(1 << 14)->Arg(1 << 17);
+
+// The full hard + soft set — Session Warn/Strict and st-lint.
+static void BM_DrainAllRules(benchmark::State &State) {
+  drainWithRules(State, RuleSet::All);
+}
+BENCHMARK(BM_DrainAllRules)->Arg(1 << 14)->Arg(1 << 17);
+
+namespace {
+
+// End-to-end: the overhead that actually matters is lint relative to an
+// analysis consuming the same stream, not lint versus an empty loop.
+// lint-on (Warn) vs lint-off here is the "<5% on the ci suite" check.
+void sessionAnalyze(benchmark::State &State, ValidationMode Mode) {
+  Trace Tr = benchTrace(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State) {
+    SessionOptions Opts;
+    Opts.MaxStoredRaces = 0;
+    Opts.Validation = Mode;
+    Session S(Opts);
+    S.add(AnalysisKind::STWDC);
+    TraceEventSource Src(Tr);
+    RunReport Rep = S.run(Src);
+    benchmark::DoNotOptimize(Rep.TotalDynamicRaces);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          State.range(0));
+}
+
+} // namespace
+
+static void BM_SessionStwdcLintOff(benchmark::State &State) {
+  sessionAnalyze(State, ValidationMode::Off);
+}
+BENCHMARK(BM_SessionStwdcLintOff)->Arg(1 << 17);
+
+static void BM_SessionStwdcLintWarn(benchmark::State &State) {
+  sessionAnalyze(State, ValidationMode::Warn);
+}
+BENCHMARK(BM_SessionStwdcLintWarn)->Arg(1 << 17);
+
+namespace {
+
+// The ci-suite cell measurement (manual time): st-bench cells quote the
+// analysis's batch-consumption seconds, with decode and lint upstream in
+// the source wrapper. This pair is the "<5% lint-on vs lint-off on the
+// ci suite" acceptance check in microbenchmark form.
+void cellAnalyze(benchmark::State &State, ValidationMode Mode) {
+  Trace Tr = benchTrace(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State) {
+    SessionOptions Opts;
+    Opts.MaxStoredRaces = 64;
+    Opts.SampleFootprint = true;
+    Opts.Validation = Mode;
+    Session S(Opts);
+    S.add(AnalysisKind::STWDC);
+    TraceEventSource Src(Tr);
+    RunReport Rep = S.run(Src);
+    State.SetIterationTime(Rep.Analyses.front().Seconds);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          State.range(0));
+}
+
+} // namespace
+
+static void BM_CellStwdcLintOff(benchmark::State &State) {
+  cellAnalyze(State, ValidationMode::Off);
+}
+BENCHMARK(BM_CellStwdcLintOff)->Arg(1 << 17)->UseManualTime();
+
+static void BM_CellStwdcLintWarn(benchmark::State &State) {
+  cellAnalyze(State, ValidationMode::Warn);
+}
+BENCHMARK(BM_CellStwdcLintWarn)->Arg(1 << 17)->UseManualTime();
+
+BENCHMARK_MAIN();

@@ -6,6 +6,7 @@
 
 #include "engine/EventSource.h"
 
+#include "lint/Lint.h"
 #include "workload/Workload.h"
 
 #include <cstring>
@@ -36,10 +37,21 @@ size_t TextEventSource::read(Event *Buf, size_t Max) {
       }
       break;
     }
-    if (Validate && !Checker.check(Buf[N])) {
-      Bad = true;
-      ErrorMsg = "ill-formed trace: " + Checker.error();
-      break;
+    if (Validate) {
+      Checker.engine().setProvenance(Parser.line(), 0);
+      if (!Checker.check(Buf[N])) {
+        // Stop delivering, but keep decoding through the checker so the
+        // diagnostic covers every violation in the input, not just the
+        // first (the engine's store cap bounds memory).
+        Bad = true;
+        Event E;
+        while (Parser.next(E) > 0) {
+          Checker.engine().setProvenance(Parser.line(), 0);
+          Checker.check(E);
+        }
+        ErrorMsg = "ill-formed trace: " + Checker.error();
+        break;
+      }
     }
     ++N;
   }
@@ -65,10 +77,20 @@ size_t StbEventSource::read(Event *Buf, size_t Max) {
       }
       break;
     }
-    if (Validate && !Checker.check(Buf[N])) {
-      Bad = true;
-      ErrorMsg = "ill-formed trace: " + Checker.error();
-      break;
+    if (Validate) {
+      Checker.engine().setProvenance(0, Reader.bytesConsumed());
+      if (!Checker.check(Buf[N])) {
+        // As in TextEventSource: withhold from here on, drain the rest
+        // through the checker for a complete diagnostic.
+        Bad = true;
+        Event E;
+        while (Reader.next(E) > 0) {
+          Checker.engine().setProvenance(0, Reader.bytesConsumed());
+          Checker.check(E);
+        }
+        ErrorMsg = "ill-formed trace: " + Checker.error();
+        break;
+      }
     }
     ++N;
   }

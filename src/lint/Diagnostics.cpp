@@ -1,0 +1,146 @@
+//===- lint/Diagnostics.cpp - Trace lint diagnostics ----------------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Diagnostics.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace st;
+
+const char *st::lintCodeId(LintCode C) {
+  switch (C) {
+  case LintCode::AcquireHeld:
+    return "STL001";
+  case LintCode::ReleaseUnheld:
+    return "STL002";
+  case LintCode::RunAfterJoin:
+    return "STL003";
+  case LintCode::ForkOfStarted:
+    return "STL004";
+  case LintCode::DoubleJoin:
+    return "STL005";
+  case LintCode::SelfForkJoin:
+    return "STL006";
+  case LintCode::IdOutOfRange:
+    return "STL007";
+  case LintCode::MalformedInput:
+    return "STL008";
+  case LintCode::LockHeldAtEnd:
+    return "STL020";
+  case LintCode::UnjoinedThread:
+    return "STL021";
+  case LintCode::EmptyCriticalSection:
+    return "STL022";
+  case LintCode::VolatileDataAlias:
+    return "STL023";
+  case LintCode::SiteOutOfTable:
+    return "STL024";
+  case LintCode::SparseIdSpace:
+    return "STL025";
+  }
+  assert(false && "unknown lint code");
+  return "STL???";
+}
+
+LintSeverity st::lintCodeSeverity(LintCode C) {
+  switch (C) {
+  case LintCode::AcquireHeld:
+  case LintCode::ReleaseUnheld:
+  case LintCode::RunAfterJoin:
+  case LintCode::ForkOfStarted:
+  case LintCode::DoubleJoin:
+  case LintCode::SelfForkJoin:
+  case LintCode::IdOutOfRange:
+  case LintCode::MalformedInput:
+    return LintSeverity::Error;
+  case LintCode::LockHeldAtEnd:
+  case LintCode::UnjoinedThread:
+  case LintCode::EmptyCriticalSection:
+  case LintCode::SiteOutOfTable:
+  case LintCode::SparseIdSpace:
+    return LintSeverity::Warning;
+  case LintCode::VolatileDataAlias:
+    return LintSeverity::Note;
+  }
+  assert(false && "unknown lint code");
+  return LintSeverity::Error;
+}
+
+const char *st::lintCodeSummary(LintCode C) {
+  switch (C) {
+  case LintCode::AcquireHeld:
+    return "acquire of a held lock";
+  case LintCode::ReleaseUnheld:
+    return "release of an unheld lock";
+  case LintCode::RunAfterJoin:
+    return "thread runs after being joined";
+  case LintCode::ForkOfStarted:
+    return "fork of a thread that already ran or was forked";
+  case LintCode::DoubleJoin:
+    return "thread joined twice";
+  case LintCode::SelfForkJoin:
+    return "thread forks or joins itself";
+  case LintCode::IdOutOfRange:
+    return "identifier outside the dense id-space cap";
+  case LintCode::MalformedInput:
+    return "input failed to decode";
+  case LintCode::LockHeldAtEnd:
+    return "lock still held at end of stream";
+  case LintCode::UnjoinedThread:
+    return "forked thread never joined";
+  case LintCode::EmptyCriticalSection:
+    return "empty critical section";
+  case LintCode::VolatileDataAlias:
+    return "id used as both volatile and data variable";
+  case LintCode::SiteOutOfTable:
+    return "site id outside the declared site table";
+  case LintCode::SparseIdSpace:
+    return "suspiciously sparse id space";
+  }
+  assert(false && "unknown lint code");
+  return "?";
+}
+
+const char *st::lintSeverityName(LintSeverity S) {
+  switch (S) {
+  case LintSeverity::Note:
+    return "note";
+  case LintSeverity::Warning:
+    return "warning";
+  case LintSeverity::Error:
+    return "error";
+  }
+  assert(false && "unknown severity");
+  return "?";
+}
+
+std::string st::formatDiagnostic(const LintDiagnostic &D) {
+  char Buf[96];
+  std::string Out;
+  if (D.streamLevel()) {
+    Out = "end of stream";
+  } else {
+    std::snprintf(Buf, sizeof(Buf), "event %llu",
+                  static_cast<unsigned long long>(D.EventIdx));
+    Out = Buf;
+    if (D.Line) {
+      std::snprintf(Buf, sizeof(Buf), " (line %u)", D.Line);
+      Out += Buf;
+    } else if (D.Byte) {
+      std::snprintf(Buf, sizeof(Buf), " (byte %llu)",
+                    static_cast<unsigned long long>(D.Byte));
+      Out += Buf;
+    }
+  }
+  Out += ": ";
+  Out += lintSeverityName(D.Severity);
+  Out += ' ';
+  Out += lintCodeId(D.Code);
+  Out += ": ";
+  Out += D.Message;
+  return Out;
+}

@@ -7,6 +7,7 @@
 #include "report/Session.h"
 
 #include "engine/EventSource.h"
+#include "lint/LintingEventSource.h"
 
 #include <mutex>
 
@@ -98,19 +99,47 @@ RunReport Session::run(EventSource &Src) {
     Wired[I] = Install;
   }
 
+  // Warn/Strict interpose the lint pass between the source and the
+  // driver. The wrapper always cuts delivery just before the first
+  // error-severity event (the cores require well-formed streams); Strict
+  // additionally marks the run rejected so no analysis result escapes.
+  LintEngine Lint;
+  std::unique_ptr<LintingEventSource> Linted;
+  EventSource *Input = &Src;
+  if (Opts.Validation != ValidationMode::Off) {
+    addAllRules(Lint);
+    Linted = std::make_unique<LintingEventSource>(
+        Src, Lint, Opts.Validation == ValidationMode::Strict);
+    Input = Linted.get();
+  }
+
   std::vector<Event> Captured;
   if (Opts.Vindicate) {
     // Vindication replays the trace, so it is the one mode that buffers
     // the event stream.
-    CapturingEventSource Tee(Src, Captured);
+    CapturingEventSource Tee(*Input, Captured);
     Driver.run(Tee);
   } else {
-    Driver.run(Src);
+    Driver.run(*Input);
   }
 
   RunReport Rep;
   Rep.Stream = Driver.streamStats();
   Rep.WallSeconds = Driver.wallSeconds();
+  if (Linted) {
+    Lint.finish(); // idempotent; already done on a clean end of stream
+    Rep.Validation.Ran = true;
+    Rep.Validation.Rejected = Linted->rejected();
+    Rep.Validation.Diagnostics = Lint.diagnostics();
+    Rep.Validation.Errors = Lint.errorCount();
+    Rep.Validation.Warnings = Lint.warningCount();
+    Rep.Validation.Notes = Lint.noteCount();
+    Rep.Validation.Dropped = Lint.droppedDiagnostics();
+    if (Rep.Validation.Rejected)
+      // Never a partial analysis result: a rejected run reports its
+      // diagnostics and stream statistics, nothing else.
+      return Rep;
+  }
 
   Trace CapturedTr(std::move(Captured));
   for (size_t I = 0; I != Driver.size(); ++I) {

@@ -24,6 +24,7 @@
 #define SMARTTRACK_REPORT_SESSION_H
 
 #include "engine/AnalysisDriver.h"
+#include "lint/Diagnostics.h"
 #include "report/RaceSink.h"
 #include "vindicate/Vindicator.h"
 
@@ -32,6 +33,23 @@
 #include <vector>
 
 namespace st {
+
+/// How a Session treats the lint pass (the full hard + soft rule set,
+/// lint/Lint.h) over its input stream.
+///
+/// Off: no lint pass (the raw sources still enforce hard well-formedness
+/// themselves unless opened with Validate=false). In Warn and Strict the
+/// full rule set runs ahead of the analyses and diagnostics land in
+/// RunReport::Validation; in both, delivery stops just before the first
+/// event with an error-severity finding — the cores require well-formed
+/// streams, so the offending event (and everything after it, which is
+/// only sound to analyze in stream order) never reaches them — while the
+/// rest of the input is drained for a complete diagnosis. Warn then
+/// reports the analyses' results over the delivered well-formed prefix;
+/// Strict marks the run rejected and reports no analysis results at all.
+/// (Streaming sinks may have seen races from the validated prefix before
+/// the rejection point; a Strict report itself carries none.)
+enum class ValidationMode : uint8_t { Off, Warn, Strict };
 
 /// Everything a run can be configured with; the engine knobs mirror
 /// DriverOptions.
@@ -49,6 +67,8 @@ struct SessionOptions {
   /// Buffer the stream and vindicate every retained race after the run
   /// (the one mode that is not O(analysis-metadata) in space).
   bool Vindicate = false;
+  /// Lint pass over the input stream (see ValidationMode).
+  ValidationMode Validation = ValidationMode::Off;
 };
 
 /// Everything one analysis contributed to a run, copied out so the report
@@ -72,6 +92,20 @@ struct AnalysisRunResult {
   std::vector<VindicationResult> Vindications;
 };
 
+/// What the lint pass found over one run's input (empty/inert when
+/// SessionOptions::Validation was Off).
+struct ValidationReport {
+  /// True when a lint pass ran (Warn or Strict).
+  bool Ran = false;
+  /// True when Strict mode withheld the stream from the analyses.
+  bool Rejected = false;
+  /// Every retained diagnostic, in stream order.
+  std::vector<LintDiagnostic> Diagnostics;
+  uint64_t Errors = 0, Warnings = 0, Notes = 0;
+  /// Diagnostics beyond the engine's store cap (counted, not retained).
+  uint64_t Dropped = 0;
+};
+
 /// The result of one Session::run(): stream statistics plus a per-analysis
 /// results slice, as one self-contained struct.
 struct RunReport {
@@ -81,8 +115,13 @@ struct RunReport {
   double WallSeconds = 0;
   uint64_t TotalDynamicRaces = 0;
   std::vector<AnalysisRunResult> Analyses;
+  /// Lint findings (ValidationMode Warn/Strict).
+  ValidationReport Validation;
 
   bool anyRaces() const { return TotalDynamicRaces != 0; }
+  /// True when Strict validation rejected the input: Analyses is empty
+  /// and no analysis result is reported, partial or otherwise.
+  bool rejected() const { return Validation.Rejected; }
 };
 
 /// Facade over EventSource → AnalysisDriver → sinks. Configure with add()

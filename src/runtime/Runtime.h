@@ -124,7 +124,12 @@ private:
   ThreadId T;
 };
 
-/// An instrumented shared variable: every load/store is reported.
+/// An instrumented shared variable: every load/store is reported. The
+/// payload itself is a relaxed atomic: tests deliberately race SharedVars
+/// to exercise the detector, and the detector's job is to *report* those
+/// races — the shim must not turn them into C++ undefined behavior (or
+/// ThreadSanitizer findings) at the language level. Relaxed order adds no
+/// synchronization, so every race stays visible to the analysis.
 template <typename T>
 class SharedVar {
 public:
@@ -132,12 +137,12 @@ public:
 
   T load(ThreadId Tid, SiteId Site = InvalidId) const {
     D.onRead(Tid, Id, Site);
-    return Value;
+    return Value.load(std::memory_order_relaxed);
   }
 
   void store(ThreadId Tid, T V, SiteId Site = InvalidId) {
     D.onWrite(Tid, Id, Site);
-    Value = V;
+    Value.store(V, std::memory_order_relaxed);
   }
 
   VarId id() const { return Id; }
@@ -145,7 +150,7 @@ public:
 private:
   Detector &D;
   VarId Id;
-  T Value;
+  std::atomic<T> Value;
 };
 
 } // namespace st

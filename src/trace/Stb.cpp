@@ -55,6 +55,8 @@ bool StbWriter::writeEvent(const Event &E) {
   return Sink.write(Buf, N);
 }
 
+uint64_t StbReader::bytesConsumed() const { return Bytes.bytesRead(); }
+
 int StbReader::fail(const std::string &Msg) {
   char Buf[48];
   std::snprintf(Buf, sizeof(Buf), " (at byte %llu)",

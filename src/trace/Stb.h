@@ -76,6 +76,10 @@ public:
   bool failed() const { return !ErrorMsg.empty(); }
   const std::string &error() const { return ErrorMsg; }
 
+  /// Bytes of input consumed so far (the offset just past the most
+  /// recently decoded record). Lint provenance for binary inputs.
+  uint64_t bytesConsumed() const;
+
 private:
   int fail(const std::string &Msg);
 

@@ -6,12 +6,18 @@
 
 #include "trace/Trace.h"
 
+#include "lint/Lint.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <unordered_map>
 
 using namespace st;
+
+static_assert(WellFormedChecker::MaxCheckableThreads ==
+                  LintEngine::MaxCheckableIds,
+              "checker and lint engine must agree on the id-space cap");
 
 const char *st::eventKindName(EventKind K) {
   switch (K) {
@@ -64,89 +70,37 @@ void Trace::computeStats() {
   }
 }
 
-static std::string describeEvent(uint64_t Idx, const Event &E) {
-  char Buf[64];
-  std::snprintf(Buf, sizeof(Buf), "event %llu: T%u %s(%u)",
-                static_cast<unsigned long long>(Idx), E.Tid,
-                eventKindName(E.Kind), E.Target);
-  return Buf;
+WellFormedChecker::WellFormedChecker() : Eng(std::make_unique<LintEngine>()) {
+  addHardRules(*Eng);
 }
 
-bool WellFormedChecker::fail(const Event &E, const char *Msg) {
-  Bad = true;
-  ErrorMsg = describeEvent(Idx, E) + ": " + Msg;
-  return false;
-}
+WellFormedChecker::~WellFormedChecker() = default;
+WellFormedChecker::WellFormedChecker(WellFormedChecker &&) noexcept = default;
+WellFormedChecker &
+WellFormedChecker::operator=(WellFormedChecker &&) noexcept = default;
 
 bool WellFormedChecker::check(const Event &E) {
-  if (Bad)
-    return false;
-  ThreadId MaxTid = E.Tid;
-  if (E.Kind == EventKind::Fork || E.Kind == EventKind::Join)
-    MaxTid = std::max(MaxTid, E.Target);
-  // Ids are dense (Types.h), so a huge tid can only come from a corrupt or
-  // hostile input; reject it before sizing per-thread state off it.
-  if (MaxTid >= MaxCheckableThreads)
-    return fail(E, "thread id out of range (ids must be dense)");
-  if (MaxTid >= Started.size()) {
-    Started.resize(MaxTid + 1, 0);
-    Joined.resize(MaxTid + 1, 0);
-    Forked.resize(MaxTid + 1, 0);
-  }
+  Eng->processEvent(E);
+  return !Eng->hasErrors();
+}
 
-  if (Joined[E.Tid])
-    return fail(E, "thread runs after being joined");
-  Started[E.Tid] = 1; // unforked root threads are permitted
+bool WellFormedChecker::failed() const { return Eng->hasErrors(); }
 
-  switch (E.Kind) {
-  case EventKind::Acquire: {
-    auto It = Holder.find(E.lock());
-    if (It != Holder.end() && It->second != InvalidId)
-      return fail(E, "acquire of a held lock (no reentrancy)");
-    Holder[E.lock()] = E.Tid;
-    break;
-  }
-  case EventKind::Release: {
-    auto It = Holder.find(E.lock());
-    if (It == Holder.end() || It->second != E.Tid)
-      return fail(E, "release of a lock the thread does not hold");
-    It->second = InvalidId;
-    break;
-  }
-  case EventKind::Fork: {
-    ThreadId C = E.childTid();
-    if (C == E.Tid)
-      return fail(E, "thread forks itself");
-    if (Started[C] || Forked[C])
-      return fail(E, "fork of a thread that already ran or was forked");
-    Forked[C] = true;
-    break;
-  }
-  case EventKind::Join: {
-    ThreadId C = E.childTid();
-    if (C == E.Tid)
-      return fail(E, "thread joins itself");
-    if (Joined[C])
-      return fail(E, "thread joined twice");
-    Joined[C] = true;
-    break;
-  }
-  default:
-    break;
-  }
-  ++Idx;
-  return true;
+const std::string &WellFormedChecker::error() const {
+  if (Eng->hasErrors())
+    ErrorMsg = Eng->summaryString();
+  return ErrorMsg;
 }
 
 bool Trace::validate(std::string *Error) const {
-  WellFormedChecker Checker;
-  for (const Event &E : Events)
-    if (!Checker.check(E)) {
-      if (Error)
-        *Error = Checker.error();
-      return false;
-    }
-  return true;
+  LintEngine Eng;
+  addHardRules(Eng);
+  Eng.processBatch(Events.data(), Events.size());
+  if (!Eng.hasErrors())
+    return true;
+  if (Error)
+    *Error = Eng.summaryString();
+  return false;
 }
 
 void Trace::computeLastWriters() const {
@@ -221,7 +175,14 @@ TraceBuilder &TraceBuilder::append(const Event &E) {
 
 Trace TraceBuilder::build() const {
   Trace Tr(Events);
-  [[maybe_unused]] std::string Error;
-  assert(Tr.validate(&Error) && "trace is not well formed");
+  // Builder traces are authored by hand (tests, examples); an ill-formed
+  // one is a bug at the construction site, diagnosed in every build type.
+  LintEngine Eng;
+  addHardRules(Eng);
+  Eng.processBatch(Tr.events().data(), Tr.size());
+  if (Eng.hasErrors())
+    throw IllFormedTraceError("trace is not well formed: " +
+                                  Eng.summaryString(),
+                              Eng.diagnostics());
   return Tr;
 }

@@ -10,51 +10,81 @@
 /// thread only acquires a free lock and only releases a lock it holds; forked
 /// threads run no events before the fork; joined threads run no events after
 /// the join. TraceBuilder offers a fluent API for tests and examples and
-/// validates well-formedness eagerly.
+/// validates well-formedness eagerly, raising IllFormedTraceError (with the
+/// full diagnostic list) in every build type.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SMARTTRACK_TRACE_TRACE_H
 #define SMARTTRACK_TRACE_TRACE_H
 
+#include "lint/Diagnostics.h"
 #include "trace/Event.h"
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace st {
 
-/// Incremental well-formedness checker: feed events in trace order and the
-/// first violation latches with a diagnostic naming the offending event.
-/// Streaming event sources run this online where a materialized Trace would
-/// call validate(); both share the same rules (a thread only acquires a
-/// free lock and only releases a lock it holds; forked threads are fresh;
-/// joined threads run no further events).
+class LintEngine;
+
+/// Incremental well-formedness checker: feed events in trace order and any
+/// violation is diagnosed naming the offending event. A thin adapter over
+/// the lint engine's hard rule set (lint/Lint.h) — streaming event sources
+/// run this online where a materialized Trace would call validate(), so
+/// every validation path shares one rule implementation. Unlike the
+/// pre-lint checker this does not latch: check() keeps accepting events
+/// after a violation (collecting further diagnostics, bounded by the
+/// engine's store cap) while returning false, so callers can stop
+/// *delivering* events yet still report every violation in the input.
 class WellFormedChecker {
 public:
   /// Largest accepted thread id + 1. Ids are dense by construction
   /// (Types.h), so anything near this bound is a corrupt or hostile
   /// input, not a real trace; the cap keeps per-thread state from being
-  /// sized off untrusted bytes.
+  /// sized off untrusted bytes. Mirrors LintEngine::MaxCheckableIds.
   static constexpr ThreadId MaxCheckableThreads = 1u << 22;
 
-  /// Feeds one event; returns false (permanently) once a violation is seen.
+  WellFormedChecker();
+  ~WellFormedChecker();
+  WellFormedChecker(WellFormedChecker &&) noexcept;
+  WellFormedChecker &operator=(WellFormedChecker &&) noexcept;
+
+  /// Feeds one event; returns false once any violation has been seen.
   bool check(const Event &E);
 
-  bool failed() const { return Bad; }
-  const std::string &error() const { return ErrorMsg; }
+  bool failed() const;
+
+  /// Aggregated diagnostic over every violation seen so far (first few
+  /// listed, "... and N more" beyond that). Empty while failed() is false.
+  const std::string &error() const;
+
+  /// The underlying engine, for provenance wiring and diagnostic access.
+  LintEngine &engine() { return *Eng; }
+  const LintEngine &engine() const { return *Eng; }
 
 private:
-  bool fail(const Event &E, const char *Msg);
+  std::unique_ptr<LintEngine> Eng;
+  mutable std::string ErrorMsg; // cached rendering of engine diagnostics
+};
 
-  std::unordered_map<LockId, ThreadId> Holder; // lock -> holder (InvalidId = free)
-  std::vector<uint8_t> Started, Joined, Forked; // indexed by ThreadId
-  uint64_t Idx = 0;
-  bool Bad = false;
-  std::string ErrorMsg;
+/// Thrown by TraceBuilder::build() (in all build types) when the built
+/// trace violates well-formedness; carries every diagnostic, not just the
+/// first.
+class IllFormedTraceError : public std::runtime_error {
+public:
+  IllFormedTraceError(const std::string &What,
+                      std::vector<LintDiagnostic> Diags)
+      : std::runtime_error(What), Diags(std::move(Diags)) {}
+
+  const std::vector<LintDiagnostic> &diagnostics() const { return Diags; }
+
+private:
+  std::vector<LintDiagnostic> Diags;
 };
 
 /// A totally ordered, well-formed execution trace.
@@ -75,7 +105,8 @@ public:
   unsigned numVolatiles() const { return NumVolatiles; }
 
   /// Checks well-formedness. Returns true if OK; otherwise false and, if
-  /// \p Error is non-null, stores a diagnostic naming the offending event.
+  /// \p Error is non-null, stores a diagnostic covering every violation
+  /// in the trace (not just the first).
   bool validate(std::string *Error = nullptr) const;
 
   /// Index of the last wr(x) before event \p I to the same variable, or -1.
@@ -118,7 +149,8 @@ public:
 
   TraceBuilder &append(const Event &E);
 
-  /// Finalizes the trace; asserts well-formedness in debug builds.
+  /// Finalizes the trace; throws IllFormedTraceError (in all build types)
+  /// when the trace violates well-formedness.
   Trace build() const;
 
   size_t size() const { return Events.size(); }

@@ -77,6 +77,10 @@ public:
 
   bool failed() const { return Failed; }
 
+  /// 1-based source line the most recently produced event came from (0
+  /// before the first event). Lint provenance for text inputs.
+  unsigned line() const { return Line; }
+
   /// Diagnostic of the form "line L, column C: message near 'token'".
   const std::string &error() const { return ErrorMsg; }
   unsigned errorLine() const { return ErrLine; }

@@ -1,0 +1,166 @@
+//===- tests/lint/CorruptInputTest.cpp - Hostile STB property tests -------===//
+//
+// Mutates valid STB streams — truncation, flipped bytes, varint overflow
+// runs, out-of-range ids — and asserts the decoding stack and a Strict
+// Session stay well-behaved on every mutant: no crash (the suite runs
+// under ASan/UBSan in CI), termination with a diagnostic rather than a
+// hang, and never a partial analysis result in Strict mode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/EventSource.h"
+#include "report/Session.h"
+#include "support/Rng.h"
+#include "trace/Stb.h"
+#include "trace/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace st;
+
+namespace {
+
+/// A small well-formed trace touching every event kind.
+Trace seedTrace() {
+  TraceBuilder B;
+  B.fork(0, 1)
+      .acq(0, 0)
+      .write(0, 0, /*Site=*/3)
+      .rel(0, 0)
+      .acq(1, 0)
+      .read(1, 0, /*Site=*/4)
+      .rel(1, 0)
+      .volWrite(1, 0)
+      .volRead(0, 0)
+      .join(0, 1)
+      .write(0, 1, /*Site=*/5);
+  return B.build();
+}
+
+std::string encodeStb(const Trace &Tr) {
+  std::string Encoded;
+  StringByteSink Sink(Encoded);
+  EXPECT_TRUE(writeStbTrace(Tr, Sink));
+  return Encoded;
+}
+
+/// The invariant every mutant must satisfy: the opened source drains to
+/// a deterministic end (bounded event count) and either finishes clean
+/// or reports a non-empty diagnostic — and a Strict Session over the
+/// same bytes either rejects with diagnostics or completes with a full
+/// (never partial) analysis slate.
+void expectGracefulHandling(const std::string &Bytes, const char *What) {
+  {
+    MemoryByteSource Mem(Bytes);
+    OpenedEventSource In = openEventSource(Mem);
+    Event Buf[64];
+    uint64_t Total = 0;
+    size_t N;
+    while ((N = In.Events->read(Buf, 64)) > 0) {
+      Total += N;
+      ASSERT_LT(Total, 1u << 20) << What << ": runaway decode";
+    }
+    std::string Msg;
+    if (In.Events->error(&Msg)) {
+      EXPECT_FALSE(Msg.empty()) << What << ": error without a diagnostic";
+    }
+  }
+  {
+    MemoryByteSource Mem(Bytes);
+    OpenedEventSource In = openEventSource(Mem, /*Validate=*/false);
+    SessionOptions Opts;
+    Opts.Validation = ValidationMode::Strict;
+    Opts.BatchSize = 16; // small chunks: exercise the withholding path
+    Session S(Opts);
+    S.add(AnalysisKind::STWDC);
+    RunReport Rep = S.run(*In.Events);
+    ASSERT_TRUE(Rep.Validation.Ran) << What;
+    if (Rep.rejected()) {
+      EXPECT_TRUE(Rep.Analyses.empty())
+          << What << ": rejected run leaked an analysis result";
+      EXPECT_FALSE(Rep.Validation.Diagnostics.empty())
+          << What << ": rejected without a diagnostic";
+    } else {
+      ASSERT_EQ(Rep.Analyses.size(), 1u)
+          << What << ": accepted run must carry the full analysis slate";
+      EXPECT_EQ(Rep.Validation.Errors, 0u) << What;
+    }
+  }
+}
+
+TEST(CorruptInputTest, EveryTruncationTerminatesWithDiagnostic) {
+  std::string Encoded = encodeStb(seedTrace());
+  for (size_t Len = 0; Len != Encoded.size(); ++Len) {
+    std::string Mutant = Encoded.substr(0, Len);
+    expectGracefulHandling(Mutant,
+                           ("truncation at " + std::to_string(Len)).c_str());
+  }
+}
+
+TEST(CorruptInputTest, SingleByteFlipsNeverCrashOrHang) {
+  std::string Encoded = encodeStb(seedTrace());
+  Rng R(0x5eedull);
+  // Every position, a handful of flips each: opcode bytes, varint
+  // payloads, and header counts all get hit.
+  for (size_t Pos = 0; Pos != Encoded.size(); ++Pos) {
+    for (int Trial = 0; Trial != 4; ++Trial) {
+      std::string Mutant = Encoded;
+      Mutant[Pos] = static_cast<char>(R.next());
+      expectGracefulHandling(
+          Mutant, ("flip at " + std::to_string(Pos)).c_str());
+    }
+  }
+}
+
+TEST(CorruptInputTest, VarintOverflowRunsAreRejected) {
+  std::string Encoded = encodeStb(seedTrace());
+  // 0xff runs never terminate a LEB128 varint within its byte budget;
+  // splice them at every record boundary-ish offset after the header.
+  for (size_t Pos = sizeof(StbMagic); Pos < Encoded.size(); Pos += 3) {
+    std::string Mutant = Encoded.substr(0, Pos);
+    Mutant.append(12, '\xff');
+    Mutant += Encoded.substr(Pos);
+    expectGracefulHandling(
+        Mutant, ("overflow splice at " + std::to_string(Pos)).c_str());
+  }
+}
+
+TEST(CorruptInputTest, OutOfRangeIdsAreDiagnosedNotAllocated) {
+  // Hand-crafted records with ids near 2^32 in each id space; the lint
+  // cap must reject them before any dense table is sized off them.
+  for (EventKind K : {EventKind::Read, EventKind::Acquire, EventKind::Fork,
+                      EventKind::VolWrite}) {
+    std::string Bytes(StbMagic, sizeof(StbMagic));
+    Bytes.append(6, '\0'); // zeroed advisory header
+    Bytes += static_cast<char>(K);
+    char Varint[MaxVarintBytes];
+    Bytes.append(Varint, encodeVarint(0, Varint));           // tid
+    Bytes.append(Varint, encodeVarint(0xfffffff0u, Varint)); // target
+    expectGracefulHandling(Bytes, "huge target id");
+
+    MemoryByteSource Mem(Bytes);
+    OpenedEventSource In = openEventSource(Mem);
+    Event Buf[4];
+    EXPECT_EQ(In.Events->read(Buf, 4), 0u);
+    std::string Msg;
+    ASSERT_TRUE(In.Events->error(&Msg));
+    EXPECT_NE(Msg.find("out of range"), std::string::npos) << Msg;
+  }
+}
+
+TEST(CorruptInputTest, RandomGarbageAfterMagicIsHandled) {
+  Rng R(0xfeedull);
+  for (int Trial = 0; Trial != 64; ++Trial) {
+    std::string Bytes(StbMagic, sizeof(StbMagic));
+    size_t Len = R.nextInRange(0, 96);
+    for (size_t I = 0; I != Len; ++I)
+      Bytes += static_cast<char>(R.next());
+    expectGracefulHandling(Bytes,
+                           ("garbage trial " + std::to_string(Trial)).c_str());
+  }
+}
+
+} // namespace

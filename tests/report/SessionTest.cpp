@@ -215,4 +215,72 @@ TEST(SessionTest, ExternallyConstructedAnalysisJoinsTheRun) {
   EXPECT_TRUE(Rep.Analyses[0].Races.empty()) << "store capped at 0";
 }
 
+//===----------------------------------------------------------------------===//
+// Validation modes (Strict rejection is covered by LintCorpusTest)
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, ValidationOffByDefaultRecordsNothing) {
+  Trace Tr = traceFromText("T1: wr(x)\nT2: wr(x)\n");
+  Session S;
+  S.add(AnalysisKind::STWDC);
+  TraceEventSource Src(Tr);
+  RunReport Rep = S.run(Src);
+  EXPECT_FALSE(Rep.Validation.Ran);
+  EXPECT_FALSE(Rep.rejected());
+  EXPECT_TRUE(Rep.Validation.Diagnostics.empty());
+  EXPECT_EQ(Rep.TotalDynamicRaces, 1u);
+}
+
+TEST(SessionTest, WarnModeAnalyzesTheValidPrefixAndKeepsItsResults) {
+  // Racy prefix, then an unheld release: Warn surfaces the lint error,
+  // the cores see exactly the well-formed prefix (they require it), and
+  // the race found there survives in the report — unlike Strict, which
+  // would withhold everything.
+  const char *Text = "T1: wr(x)\nT2: wr(x)\nT2: rel(m)\n";
+  MemoryByteSource Bytes(Text);
+  TextEventSource Src(Bytes, /*Validate=*/false);
+  SessionOptions Opts;
+  Opts.Validation = ValidationMode::Warn;
+  Session S(Opts);
+  S.add(AnalysisKind::STWDC);
+  RunReport Rep = S.run(Src);
+  EXPECT_TRUE(Rep.Validation.Ran);
+  EXPECT_FALSE(Rep.rejected()) << "Warn never rejects";
+  EXPECT_GT(Rep.Validation.Errors, 0u);
+  EXPECT_FALSE(Rep.Validation.Diagnostics.empty());
+  ASSERT_EQ(Rep.Analyses.size(), 1u);
+  EXPECT_EQ(Rep.Stream.Events, 2u)
+      << "delivery cuts just before the offending event";
+  EXPECT_EQ(Rep.TotalDynamicRaces, 1u);
+}
+
+TEST(SessionTest, WarnModeCountsSoftLintsOnCleanTraces) {
+  Trace Tr = traceFromText("T1: acq(m)\nT1: wr(x)\n"); // STL020 + STL021-free
+  SessionOptions Opts;
+  Opts.Validation = ValidationMode::Warn;
+  Session S(Opts);
+  S.add(AnalysisKind::STWDC);
+  TraceEventSource Src(Tr);
+  RunReport Rep = S.run(Src);
+  EXPECT_TRUE(Rep.Validation.Ran);
+  EXPECT_FALSE(Rep.rejected());
+  EXPECT_EQ(Rep.Validation.Errors, 0u);
+  EXPECT_GT(Rep.Validation.Warnings, 0u) << "lock still held at end";
+  ASSERT_EQ(Rep.Analyses.size(), 1u);
+}
+
+TEST(SessionTest, StrictModeAcceptsWellFormedTraces) {
+  Trace Tr = traceFromText("T1: acq(m)\nT1: wr(x)\nT1: rel(m)\n");
+  SessionOptions Opts;
+  Opts.Validation = ValidationMode::Strict;
+  Session S(Opts);
+  S.add(AnalysisKind::STWDC);
+  TraceEventSource Src(Tr);
+  RunReport Rep = S.run(Src);
+  EXPECT_TRUE(Rep.Validation.Ran);
+  EXPECT_FALSE(Rep.rejected()) << "warnings alone never reject";
+  ASSERT_EQ(Rep.Analyses.size(), 1u);
+  EXPECT_EQ(Rep.Stream.Events, 3u);
+}
+
 } // namespace

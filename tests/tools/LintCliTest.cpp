@@ -1,0 +1,168 @@
+//===- tests/tools/LintCliTest.cpp - st-lint CLI behavior -----------------===//
+//
+// End-to-end tests of the st-lint diagnostics CLI: each test shells out
+// to the real binary (path injected by CMake as ST_LINT_PATH) over the
+// checked-in trace corpus and checks rendered diagnostics, summaries,
+// ndjson framing, and the documented exit-code contract (0 clean/notes,
+// 2 errors, 3 warnings, --werror folding 3 into 2).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+  int ExitCode = -1;
+  std::string Output; // stdout + stderr, interleaved
+};
+
+/// Runs \p ShellCommand under `sh -c`, capturing stdout and stderr.
+RunResult runCommand(const std::string &ShellCommand) {
+  RunResult Result;
+  std::string Wrapped = "{ " + ShellCommand + " ; } 2>&1";
+  FILE *Pipe = popen(Wrapped.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr) << "popen failed for: " << Wrapped;
+  if (!Pipe)
+    return Result;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    Result.Output.append(Buf, N);
+  int Status = pclose(Pipe);
+  Result.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return Result;
+}
+
+// Paths are single-quoted so build/source trees with spaces survive the
+// `sh -c` word splitting in runCommand.
+std::string cli() { return std::string("'") + ST_LINT_PATH + "'"; }
+std::string trace(const char *Name) {
+  return std::string("'") + ST_TRACES_DIR + "/" + Name + "'";
+}
+
+/// Asserts \p Needles appear in \p Haystack in order, each after the
+/// previous match (diagnostics stream in event order).
+void expectInOrder(const std::string &Haystack,
+                   std::initializer_list<const char *> Needles) {
+  size_t Pos = 0;
+  for (const char *Needle : Needles) {
+    size_t Found = Haystack.find(Needle, Pos);
+    ASSERT_NE(Found, std::string::npos)
+        << Needle << " missing or out of order in:\n"
+        << Haystack;
+    Pos = Found + std::string(Needle).size();
+  }
+}
+
+TEST(LintCli, ListCodesCoversErrorsAndSoftLints) {
+  RunResult R = runCommand(cli() + " --list-codes");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  expectInOrder(R.Output, {"STL001", "error", "STL008", "STL020", "warning",
+                           "STL023", "note", "STL025"});
+}
+
+TEST(LintCli, CleanTraceExitsZeroWithSummary) {
+  RunResult R = runCommand(cli() + " " + trace("race_free.trace"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("0 error(s), 0 warning(s)"), std::string::npos)
+      << R.Output;
+}
+
+TEST(LintCli, ErrorCorpusExitsTwoAndReportsEveryViolation) {
+  RunResult R = runCommand(cli() + " " + trace("bad/err_multi.trace"));
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  // Non-latching: all three hard violations render, in stream order,
+  // each with its line provenance and severity.
+  expectInOrder(R.Output, {"error STL001", "error STL002", "error STL003",
+                           "3 error(s)"});
+  EXPECT_NE(R.Output.find("warning STL020"), std::string::npos) << R.Output;
+}
+
+TEST(LintCli, WarningsExitThreeAndWerrorFoldsToTwo) {
+  RunResult R = runCommand(cli() + " " + trace("bad/warn_unjoined.trace"));
+  EXPECT_EQ(R.ExitCode, 3) << R.Output;
+  EXPECT_NE(R.Output.find("warning STL021"), std::string::npos) << R.Output;
+
+  RunResult W =
+      runCommand(cli() + " --werror " + trace("bad/warn_unjoined.trace"));
+  EXPECT_EQ(W.ExitCode, 2) << W.Output;
+}
+
+TEST(LintCli, NotesAloneExitZero) {
+  RunResult R = runCommand(cli() + " " + trace("bad/note_vol_alias.trace"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("note STL023"), std::string::npos) << R.Output;
+}
+
+TEST(LintCli, HardOnlySkipsSoftLints) {
+  RunResult R = runCommand(cli() + " --hard-only " +
+                           trace("bad/warn_held_at_end.trace"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_EQ(R.Output.find("STL020"), std::string::npos) << R.Output;
+}
+
+TEST(LintCli, MaxDiagsSuppressesButSummaryCountsEverything) {
+  RunResult R = runCommand(cli() + " --max-diags=1 " +
+                           trace("bad/err_multi.trace"));
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  expectInOrder(R.Output, {"error STL001", "more diagnostic(s)",
+                           "3 error(s)"});
+  // Only the first diagnostic rendered.
+  EXPECT_EQ(R.Output.find("error STL002"), std::string::npos) << R.Output;
+}
+
+TEST(LintCli, QuietPrintsOnlyTheSummary) {
+  RunResult R = runCommand(cli() + " --quiet " + trace("bad/err_multi.trace"));
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_EQ(R.Output.find("error STL001"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("3 error(s)"), std::string::npos) << R.Output;
+}
+
+TEST(LintCli, NdjsonStreamsDiagnosticObjectsThenSummary) {
+  RunResult R = runCommand(cli() + " --format=ndjson " +
+                           trace("bad/err_double_acquire.trace"));
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  expectInOrder(R.Output,
+                {"{\"type\":\"diagnostic\",\"code\":\"STL001\"",
+                 "\"severity\":\"error\"", "\"line\":",
+                 "{\"type\":\"summary\",\"events\":", "\"errors\":1"});
+}
+
+TEST(LintCli, StdinPathWorks) {
+  RunResult R = runCommand(cli() + " - < " + trace("bad/err_multi.trace"));
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find("<stdin>"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("error STL001"), std::string::npos) << R.Output;
+}
+
+TEST(LintCli, MalformedInputReportsStl008AndExitsTwo) {
+  RunResult R = runCommand("printf 'T1: frobnicate(x)\\n' | " + cli());
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find("STL008"), std::string::npos) << R.Output;
+}
+
+TEST(LintCli, ProvenanceNamesTheOffendingLine) {
+  // err_multi: line 1 is the '# expect:' header; the first violation
+  // (second acquire) is on line 3.
+  RunResult R = runCommand(cli() + " " + trace("bad/err_multi.trace"));
+  size_t Pos = R.Output.find("error STL001");
+  ASSERT_NE(Pos, std::string::npos) << R.Output;
+  size_t LineStart = R.Output.rfind('\n', Pos);
+  LineStart = LineStart == std::string::npos ? 0 : LineStart + 1;
+  std::string Line = R.Output.substr(LineStart, Pos - LineStart);
+  EXPECT_NE(Line.find(":3: "), std::string::npos)
+      << "first STL001 should carry line 3, got: " << Line;
+}
+
+TEST(LintCli, UnknownOptionExitsOne) {
+  RunResult R = runCommand(cli() + " --no-such-flag");
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("unknown option"), std::string::npos) << R.Output;
+}
+
+} // namespace

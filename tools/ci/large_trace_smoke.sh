@@ -9,10 +9,16 @@
 #  - wall time stays under a budget (timeout);
 #  - the text and STB encodings produce identical verdicts.
 #
-# Usage: large_trace_smoke.sh path/to/st-analyze
+# When a second argument (path to st-lint) is given, both encodings are
+# also linted as a pre-analyze gate: hard violations (exit 2) fail the
+# smoke; soft lints (exit 3) are expected on synthetic workloads (the
+# random generator leaves empty critical sections by design).
+#
+# Usage: large_trace_smoke.sh path/to/st-analyze [path/to/st-lint]
 set -eu
 
-ST=${1:?usage: large_trace_smoke.sh path/to/st-analyze}
+ST=${1:?usage: large_trace_smoke.sh path/to/st-analyze [path/to/st-lint]}
+LINT=${2:-}
 DIR=$(mktemp -d)
 trap 'rm -rf "$DIR"' EXIT
 
@@ -43,6 +49,22 @@ echo "== generating ~1M-event trace, then converting text -> STB"
 # line-number sites and static race counts must match exactly.
 "$ST" --convert=stb -o "$DIR/big.stb" "$DIR/big.trace"
 ls -l "$DIR"
+
+if [ -n "$LINT" ]; then
+    echo "== pre-analyze lint gate over both encodings (1M events, streamed)"
+    for f in big.trace big.stb; do
+        rc=0
+        (
+            ulimit -v 262144
+            timeout "$TIME_BUDGET" "$LINT" --quiet "$DIR/$f"
+        ) || rc=$?
+        if [ "$rc" -ne 0 ] && [ "$rc" -ne 3 ]; then
+            echo "FAIL: st-lint on $f exited $rc (wanted 0 or 3: no hard" \
+                 "violations, in budget, under the 256MB cap)"
+            exit 1
+        fi
+    done
+fi
 
 echo "== single analysis, text stdin, 256MB address-space cap"
 expect_races 262144 "$DIR/big.trace" "$ST" --analysis=ST-WDC --quiet --max-races=16

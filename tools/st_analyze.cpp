@@ -59,6 +59,7 @@ struct Options {
   bool Parallel = false;
   size_t BatchSize = 1 << 14;
   size_t MaxStoredRaces = SIZE_MAX;
+  ValidationMode Validation = ValidationMode::Off;
 };
 
 void printUsage(FILE *Out, const char *Prog) {
@@ -90,6 +91,12 @@ void printUsage(FILE *Out, const char *Prog) {
       "engine options:\n"
       "  --batch=N        events per engine batch (default 16384)\n"
       "  --parallel       one worker thread per analysis\n"
+      "  --validate=MODE  lint pass over the input (st-lint's full rule\n"
+      "                   set): off (default; raw hard checks only), warn\n"
+      "                   (diagnostics on stderr, analysis proceeds over\n"
+      "                   the well-formed prefix), or strict (an error\n"
+      "                   rejects the stream — the analyses never see the\n"
+      "                   offending event and report nothing)\n"
       "\n"
       "trace tooling:\n"
       "  --convert=FMT    no analysis: re-encode the input as text or stb\n"
@@ -213,6 +220,21 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
       if (Opts.BatchSize == 0)
         Opts.BatchSize = 1;
+    } else if (std::strncmp(Arg, "--validate=", 11) == 0) {
+      const char *V = Arg + 11;
+      if (std::strcmp(V, "off") == 0) {
+        Opts.Validation = ValidationMode::Off;
+      } else if (std::strcmp(V, "warn") == 0) {
+        Opts.Validation = ValidationMode::Warn;
+      } else if (std::strcmp(V, "strict") == 0) {
+        Opts.Validation = ValidationMode::Strict;
+      } else {
+        std::fprintf(
+            stderr,
+            "error: bad --validate '%s' (expected off, warn, or strict)\n",
+            V);
+        return false;
+      }
     } else if (std::strcmp(Arg, "--parallel") == 0) {
       Opts.Parallel = true;
     } else if (std::strcmp(Arg, "--quiet") == 0) {
@@ -721,7 +743,11 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   FileByteSource Bytes(In);
-  OpenedEventSource Input = openEventSource(Bytes);
+  // When the Session runs its own lint pass the raw source must not also
+  // validate, or the inner hard check would latch first and the lint
+  // report would collapse to a single decode error.
+  OpenedEventSource Input = openEventSource(
+      Bytes, /*Validate=*/Opts.Validation == ValidationMode::Off);
 
   if (Opts.Convert) {
     int RC = convertTrace(Opts, Input);
@@ -741,6 +767,7 @@ int main(int Argc, char **Argv) {
   SessOpts.Parallel = Opts.Parallel;
   SessOpts.MaxStoredRaces = Opts.MaxStoredRaces;
   SessOpts.Vindicate = Opts.Vindicate;
+  SessOpts.Validation = Opts.Validation;
   // NDJSON streams races out as they happen; nothing needs to be
   // retained, which is what keeps race memory O(1).
   if (Opts.Format == ReportFormat::Ndjson)
@@ -770,6 +797,26 @@ int main(int Argc, char **Argv) {
   if (Input.Events->error(&Error)) {
     std::fprintf(stderr, "parse error: %s\n", Error.c_str());
     return 1;
+  }
+
+  if (Rep.Validation.Ran) {
+    for (const LintDiagnostic &D : Rep.Validation.Diagnostics)
+      std::fprintf(stderr, "validation: %s\n", formatDiagnostic(D).c_str());
+    if (Rep.Validation.Dropped)
+      std::fprintf(stderr, "validation: ... and %llu more diagnostic(s)\n",
+                   static_cast<unsigned long long>(Rep.Validation.Dropped));
+    if (Rep.rejected()) {
+      std::fprintf(stderr,
+                   "error: input rejected by strict validation (%llu "
+                   "error(s)); no analysis was reported\n",
+                   static_cast<unsigned long long>(Rep.Validation.Errors));
+      return 1;
+    }
+    if (Rep.Validation.Errors)
+      std::fprintf(stderr,
+                   "warning: %llu validation error(s); the analyses saw "
+                   "only the well-formed prefix of the input\n",
+                   static_cast<unsigned long long>(Rep.Validation.Errors));
   }
 
   switch (Opts.Format) {

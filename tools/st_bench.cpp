@@ -113,6 +113,7 @@ struct Options {
   uint64_t Seed = 42;
   const char *OutPath = "BENCH_results.json";
   bool Quiet = false;
+  ValidationMode Validation = ValidationMode::Off;
 };
 
 void printUsage(FILE *Out, const char *Prog) {
@@ -133,6 +134,10 @@ void printUsage(FILE *Out, const char *Prog) {
       "  --repeats=N      measured trials per cell, median reported\n"
       "  --batch=N        events per engine batch (default 16384)\n"
       "  --seed=N         workload generator seed (default 42)\n"
+      "  --validate=MODE  Session lint pass: off (default), warn, or\n"
+      "                   strict; lint runs in the source wrapper, so\n"
+      "                   per-cell analysis times are comparable either\n"
+      "                   way (the CI gate runs warn)\n"
       "  --out=FILE       JSON output path, '-' for stdout\n"
       "                   (default BENCH_results.json)\n"
       "  --quiet          suppress the human-readable table\n"
@@ -242,6 +247,21 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     } else if (std::strncmp(Arg, "--seed=", 7) == 0) {
       if (!parseCount(Arg + 7, "--seed", Opts.Seed))
         return false;
+    } else if (std::strncmp(Arg, "--validate=", 11) == 0) {
+      const char *V = Arg + 11;
+      if (std::strcmp(V, "off") == 0) {
+        Opts.Validation = ValidationMode::Off;
+      } else if (std::strcmp(V, "warn") == 0) {
+        Opts.Validation = ValidationMode::Warn;
+      } else if (std::strcmp(V, "strict") == 0) {
+        Opts.Validation = ValidationMode::Strict;
+      } else {
+        std::fprintf(stderr,
+                     "error: bad --validate '%s' (expected off, warn, or "
+                     "strict)\n",
+                     V);
+        return false;
+      }
     } else if (std::strncmp(Arg, "--out=", 6) == 0) {
       Opts.OutPath = Arg + 6;
     } else if (std::strcmp(Arg, "--quiet") == 0) {
@@ -333,6 +353,7 @@ double measureDrain(const WorkloadProfile &P, const Options &Opts) {
   for (unsigned T = 0; T != Opts.Warmup + std::max(Opts.Repeats, 1u); ++T) {
     SessionOptions SO;
     SO.BatchSize = Opts.BatchSize;
+    SO.Validation = Opts.Validation;
     Session S(SO);
     RunReport Rep = streamOnce(P, Opts, S);
     if (T >= Opts.Warmup)
@@ -351,6 +372,7 @@ CellResult measureCell(const WorkloadProfile &P, AnalysisKind Kind,
     SO.BatchSize = Opts.BatchSize;
     SO.SampleFootprint = true;
     SO.MaxStoredRaces = 64;
+    SO.Validation = Opts.Validation;
     Session S(SO);
     S.add(Kind);
     RunReport Rep = streamOnce(P, Opts, S);
