@@ -8,9 +8,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "engine/AnalysisDriver.h"
 #include "harness/BenchRunner.h"
 #include "harness/Table.h"
+#include "report/Session.h"
 
 #include <cstdio>
 
@@ -20,10 +20,11 @@ namespace {
 
 double runMode(const WorkloadProfile &P, const BenchConfig &Config,
                bool SinglePass, bool Parallel, uint64_t &Events) {
-  // This bench deliberately drives the raw engine (not the Session
-  // facade): it measures AnalysisDriver's pass structure itself.
+  // Drives the Session facade — the same entry point st-analyze and the
+  // runtime use — so the numbers include the report layer's (near-zero)
+  // overhead and track any future pipeline changes automatically.
   const auto &Kinds = mainTableAnalysisKinds();
-  DriverOptions Opts;
+  SessionOptions Opts;
   Opts.BatchSize = Config.BatchSize;
   Opts.MaxStoredRaces = Config.MaxStoredRaces;
   Opts.Parallel = Parallel;
@@ -32,19 +33,21 @@ double runMode(const WorkloadProfile &P, const BenchConfig &Config,
   if (SinglePass) {
     WorkloadGenerator Gen(P, Config.eventsFor(P), Config.Seed);
     GeneratorEventSource Src(Gen);
-    AnalysisDriver Driver(Opts);
+    Session S(Opts);
     for (AnalysisKind K : Kinds)
-      Driver.add(K);
-    Events = Driver.run(Src);
-    Seconds = Driver.wallSeconds();
+      S.add(K);
+    RunReport Rep = S.run(Src);
+    Events = Rep.Stream.Events;
+    Seconds = Rep.WallSeconds;
   } else {
     for (AnalysisKind K : Kinds) {
       WorkloadGenerator Gen(P, Config.eventsFor(P), Config.Seed);
       GeneratorEventSource Src(Gen);
-      AnalysisDriver Driver(Opts);
-      Driver.add(K);
-      Events = Driver.run(Src);
-      Seconds += Driver.wallSeconds();
+      Session S(Opts);
+      S.add(K);
+      RunReport Rep = S.run(Src);
+      Events = Rep.Stream.Events;
+      Seconds += Rep.WallSeconds;
     }
   }
   return Seconds;

@@ -1,0 +1,50 @@
+//===- analysis/Shardable.h - Hooks for variable-sharded runs ---*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small contract an analysis must expose to run under the sharded
+/// executor (analysis/sharded/ShardedAnalysis.h). Sharded execution keeps
+/// one complete analysis instance per shard, broadcasts every sync event
+/// to all of them, and routes each access event to the shard owning its
+/// variable. That is exact as long as the one piece of thread-global
+/// state an access handler may mutate — the thread's predictive clock —
+/// can be read back by the owning shard and patched into the others.
+/// These hooks expose exactly that clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_SHARDABLE_H
+#define SMARTTRACK_ANALYSIS_SHARDABLE_H
+
+#include "support/Types.h"
+#include "support/VectorClock.h"
+
+namespace st {
+
+/// Predictive-clock access for the sharded executor. Implemented by the
+/// policy cores (FTO-/ST- over WCP/DC/WDC): their access handlers touch
+/// per-variable metadata (shard-local by construction) plus at most the
+/// accessing thread's predictive clock — P_t under split clocks, the
+/// single C_t otherwise. Everything else they mutate is driven by sync
+/// events, which every shard replays identically.
+class ShardableAnalysis {
+public:
+  virtual ~ShardableAnalysis() = default;
+
+  /// The predictive clock of thread \p T — the only thread-global state
+  /// an access event may have changed. Reference stays valid until the
+  /// analysis processes further events.
+  virtual const VectorClock &shardClock(ThreadId T) = 0;
+
+  /// Overwrites thread \p T's predictive clock with \p V; the executor
+  /// calls this on non-owning shards to mirror an owning shard's
+  /// access-event clock change.
+  virtual void shardSetClock(ThreadId T, const VectorClock &V) = 0;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_SHARDABLE_H

@@ -1,0 +1,275 @@
+//===- analysis/sharded/ShardedAnalysis.cpp - Variable-sharded runs -------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/sharded/ShardedAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace st;
+
+namespace {
+
+constexpr uint8_t DeltaPending = 0;
+constexpr uint8_t DeltaUnchanged = 1;
+constexpr uint8_t DeltaChanged = 2;
+
+} // namespace
+
+ShardedAnalysis::ShardedAnalysis(AnalysisKind K, unsigned NumShards) {
+  assert(NumShards >= 1 && "need at least one shard");
+  assert(isShardable(K) && "kind does not support sharded execution");
+  Shards.resize(NumShards);
+  for (Shard &S : Shards) {
+    S.Inner = createAnalysis(K);
+    S.Hooks = S.Inner->shardHooks();
+    assert(S.Hooks && "shardable kind must expose shard hooks");
+    // The wrapper owns the merged accounting/store; inner instances only
+    // feed their buffer sinks.
+    S.Inner->setMaxStoredRaces(0);
+    S.Inner->setRaceSink(&S.Races);
+  }
+  InnerName = Shards[0].Inner->name();
+  MergeCursor.resize(NumShards);
+  Workers.reserve(NumShards - 1);
+  for (unsigned W = 1; W < NumShards; ++W)
+    Workers.emplace_back([this, W] { workerLoop(W); });
+}
+
+ShardedAnalysis::~ShardedAnalysis() {
+  {
+    std::lock_guard<std::mutex> Lk(M);
+    StopWorkers = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void ShardedAnalysis::processBatch(const Event *Events, size_t N) {
+  if (N == 0)
+    return;
+  runShardedBatch(Events, N, eventsProcessed());
+  advanceEventIndex(N);
+}
+
+void ShardedAnalysis::routeOne(const Event &E) {
+  // processEvent() advances the index itself after this handler returns.
+  runShardedBatch(&E, 1, currentEventIndex());
+}
+
+int &ShardedAnalysis::lockDepth(ThreadId T) {
+  if (T >= LockDepth.size())
+    LockDepth.resize(T + 1, 0);
+  return LockDepth[T];
+}
+
+void ShardedAnalysis::partition(const Event *Events, size_t N) {
+  for (Shard &S : Shards)
+    S.Items.clear();
+  LiveDeltas = 0;
+  const unsigned W = static_cast<unsigned>(Shards.size());
+  for (uint32_t I = 0; I != static_cast<uint32_t>(N); ++I) {
+    const Event &E = Events[I];
+    switch (E.Kind) {
+    case EventKind::Read:
+    case EventKind::Write: {
+      unsigned Owner = shardOf(E.Target, W);
+      // Only accesses inside a critical section can move the thread's
+      // predictive clock (rule-(a)/CS joins require a held lock), so
+      // only they need the publish/mirror protocol.
+      if (W > 1 && lockDepth(E.Tid) > 0) {
+        uint32_t Slot = LiveDeltas++;
+        for (unsigned S = 0; S != W; ++S)
+          Shards[S].Items.push_back(
+              {I, S == Owner ? Op::OwnedDelta : Op::ApplyDelta, Slot});
+      } else {
+        Shards[Owner].Items.push_back({I, Op::Owned, 0});
+      }
+      break;
+    }
+    case EventKind::Acquire:
+    case EventKind::Release:
+    case EventKind::Fork:
+    case EventKind::Join:
+    case EventKind::VolRead:
+    case EventKind::VolWrite: {
+      if (E.Kind == EventKind::Acquire) {
+        ++lockDepth(E.Tid);
+      } else if (E.Kind == EventKind::Release) {
+        int &D = lockDepth(E.Tid);
+        if (D > 0) // clamp: ill-formed streams are the lint layer's job
+          --D;
+      }
+      for (Shard &S : Shards)
+        S.Items.push_back({I, Op::Broadcast, 0});
+      break;
+    }
+    }
+  }
+  while (Deltas.size() < LiveDeltas)
+    Deltas.emplace_back();
+  // Plain stores: the previous batch's barrier ordered all readers
+  // before this point, and the publish lock below orders the workers
+  // after it.
+  for (uint32_t J = 0; J != LiveDeltas; ++J)
+    Deltas[J].State.store(DeltaPending, std::memory_order_relaxed);
+}
+
+void ShardedAnalysis::runShard(Shard &S) {
+  const Event *Events = CurEvents;
+  const uint64_t Base = CurBase;
+  for (const WorkItem &It : S.Items) {
+    const Event &E = Events[It.Pos];
+    switch (It.Kind) {
+    case Op::Broadcast:
+    case Op::Owned:
+      S.Inner->processEventAt(E, Base + It.Pos);
+      break;
+    case Op::OwnedDelta: {
+      DeltaSlot &D = Deltas[It.Slot];
+      S.Scratch = S.Hooks->shardClock(E.Tid);
+      S.Inner->processEventAt(E, Base + It.Pos);
+      const VectorClock &After = S.Hooks->shardClock(E.Tid);
+      if (After == S.Scratch) {
+        D.State.store(DeltaUnchanged, std::memory_order_release);
+      } else {
+        D.C = After;
+        D.State.store(DeltaChanged, std::memory_order_release);
+      }
+      break;
+    }
+    case Op::ApplyDelta: {
+      DeltaSlot &D = Deltas[It.Slot];
+      // The owner is at a strictly earlier stream position than every
+      // waiter (it publishes at the position being waited on), so wait
+      // chains cannot cycle; spin briefly, then yield.
+      unsigned Spins = 0;
+      uint8_t St;
+      while ((St = D.State.load(std::memory_order_acquire)) ==
+             DeltaPending) {
+        if (++Spins >= 128) {
+          std::this_thread::yield();
+          Spins = 0;
+        }
+      }
+      if (St == DeltaChanged)
+        S.Hooks->shardSetClock(E.Tid, D.C);
+      break;
+    }
+    }
+  }
+}
+
+void ShardedAnalysis::runShardedBatch(const Event *Events, size_t N,
+                                      uint64_t Base) {
+  partition(Events, N);
+  if (Shards.size() == 1) {
+    CurEvents = Events;
+    CurBase = Base;
+    runShard(Shards[0]);
+  } else {
+    {
+      std::lock_guard<std::mutex> Lk(M);
+      CurEvents = Events;
+      CurBase = Base;
+      Remaining = static_cast<unsigned>(Shards.size()) - 1;
+      ++Generation;
+    }
+    WorkReady.notify_all();
+    runShard(Shards[0]); // the calling thread is shard 0's worker
+    std::unique_lock<std::mutex> Lk(M);
+    BatchDone.wait(Lk, [&] { return Remaining == 0; });
+  }
+  // The batch must be fully consumed before returning: the engine reuses
+  // the buffer, and the merged reports must precede the next batch's.
+  mergeRaces();
+}
+
+void ShardedAnalysis::workerLoop(unsigned WIdx) {
+  Shard &S = Shards[WIdx];
+  uint64_t Seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lk(M);
+      WorkReady.wait(Lk, [&] { return StopWorkers || Generation != Seen; });
+      if (StopWorkers && Generation == Seen)
+        return;
+      Seen = Generation;
+    }
+    runShard(S);
+    {
+      std::lock_guard<std::mutex> Lk(M);
+      if (--Remaining == 0)
+        BatchDone.notify_one();
+    }
+  }
+}
+
+void ShardedAnalysis::mergeRaces() {
+  // Each shard's buffer is already in ascending global order; k-way
+  // merge restores the sequential report order so the wrapper's
+  // accounting (and any attached sink) sees exactly what the sequential
+  // core would have pushed.
+  std::fill(MergeCursor.begin(), MergeCursor.end(), size_t{0});
+  for (;;) {
+    Shard *Min = nullptr;
+    size_t MinIdx = 0;
+    for (size_t I = 0; I != Shards.size(); ++I) {
+      Shard &S = Shards[I];
+      if (MergeCursor[I] == S.Races.Reports.size())
+        continue;
+      const RaceReport &R = S.Races.Reports[MergeCursor[I]];
+      if (!Min ||
+          R.EventIdx < Min->Races.Reports[MergeCursor[MinIdx]].EventIdx) {
+        Min = &S;
+        MinIdx = I;
+      }
+    }
+    if (!Min)
+      break;
+    forwardReport(Min->Races.Reports[MergeCursor[MinIdx]]);
+    ++MergeCursor[MinIdx];
+  }
+  for (Shard &S : Shards)
+    S.Races.Reports.clear();
+}
+
+size_t ShardedAnalysis::metadataFootprintBytes() const {
+  // The honest cost of sharding: every shard's full replicated state,
+  // plus the executor's own plan/delta/buffer structures.
+  size_t Bytes = Deltas.size() * sizeof(DeltaSlot);
+  for (const Shard &S : Shards)
+    Bytes += S.Inner->footprintBytes() +
+             S.Items.capacity() * sizeof(WorkItem) +
+             S.Races.Reports.capacity() * sizeof(RaceReport);
+  return Bytes;
+}
+
+const CaseStats *ShardedAnalysis::caseStats() const {
+  // Each access is handled by exactly one shard and sync handlers never
+  // touch the counters, so the per-shard stats sum to the sequential
+  // core's exactly.
+  CaseStats Sum;
+  for (const Shard &S : Shards) {
+    const CaseStats *C = S.Inner->caseStats();
+    if (!C)
+      return nullptr;
+    Sum.ReadSameEpoch += C->ReadSameEpoch;
+    Sum.SharedSameEpoch += C->SharedSameEpoch;
+    Sum.WriteSameEpoch += C->WriteSameEpoch;
+    Sum.ReadOwned += C->ReadOwned;
+    Sum.ReadSharedOwned += C->ReadSharedOwned;
+    Sum.ReadExclusive += C->ReadExclusive;
+    Sum.ReadShare += C->ReadShare;
+    Sum.ReadShared += C->ReadShared;
+    Sum.WriteOwned += C->WriteOwned;
+    Sum.WriteExclusive += C->WriteExclusive;
+    Sum.WriteShared += C->WriteShared;
+  }
+  Summed = Sum;
+  return &Summed;
+}

@@ -1,0 +1,170 @@
+//===- analysis/sharded/ShardedAnalysis.h - Variable-sharded runs *- C++-*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Intra-analysis parallelism for the policy cores: one logical analysis
+/// whose per-variable work is spread over N shard threads inside a single
+/// pass over the stream. Each shard owns a complete inner analysis
+/// instance (private LockVarStore, clock sets, CS lists); access events
+/// are routed to the shard owning their variable (stable hash of the
+/// VarId), while the rarer sync events (acquire/release/fork/join/
+/// volatile) are broadcast so every shard replays the identical sync
+/// order at identical global event indices.
+///
+/// Exactness: an access handler in the FTO/ST cores mutates per-variable
+/// metadata (only ever touched by the owning shard) plus, when the
+/// accessing thread holds a lock, the thread's predictive clock via
+/// rule-(a)/CS joins. The partitioner tracks lock depth per thread; for
+/// each such critical access the owning shard publishes the post-event
+/// predictive clock through a per-batch delta slot, and every other
+/// shard waits on that slot at the same stream position before moving
+/// on. Waits always point at strictly earlier stream positions, so they
+/// cannot cycle. With sync state replicated and critical-access clock
+/// changes mirrored, each shard's view of thread-global state is
+/// bit-identical to a sequential run, and so are the race checks.
+///
+/// Races flow through per-shard buffer sinks (no hot-path contention),
+/// are k-way merged by global event index at the end of each batch, and
+/// re-enter the wrapper's standard accounting — dynamic/static counts,
+/// stored reports, and attached sinks match the sequential core exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_ANALYSIS_SHARDED_SHARDEDANALYSIS_H
+#define SMARTTRACK_ANALYSIS_SHARDED_SHARDEDANALYSIS_H
+
+#include "analysis/AnalysisRegistry.h"
+#include "analysis/Shardable.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace st {
+
+/// Runs a shardable registry analysis (isShardable()) across N shard
+/// threads. Presents the standard Analysis interface — name, race
+/// accounting, case stats, and footprint all read like the sequential
+/// core — so drivers, sessions, and sinks need no sharding awareness.
+class ShardedAnalysis : public Analysis {
+public:
+  /// Creates \p NumShards inner instances of \p K (which must satisfy
+  /// isShardable()) and NumShards - 1 persistent worker threads; shard 0
+  /// runs on the calling thread. NumShards == 1 degenerates to the
+  /// sequential core plus partition bookkeeping.
+  ShardedAnalysis(AnalysisKind K, unsigned NumShards);
+  ~ShardedAnalysis() override;
+
+  const char *name() const override { return InnerName; }
+  void processBatch(const Event *Events, size_t N) override;
+  size_t metadataFootprintBytes() const override;
+  const CaseStats *caseStats() const override;
+
+  unsigned shardCount() const { return static_cast<unsigned>(Shards.size()); }
+
+  /// Stable VarId → shard map (multiplicative hash); exposed so tests can
+  /// build shard-aware inputs.
+  static unsigned shardOf(VarId V, unsigned NumShards) {
+    return static_cast<unsigned>(V * 2654435761u) % NumShards;
+  }
+
+protected:
+  // Direct processEvent() callers route through the same machinery one
+  // event at a time; the engine's batch path never lands here.
+  void onRead(const Event &E) override { routeOne(E); }
+  void onWrite(const Event &E) override { routeOne(E); }
+  void onAcquire(const Event &E) override { routeOne(E); }
+  void onRelease(const Event &E) override { routeOne(E); }
+  void onFork(const Event &E) override { routeOne(E); }
+  void onJoin(const Event &E) override { routeOne(E); }
+  void onVolRead(const Event &E) override { routeOne(E); }
+  void onVolWrite(const Event &E) override { routeOne(E); }
+
+private:
+  /// What one shard does with one stream position.
+  enum class Op : uint8_t {
+    /// Sync event: every shard processes it (replicated sync state).
+    Broadcast,
+    /// Access owned by this shard, no locks held: process, no clock
+    /// change possible, nothing to publish.
+    Owned,
+    /// Access owned by this shard inside a critical section: process,
+    /// then publish the (possibly changed) predictive clock to Slot.
+    OwnedDelta,
+    /// Access owned elsewhere inside a critical section: wait on Slot
+    /// and mirror the owner's clock change before moving on.
+    ApplyDelta,
+  };
+
+  struct WorkItem {
+    uint32_t Pos;  ///< Index into the current batch.
+    Op Kind;
+    uint32_t Slot; ///< Delta slot for OwnedDelta/ApplyDelta.
+  };
+
+  /// One critical access's published clock delta. State transitions
+  /// 0 (pending) → 1 (clock unchanged) or 2 (changed; C holds the new
+  /// clock), with release/acquire ordering on State.
+  struct DeltaSlot {
+    std::atomic<uint8_t> State{0};
+    VectorClock C;
+  };
+
+  /// Per-shard race buffer: appended by exactly one shard during a
+  /// batch, drained by the merge step after the batch barrier.
+  struct BufferSink : RaceSink {
+    std::vector<RaceReport> Reports;
+    void onRace(const RaceReport &R) override { Reports.push_back(R); }
+  };
+
+  struct Shard {
+    std::unique_ptr<Analysis> Inner;
+    ShardableAnalysis *Hooks = nullptr;
+    std::vector<WorkItem> Items;
+    BufferSink Races;
+    /// Pre-event clock copy for the changed/unchanged comparison.
+    VectorClock Scratch;
+  };
+
+  void routeOne(const Event &E);
+  void runShardedBatch(const Event *Events, size_t N, uint64_t Base);
+  void partition(const Event *Events, size_t N);
+  void runShard(Shard &S);
+  void mergeRaces();
+  void workerLoop(unsigned WIdx);
+  int &lockDepth(ThreadId T);
+
+  std::vector<Shard> Shards;
+  const char *InnerName = "";
+  /// Grow-only slot arena, reset per batch (deque: DeltaSlot is
+  /// immovable and references stay stable across growth).
+  std::deque<DeltaSlot> Deltas;
+  uint32_t LiveDeltas = 0;
+  /// Per-thread lock nesting tracked by the partitioner (mirrors the
+  /// cores' HeldLockSet depth).
+  std::vector<int> LockDepth;
+  std::vector<size_t> MergeCursor;
+  mutable CaseStats Summed;
+
+  // Batch hand-off to the persistent shard workers (condvar generation
+  // scheme, same shape as AnalysisDriver::runParallel).
+  std::mutex M;
+  std::condition_variable WorkReady, BatchDone;
+  const Event *CurEvents = nullptr;
+  uint64_t CurBase = 0;
+  uint64_t Generation = 0;
+  unsigned Remaining = 0;
+  bool StopWorkers = false;
+  std::vector<std::thread> Workers;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_ANALYSIS_SHARDED_SHARDEDANALYSIS_H

@@ -104,6 +104,8 @@ uint64_t AnalysisDriver::runSequential(EventSource &Src) {
     size_t N = fillBatch(Src, Batch.data());
     if (N == 0)
       break;
+    if (Opts.OnBatchPublish)
+      Opts.OnBatchPublish();
     for (Slot &S : Slots) {
       auto T0 = Clock::now();
       S.A->processBatch(Batch.data(), N);
@@ -171,6 +173,11 @@ uint64_t AnalysisDriver::runParallel(EventSource &Src) {
   size_t Cur = 0;
   size_t N = fillBatch(Src, Bufs[Cur].data());
   while (N > 0) {
+    // Quiet point: the workers finished the previous batch (or have not
+    // started), this batch is fully decoded, and the overlap-decode of
+    // the next one has not begun.
+    if (Opts.OnBatchPublish)
+      Opts.OnBatchPublish();
     {
       std::lock_guard<std::mutex> Lk(M);
       Data = Bufs[Cur].data();

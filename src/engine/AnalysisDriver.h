@@ -24,6 +24,7 @@
 #include "engine/EventSource.h"
 #include "graph/EdgeRecorder.h"
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -40,6 +41,13 @@ struct DriverOptions {
   /// Cap stored RaceReports for analyses created through add(); counting
   /// is unaffected.
   size_t MaxStoredRaces = SIZE_MAX;
+  /// Invoked at the engine's per-batch quiet point: the next batch is
+  /// fully decoded and about to be handed to the analyses, and neither
+  /// the decoder nor any worker thread is running. Decoder-owned state
+  /// that grows during decode (the text parser's name tables) is safe to
+  /// read exactly here — st-analyze refreshes its NDJSON symbol
+  /// snapshots through this.
+  std::function<void()> OnBatchPublish;
 };
 
 /// Id-space maxima of the streamed trace, the streaming replacement for

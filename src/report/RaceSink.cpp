@@ -93,14 +93,16 @@ void NdjsonSink::onRace(const RaceReport &R) {
   appendUInt(Line, R.EventIdx);
   Line += R.IsWrite ? ",\"kind\":\"write\"" : ",\"kind\":\"read\"";
   Line += ",\"var\":";
-  appendSymbol(Line, VarNames, R.Var, 'x');
+  appendSymbol(Line, LiveVarNames ? &VarSnapshot : nullptr, R.Var, 'x');
   Line += ",\"thread\":";
-  appendSymbol(Line, ThreadNames, R.Tid, 'T');
+  appendSymbol(Line, LiveThreadNames ? &ThreadSnapshot : nullptr, R.Tid,
+               'T');
   Line += ",\"site\":";
   appendEscaped(Line, raceSiteString(R));
   if (!R.Prior.isNone()) {
     Line += ",\"prior_thread\":";
-    appendSymbol(Line, ThreadNames, R.Prior.tid(), 'T');
+    appendSymbol(Line, LiveThreadNames ? &ThreadSnapshot : nullptr,
+                 R.Prior.tid(), 'T');
     Line += ",\"prior_clock\":";
     appendUInt(Line, R.Prior.clock());
   }

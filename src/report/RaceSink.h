@@ -191,21 +191,44 @@ private:
 };
 
 /// Streams races as newline-delimited JSON (one object per line) to a
-/// ByteSink: O(1) memory no matter how many races flow through. Optional
-/// symbol tables pretty-print thread/variable ids; they may keep growing
-/// while streaming (the text parser interns names mid-parse) — but only
-/// from the thread delivering the reports. If another thread grows the
-/// tables (the parallel engine's decode thread does), do not share them.
+/// ByteSink: O(symbol-table) memory no matter how many races flow
+/// through. The sink never reads the bound symbol tables at emit time —
+/// it keeps its own snapshot, taken at setSymbols() and refreshed on
+/// demand — so the live tables may keep growing on another thread (the
+/// parallel engine's decode thread interns names mid-parse) as long as
+/// refreshSymbols() is only called at quiet points
+/// (DriverOptions::OnBatchPublish).
 class NdjsonSink : public RaceSink {
 public:
   explicit NdjsonSink(ByteSink &Out) : Out(Out) {}
 
-  /// Thread/variable names used for ids that are in range; ids beyond the
-  /// tables print as "T<id>" / "x<id>". Pass null to drop a table.
+  /// Binds thread/variable name tables and snapshots their current
+  /// contents; ids beyond the snapshot print as "T<id>" / "x<id>". Pass
+  /// null to drop a table. Names for already-interned ids never change,
+  /// so the snapshot only ever appends.
   void setSymbols(const std::vector<std::string> *Threads,
                   const std::vector<std::string> *Vars) {
-    ThreadNames = Threads;
-    VarNames = Vars;
+    LiveThreadNames = Threads;
+    LiveVarNames = Vars;
+    ThreadSnapshot.clear();
+    VarSnapshot.clear();
+    refreshSymbols();
+  }
+
+  /// Re-snapshots the bound tables (appending entries interned since the
+  /// last snapshot). Call only when no thread is concurrently growing
+  /// the tables or delivering reports — the engine's per-batch quiet
+  /// point is exactly that.
+  void refreshSymbols() {
+    auto Append = [](const std::vector<std::string> *Live,
+                     std::vector<std::string> &Snap) {
+      if (!Live)
+        return;
+      for (size_t I = Snap.size(); I < Live->size(); ++I)
+        Snap.push_back((*Live)[I]);
+    };
+    Append(LiveThreadNames, ThreadSnapshot);
+    Append(LiveVarNames, VarSnapshot);
   }
 
   /// Caps emitted race lines per reporting analysis (counting sinks are
@@ -219,8 +242,12 @@ public:
 
 private:
   ByteSink &Out;
-  const std::vector<std::string> *ThreadNames = nullptr;
-  const std::vector<std::string> *VarNames = nullptr;
+  /// Live tables (borrowed; may grow on the decode thread) and the
+  /// sink-owned snapshots every emit reads from.
+  const std::vector<std::string> *LiveThreadNames = nullptr;
+  const std::vector<std::string> *LiveVarNames = nullptr;
+  std::vector<std::string> ThreadSnapshot;
+  std::vector<std::string> VarSnapshot;
   size_t MaxPerAnalysis = SIZE_MAX;
   /// Emitted-line counts per analysis name (identity by pointer: names
   /// are stable for the analysis's lifetime). One entry per analysis.

@@ -6,6 +6,7 @@
 
 #include "report/Session.h"
 
+#include "analysis/sharded/ShardedAnalysis.h"
 #include "engine/EventSource.h"
 #include "lint/LintingEventSource.h"
 
@@ -37,6 +38,7 @@ DriverOptions driverOptions(const SessionOptions &Opts) {
   D.Parallel = Opts.Parallel;
   D.SampleFootprint = Opts.SampleFootprint;
   D.MaxStoredRaces = Opts.MaxStoredRaces;
+  D.OnBatchPublish = Opts.OnBatchPublish;
   return D;
 }
 
@@ -45,7 +47,14 @@ DriverOptions driverOptions(const SessionOptions &Opts) {
 Session::Session(SessionOptions Opts)
     : Opts(Opts), Driver(driverOptions(Opts)) {}
 
-Analysis &Session::add(AnalysisKind K) { return Driver.add(K); }
+Analysis &Session::add(AnalysisKind K) {
+  // Shards > 1 swaps the sequential core for the variable-sharded
+  // executor where the kind supports it; results are identical, only
+  // the intra-analysis execution changes.
+  if (Opts.Shards > 1 && isShardable(K))
+    return add(std::make_unique<ShardedAnalysis>(K, Opts.Shards));
+  return Driver.add(K);
+}
 
 Analysis &Session::add(std::unique_ptr<Analysis> A) {
   Analysis &Ref = Driver.add(std::move(A));

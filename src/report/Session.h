@@ -28,6 +28,7 @@
 #include "report/RaceSink.h"
 #include "vindicate/Vindicator.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -69,6 +70,18 @@ struct SessionOptions {
   bool Vindicate = false;
   /// Lint pass over the input stream (see ValidationMode).
   ValidationMode Validation = ValidationMode::Off;
+  /// Variable-sharded execution: when > 1, each shardable analysis
+  /// (isShardable()) added by kind runs its per-variable work across
+  /// this many shard threads inside the single pass, with results —
+  /// race counts, case stats, report order — identical to a sequential
+  /// run (analysis/sharded/ShardedAnalysis.h). Non-shardable kinds are
+  /// unaffected; 1 means plain sequential cores. Orthogonal to
+  /// Parallel, which fans out across analyses.
+  unsigned Shards = 1;
+  /// Engine quiet-point hook, forwarded to DriverOptions::OnBatchPublish:
+  /// runs between batches when neither the decoder nor any engine worker
+  /// is active.
+  std::function<void()> OnBatchPublish;
 };
 
 /// Everything one analysis contributed to a run, copied out so the report

@@ -1,0 +1,97 @@
+//===- tests/analysis/ShardStressTest.cpp - Concurrent shard stress -------===//
+//
+// TSan-facing stress for the sharded executor: many shard threads, each
+// owning a disjoint VarId slice of its private LockVarStore/CS state,
+// replaying a shared sync broadcast and exchanging predictive-clock
+// deltas, on workloads big enough that every batch has real cross-shard
+// traffic. Runs under the plain suite too (parity still asserted), but
+// its reason to exist is the SMARTTRACK_SANITIZE=thread CI job: any
+// unsynchronized access between shard workers, the merge step, or the
+// delta protocol is a TSan report here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/sharded/ShardedAnalysis.h"
+#include "engine/EventSource.h"
+#include "report/Session.h"
+#include "workload/RandomTrace.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace st;
+
+namespace {
+
+RandomTraceConfig stressConfig() {
+  // Racy, lock-nested, and wide enough that all shards own hot vars and
+  // critical accesses (delta slots) occur in every batch.
+  RandomTraceConfig C;
+  C.Seed = 31337;
+  C.Threads = 12;
+  C.Vars = 64;
+  C.Locks = 8;
+  C.Events = 60000;
+  C.MaxNesting = 3;
+  C.PSync = 0.35;
+  C.PWrite = 0.6;
+  return C;
+}
+
+TEST(ShardStressTest, ConcurrentShardOwnershipMatchesSequential) {
+  Trace Tr = generateRandomTrace(stressConfig());
+  for (AnalysisKind K : {AnalysisKind::STWDC, AnalysisKind::FTOWDC}) {
+    auto Seq = createAnalysis(K);
+    Seq->processTrace(Tr);
+    for (unsigned Shards : {4u, 8u}) {
+      ShardedAnalysis Shd(K, Shards);
+      // Small batches maximize hand-off/barrier iterations per run.
+      const Event *Events = Tr.events().data();
+      for (size_t I = 0; I < Tr.size(); I += 512)
+        Shd.processBatch(Events + I, std::min<size_t>(512, Tr.size() - I));
+      EXPECT_EQ(Seq->dynamicRaces(), Shd.dynamicRaces())
+          << analysisKindName(K) << " shards " << Shards;
+      EXPECT_EQ(Seq->staticRaces(), Shd.staticRaces())
+          << analysisKindName(K) << " shards " << Shards;
+      const CaseStats *A = Seq->caseStats();
+      const CaseStats *B = Shd.caseStats();
+      ASSERT_NE(A, nullptr);
+      ASSERT_NE(B, nullptr);
+      EXPECT_EQ(A->nonSameEpochReads(), B->nonSameEpochReads());
+      EXPECT_EQ(A->nonSameEpochWrites(), B->nonSameEpochWrites());
+    }
+  }
+}
+
+TEST(ShardStressTest, ShardsComposeWithParallelAnalysisFanout) {
+  // Both parallel modes at once: thread-per-analysis fan-out (engine
+  // workers) each driving a 4-shard executor — the full thread topology
+  // a parallel --shards CLI run produces, under one TSan roof.
+  const WorkloadProfile *P = findProfile("avrora");
+  ASSERT_NE(P, nullptr);
+
+  auto RunWith = [&](unsigned Shards, bool Parallel) {
+    SessionOptions SO;
+    SO.Shards = Shards;
+    SO.Parallel = Parallel;
+    SO.MaxStoredRaces = 64;
+    Session S(SO);
+    S.add(AnalysisKind::STWDC);
+    S.add(AnalysisKind::FTOWDC);
+    WorkloadGenerator Gen(*P, 50000, 7);
+    GeneratorEventSource Src(Gen);
+    return S.run(Src);
+  };
+
+  RunReport Want = RunWith(1, false);
+  RunReport Got = RunWith(4, true);
+  ASSERT_EQ(Want.Analyses.size(), Got.Analyses.size());
+  for (size_t I = 0; I != Want.Analyses.size(); ++I) {
+    EXPECT_EQ(Want.Analyses[I].DynamicRaces, Got.Analyses[I].DynamicRaces)
+        << Want.Analyses[I].Name;
+    EXPECT_EQ(Want.Analyses[I].StaticRaces, Got.Analyses[I].StaticRaces)
+        << Want.Analyses[I].Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,213 @@
+//===- tests/analysis/ShardedParityTest.cpp - Sharded == sequential -------===//
+//
+// The sharded executor's correctness bar: for every shardable kind, on
+// the same three seeded workloads LadderGoldenTest freezes, a run split
+// across 1, 2, 4, or 8 variable shards must be bit-identical to the
+// sequential core — dynamic and static race counts, the full Table 12
+// case statistics, and the retained race reports in stream order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/sharded/ShardedAnalysis.h"
+#include "report/Session.h"
+#include "workload/RandomTrace.h"
+
+#include <gtest/gtest.h>
+
+using namespace st;
+
+namespace {
+
+/// Same three workload shapes as LadderGoldenTest: lock-heavy, fork/join
+/// + volatiles, wide and write-heavy.
+RandomTraceConfig goldenConfig(unsigned I) {
+  RandomTraceConfig C;
+  switch (I) {
+  case 0:
+    C.Seed = 1009;
+    C.Threads = 4;
+    C.Vars = 6;
+    C.Locks = 3;
+    C.Events = 600;
+    C.MaxNesting = 2;
+    C.PSync = 0.45;
+    break;
+  case 1:
+    C.Seed = 424242;
+    C.Threads = 5;
+    C.Vars = 4;
+    C.Locks = 2;
+    C.Volatiles = 1;
+    C.PVolatile = 0.1;
+    C.Events = 500;
+    C.ForkJoin = true;
+    C.PSync = 0.35;
+    break;
+  default:
+    C.Seed = 77;
+    C.Threads = 8;
+    C.Vars = 10;
+    C.Locks = 4;
+    C.Events = 800;
+    C.MaxNesting = 3;
+    C.PSync = 0.3;
+    C.PWrite = 0.7;
+    break;
+  }
+  return C;
+}
+
+const AnalysisKind ShardableKinds[] = {
+    AnalysisKind::FTOWCP, AnalysisKind::FTODC, AnalysisKind::FTOWDC,
+    AnalysisKind::STWCP,  AnalysisKind::STDC,  AnalysisKind::STWDC,
+};
+
+/// Drives \p A through \p Tr in small batches so shard plans span many
+/// batch boundaries (the executor's per-batch partition/merge path).
+void feedInBatches(Analysis &A, const Trace &Tr, size_t BatchSize) {
+  const Event *Events = Tr.events().data();
+  size_t N = Tr.size();
+  for (size_t I = 0; I < N; I += BatchSize)
+    A.processBatch(Events + I, std::min(BatchSize, N - I));
+}
+
+void expectSameResults(const Analysis &Seq, const Analysis &Shd,
+                       const char *Ctx) {
+  EXPECT_EQ(Seq.dynamicRaces(), Shd.dynamicRaces()) << Ctx;
+  EXPECT_EQ(Seq.staticRaces(), Shd.staticRaces()) << Ctx;
+
+  const CaseStats *A = Seq.caseStats();
+  const CaseStats *B = Shd.caseStats();
+  ASSERT_NE(A, nullptr) << Ctx;
+  ASSERT_NE(B, nullptr) << Ctx;
+  EXPECT_EQ(A->ReadSameEpoch, B->ReadSameEpoch) << Ctx;
+  EXPECT_EQ(A->SharedSameEpoch, B->SharedSameEpoch) << Ctx;
+  EXPECT_EQ(A->WriteSameEpoch, B->WriteSameEpoch) << Ctx;
+  EXPECT_EQ(A->ReadOwned, B->ReadOwned) << Ctx;
+  EXPECT_EQ(A->ReadSharedOwned, B->ReadSharedOwned) << Ctx;
+  EXPECT_EQ(A->ReadExclusive, B->ReadExclusive) << Ctx;
+  EXPECT_EQ(A->ReadShare, B->ReadShare) << Ctx;
+  EXPECT_EQ(A->ReadShared, B->ReadShared) << Ctx;
+  EXPECT_EQ(A->WriteOwned, B->WriteOwned) << Ctx;
+  EXPECT_EQ(A->WriteExclusive, B->WriteExclusive) << Ctx;
+  EXPECT_EQ(A->WriteShared, B->WriteShared) << Ctx;
+
+  const auto &SeqR = Seq.raceRecords();
+  const auto &ShdR = Shd.raceRecords();
+  ASSERT_EQ(SeqR.size(), ShdR.size()) << Ctx;
+  for (size_t I = 0; I != SeqR.size(); ++I) {
+    EXPECT_EQ(SeqR[I].EventIdx, ShdR[I].EventIdx) << Ctx << " report " << I;
+    EXPECT_EQ(SeqR[I].Var, ShdR[I].Var) << Ctx << " report " << I;
+    EXPECT_EQ(SeqR[I].Tid, ShdR[I].Tid) << Ctx << " report " << I;
+    EXPECT_EQ(SeqR[I].IsWrite, ShdR[I].IsWrite) << Ctx << " report " << I;
+    EXPECT_EQ(SeqR[I].Site, ShdR[I].Site) << Ctx << " report " << I;
+  }
+}
+
+TEST(ShardedParityTest, GoldenWorkloadsAllKindsAllShardCounts) {
+  for (unsigned W = 0; W != 3; ++W) {
+    Trace Tr = generateRandomTrace(goldenConfig(W));
+    for (AnalysisKind K : ShardableKinds) {
+      auto Seq = createAnalysis(K);
+      feedInBatches(*Seq, Tr, 128);
+      for (unsigned Shards : {1u, 2u, 4u, 8u}) {
+        ShardedAnalysis Shd(K, Shards);
+        EXPECT_STREQ(Shd.name(), Seq->name());
+        feedInBatches(Shd, Tr, 128);
+        std::string Ctx = std::string(analysisKindName(K)) + " workload " +
+                          std::to_string(W) + " shards " +
+                          std::to_string(Shards);
+        expectSameResults(*Seq, Shd, Ctx.c_str());
+        EXPECT_EQ(Shd.eventsProcessed(), Tr.size()) << Ctx;
+      }
+    }
+  }
+}
+
+TEST(ShardedParityTest, PerEventPathMatchesBatchPath) {
+  // Direct processEvent() callers (runtime-style) must see the same
+  // results as the engine's batch path.
+  Trace Tr = generateRandomTrace(goldenConfig(0));
+  ShardedAnalysis Batched(AnalysisKind::STWDC, 4);
+  feedInBatches(Batched, Tr, 64);
+  ShardedAnalysis OneByOne(AnalysisKind::STWDC, 4);
+  for (const Event &E : Tr.events())
+    OneByOne.processEvent(E);
+  expectSameResults(Batched, OneByOne, "per-event vs batch");
+  EXPECT_EQ(OneByOne.eventsProcessed(), Tr.size());
+}
+
+TEST(ShardedParityTest, SessionShardsOptionMatchesSequentialRun) {
+  Trace Tr = generateRandomTrace(goldenConfig(2));
+
+  auto RunWith = [&](unsigned Shards) {
+    SessionOptions SO;
+    SO.Shards = Shards;
+    SO.BatchSize = 256;
+    Session S(SO);
+    S.add(AnalysisKind::STWDC);
+    S.add(AnalysisKind::FTOWDC);
+    TraceEventSource Src(Tr);
+    return S.run(Src);
+  };
+
+  RunReport Seq = RunWith(1);
+  RunReport Shd = RunWith(4);
+  ASSERT_EQ(Seq.Analyses.size(), Shd.Analyses.size());
+  for (size_t I = 0; I != Seq.Analyses.size(); ++I) {
+    const AnalysisRunResult &A = Seq.Analyses[I];
+    const AnalysisRunResult &B = Shd.Analyses[I];
+    EXPECT_EQ(A.Name, B.Name);
+    EXPECT_EQ(A.DynamicRaces, B.DynamicRaces) << A.Name;
+    EXPECT_EQ(A.StaticRaces, B.StaticRaces) << A.Name;
+    ASSERT_EQ(A.Races.size(), B.Races.size()) << A.Name;
+    for (size_t R = 0; R != A.Races.size(); ++R)
+      EXPECT_EQ(A.Races[R].EventIdx, B.Races[R].EventIdx) << A.Name;
+    EXPECT_TRUE(A.HasCaseStats);
+    EXPECT_TRUE(B.HasCaseStats);
+    EXPECT_EQ(A.Cases.nonSameEpochReads(), B.Cases.nonSameEpochReads());
+    EXPECT_EQ(A.Cases.nonSameEpochWrites(), B.Cases.nonSameEpochWrites());
+  }
+}
+
+TEST(ShardedParityTest, NonShardableKindsStaySequentialUnderShardsOption) {
+  // Session::add must leave non-shardable kinds on the plain core even
+  // when Shards > 1 (st-analyze rejects such combos up front; the API
+  // itself degrades gracefully).
+  ASSERT_FALSE(isShardable(AnalysisKind::UnoptHB));
+  ASSERT_FALSE(isShardable(AnalysisKind::FT2));
+  ASSERT_FALSE(isShardable(AnalysisKind::FTOHB));
+  ASSERT_TRUE(isShardable(AnalysisKind::STWDC));
+
+  Trace Tr = generateRandomTrace(goldenConfig(1));
+  SessionOptions SO;
+  SO.Shards = 4;
+  Session S(SO);
+  S.add(AnalysisKind::UnoptHB);
+  TraceEventSource Src(Tr);
+  RunReport Rep = S.run(Src);
+
+  Session Plain;
+  Plain.add(AnalysisKind::UnoptHB);
+  TraceEventSource Src2(Tr);
+  RunReport Want = Plain.run(Src2);
+  ASSERT_EQ(Rep.Analyses.size(), 1u);
+  EXPECT_EQ(Rep.Analyses[0].DynamicRaces, Want.Analyses[0].DynamicRaces);
+  EXPECT_EQ(Rep.Analyses[0].StaticRaces, Want.Analyses[0].StaticRaces);
+}
+
+TEST(ShardedParityTest, ShardMapIsStableAndComplete) {
+  for (unsigned Shards : {1u, 2u, 4u, 8u}) {
+    std::vector<bool> Hit(Shards, false);
+    for (VarId V = 0; V != 1024; ++V) {
+      unsigned S = ShardedAnalysis::shardOf(V, Shards);
+      ASSERT_LT(S, Shards);
+      EXPECT_EQ(S, ShardedAnalysis::shardOf(V, Shards)); // deterministic
+      Hit[S] = true;
+    }
+    for (unsigned S = 0; S != Shards; ++S)
+      EXPECT_TRUE(Hit[S]) << "shard " << S << " never used of " << Shards;
+  }
+}
+
+} // namespace

@@ -415,4 +415,72 @@ TEST(AnalyzeCli, GenRejectsUnknownKeys) {
       << R.Output;
 }
 
+TEST(AnalyzeCli, NdjsonParallelEmitsSymbolicNames) {
+  // The racy variable is first interned well after the first engine
+  // batch (--batch=2), so symbolic output depends on the quiet-point
+  // snapshot refresh; before that fix, parallel NDJSON silently fell
+  // back to canonical x<id>/T<id> ids.
+  RunResult R = runCommand(
+      "printf 'T1: wr(p)\\nT1: wr(p)\\nT1: wr(q)\\nT1: wr(q)\\n"
+      "T1: wr(zrace)\\nT2: wr(zrace)\\n' | " +
+      cli() +
+      " --analysis=ST-WDC --analysis=FTO-WDC --parallel --batch=2 "
+      "--format=ndjson -");
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  size_t Symbolic = 0;
+  for (size_t Pos = 0;
+       (Pos = R.Output.find("\"var\":\"zrace\"", Pos)) != std::string::npos;
+       ++Pos)
+    ++Symbolic;
+  EXPECT_EQ(Symbolic, 2u) << "both analyses must print the symbolic var:\n"
+                          << R.Output;
+  EXPECT_NE(R.Output.find("\"thread\":\"T2\""), std::string::npos)
+      << R.Output;
+  EXPECT_EQ(R.Output.find("\"var\":\"x2\""), std::string::npos)
+      << "canonical id fallback leaked into parallel ndjson:\n"
+      << R.Output;
+}
+
+TEST(AnalyzeCli, ShardsRunMatchesSequentialCounts) {
+  std::string Input =
+      "printf 'T1: wr(x)\\nT2: wr(x)\\nT1: wr(y)\\nT2: wr(y)\\n' | ";
+  RunResult Seq =
+      runCommand(Input + cli() + " --analysis=ST-WDC --quiet -");
+  RunResult Shd = runCommand(Input + cli() +
+                             " --analysis=ST-WDC --shards=4 --quiet -");
+  EXPECT_EQ(Seq.ExitCode, 2) << Seq.Output;
+  EXPECT_EQ(Shd.ExitCode, 2) << Shd.Output;
+  EXPECT_EQ(Seq.Output, Shd.Output)
+      << "sharded run must report identical summaries";
+  EXPECT_NE(Shd.Output.find("2 dynamic race(s)"), std::string::npos)
+      << Shd.Output;
+}
+
+TEST(AnalyzeCli, ShardsRejectsZero) {
+  RunResult R = runCommand(cli() + " --shards=0 " + trace("racy.trace"));
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("--shards=0"), std::string::npos) << R.Output;
+}
+
+TEST(AnalyzeCli, ShardsRejectsVindicate) {
+  RunResult R = runCommand(cli() + " --shards=2 --vindicate " +
+                           trace("racy.trace"));
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("incompatible with --shards"), std::string::npos)
+      << R.Output;
+}
+
+TEST(AnalyzeCli, ShardsRejectsNonShardableAnalyses) {
+  RunResult R = runCommand(cli() + " --shards=2 --analysis=Unopt-HB " +
+                           trace("racy.trace"));
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("Unopt-HB does not support sharded execution"),
+            std::string::npos)
+      << R.Output;
+  // --all pulls in the non-shardable tiers, so it must be rejected too.
+  RunResult All =
+      runCommand(cli() + " --shards=2 --all " + trace("racy.trace"));
+  EXPECT_EQ(All.ExitCode, 1) << All.Output;
+}
+
 } // namespace

@@ -17,6 +17,18 @@ Compares a current BENCH_results.json against a checked-in baseline
     between two analyses measured in the same run is portable, raw
     nanoseconds are not. Same-machine absolute comparison is available
     with --absolute.
+  * shard scaling regression: shard-scaling cells ("shards" field; the
+    variable-sharded executor at 1/2/4/8 shards) are exempt from the
+    relative-cost check — parallel timings do not form stable ratios
+    against sequential reference cells — but when the CURRENT run was
+    recorded on a machine with hardware_concurrency >= 4 and carries
+    both the 1-shard anchor and a 4-shard cell, the 4-shard speedup
+    (events_per_sec ratio) must reach --min-shard-speedup (default
+    1.2x). On fewer cores the check is skipped: sharding cannot beat
+    the sequential core without parallel hardware, and a baseline
+    recorded on a 1-core container must not hard-code that ceiling.
+    Race-count equality still applies to every shard cell, so CI
+    re-proves sharded/sequential parity on every run.
 
 With --require-main-table the gate additionally fails loudly when the
 CURRENT report is missing any (baseline workload, main-table analysis)
@@ -24,7 +36,7 @@ cell — a bench run that silently skipped part of the Table 4-6 grid must
 not pass just because the baseline happened to lack the cell too.
 
 Usage: bench_compare.py BASELINE CURRENT [--max-regress=F] [--absolute]
-                        [--require-main-table]
+                        [--require-main-table] [--min-shard-speedup=F]
 
 Exit status: 0 when every check passes, 1 on regression, 2 on usage or
 malformed input.
@@ -66,11 +78,53 @@ def load(path):
 
 
 def cells(report):
-    return {(r["workload"], r["analysis"]): r for r in report["results"]}
+    # Plain cells carry no "shards" field (key component 0); shard-scaling
+    # cells key on their shard count so they never collide with the plain
+    # cell of the same (workload, analysis).
+    return {
+        (r["workload"], r["analysis"], r.get("shards", 0)): r
+        for r in report["results"]
+    }
+
+
+def shard_speedup_failures(cur, min_shard_speedup):
+    """4-shard speedup gate over the CURRENT run (self-relative, so the
+    baseline machine's core count is irrelevant)."""
+    hw = cur.get("config", {}).get("hardware_concurrency", 0)
+    if hw < 4:
+        print(f"note: hardware_concurrency={hw} < 4; shard speedup "
+              f"check skipped (no parallel hardware)")
+        return []
+    failures = []
+    anchors = {}
+    for r in cur["results"]:
+        if r.get("shards") == 1:
+            anchors[(r["workload"], r["analysis"])] = r
+    checked = 0
+    for r in cur["results"]:
+        if r.get("shards") != 4:
+            continue
+        anchor = anchors.get((r["workload"], r["analysis"]))
+        if anchor is None or anchor.get("events_per_sec", 0) <= 0:
+            continue
+        speedup = r["events_per_sec"] / anchor["events_per_sec"]
+        checked += 1
+        print(f"shards: {r['workload']}/{r['analysis']} 4-shard speedup "
+              f"{speedup:.2f}x (limit >={min_shard_speedup:.2f}x)")
+        if speedup < min_shard_speedup:
+            failures.append(
+                f"shards: {r['workload']}/{r['analysis']} 4-shard speedup "
+                f"{speedup:.2f}x below {min_shard_speedup:.2f}x"
+            )
+    if not checked:
+        print("note: no (1-shard, 4-shard) cell pair in current run; "
+              "shard speedup check skipped")
+    return failures
 
 
 def main(argv):
     max_regress = 0.35
+    min_shard_speedup = 1.2
     absolute = False
     require_main_table = False
     paths = []
@@ -80,6 +134,11 @@ def main(argv):
                 max_regress = float(arg.split("=", 1)[1])
             except ValueError:
                 usage_error(f"bad --max-regress in {arg!r}")
+        elif arg.startswith("--min-shard-speedup="):
+            try:
+                min_shard_speedup = float(arg.split("=", 1)[1])
+            except ValueError:
+                usage_error(f"bad --min-shard-speedup in {arg!r}")
         elif arg == "--absolute":
             absolute = True
         elif arg == "--require-main-table":
@@ -105,19 +164,20 @@ def main(argv):
     if require_main_table:
         for workload in [w["name"] for w in base.get("workloads", [])]:
             for analysis in MAIN_TABLE_ANALYSES:
-                if (workload, analysis) not in cur_cells:
+                if (workload, analysis, 0) not in cur_cells:
                     failures.append(
                         f"main-table: {workload}/{analysis} missing from "
                         f"current run (cell skipped?)"
                     )
-    print(f"{'workload':<10} {'analysis':<9} {'base':>9} {'cur':>9} "
+    print(f"{'workload':<10} {'analysis':<12} {'base':>9} {'cur':>9} "
           f"{'delta':>8}  ({metric}, limit +{max_regress:.0%})")
     for key in sorted(base_cells):
-        workload, analysis = key
+        workload, analysis, shards = key
+        label = f"{analysis}/{shards}" if shards else analysis
         b = base_cells[key]
         c = cur_cells.get(key)
         if c is None:
-            failures.append(f"coverage: {workload}/{analysis} missing from "
+            failures.append(f"coverage: {workload}/{label} missing from "
                             f"current run")
             continue
         if same_config and (
@@ -125,11 +185,15 @@ def main(argv):
             or b["static_races"] != c["static_races"]
         ):
             failures.append(
-                f"races: {workload}/{analysis} changed "
+                f"races: {workload}/{label} changed "
                 f"{b['static_races']} ({b['dynamic_races']}) -> "
                 f"{c['static_races']} ({c['dynamic_races']}) "
                 f"with identical workload config"
             )
+        if shards:
+            # Shard timings depend on core count and scheduler, so no
+            # cost-ratio gate; shard_speedup_failures() covers perf.
+            continue
         bv, cv = b.get(metric), c.get(metric)
         if bv is None or cv is None or bv <= 0:
             continue  # reference analysis itself, or metric absent
@@ -142,8 +206,10 @@ def main(argv):
                 f"+{max_regress:.0%})"
             )
             flag = "  <-- FAIL"
-        print(f"{workload:<10} {analysis:<9} {bv:>9.3g} {cv:>9.3g} "
+        print(f"{workload:<10} {analysis:<12} {bv:>9.3g} {cv:>9.3g} "
               f"{delta:>+7.1%}{flag}")
+
+    failures += shard_speedup_failures(cur, min_shard_speedup)
 
     if not same_config:
         print("note: workload config differs from baseline; race-count "

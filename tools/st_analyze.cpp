@@ -58,6 +58,7 @@ struct Options {
   bool Quiet = false;
   bool Parallel = false;
   size_t BatchSize = 1 << 14;
+  size_t Shards = 1;
   size_t MaxStoredRaces = SIZE_MAX;
   ValidationMode Validation = ValidationMode::Off;
 };
@@ -91,6 +92,9 @@ void printUsage(FILE *Out, const char *Prog) {
       "engine options:\n"
       "  --batch=N        events per engine batch (default 16384)\n"
       "  --parallel       one worker thread per analysis\n"
+      "  --shards=N       split each analysis's per-variable work across\n"
+      "                   N shard threads (identical results, one hot\n"
+      "                   stream); FTO-*/ST-* predictive analyses only\n"
       "  --validate=MODE  lint pass over the input (st-lint's full rule\n"
       "                   set): off (default; raw hard checks only), warn\n"
       "                   (diagnostics on stderr, analysis proceeds over\n"
@@ -220,6 +224,20 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
       if (Opts.BatchSize == 0)
         Opts.BatchSize = 1;
+    } else if (std::strncmp(Arg, "--shards=", 9) == 0) {
+      if (!parseCount(Arg + 9, "--shards", Opts.Shards))
+        return false;
+      if (Opts.Shards == 0) {
+        std::fprintf(stderr, "error: --shards=0 makes no sense; use "
+                             "--shards=1 for sequential execution\n");
+        return false;
+      }
+      if (Opts.Shards > 64) {
+        std::fprintf(stderr, "error: --shards=%zu is past any plausible "
+                             "core count (max 64)\n",
+                     Opts.Shards);
+        return false;
+      }
     } else if (std::strncmp(Arg, "--validate=", 11) == 0) {
       const char *V = Arg + 11;
       if (std::strcmp(V, "off") == 0) {
@@ -260,6 +278,25 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     std::fprintf(stderr, "error: --vindicate needs stored races; it is "
                          "incompatible with --format=ndjson\n");
     return false;
+  }
+  if (Opts.Shards > 1) {
+    // Reject nonsensical shard combos up front rather than silently
+    // running something other than what was asked for.
+    if (Opts.Vindicate) {
+      std::fprintf(stderr,
+                   "error: --vindicate replays the buffered trace "
+                   "sequentially; it is incompatible with --shards\n");
+      return false;
+    }
+    for (AnalysisKind K : Opts.Kinds)
+      if (!isShardable(K)) {
+        std::fprintf(stderr,
+                     "error: %s does not support sharded execution; "
+                     "--shards applies to the FTO-*/ST-* predictive "
+                     "analyses only\n",
+                     analysisKindName(K));
+        return false;
+      }
   }
   return true;
 }
@@ -765,6 +802,7 @@ int main(int Argc, char **Argv) {
   SessionOptions SessOpts;
   SessOpts.BatchSize = Opts.BatchSize;
   SessOpts.Parallel = Opts.Parallel;
+  SessOpts.Shards = static_cast<unsigned>(Opts.Shards);
   SessOpts.MaxStoredRaces = Opts.MaxStoredRaces;
   SessOpts.Vindicate = Opts.Vindicate;
   SessOpts.Validation = Opts.Validation;
@@ -773,21 +811,25 @@ int main(int Argc, char **Argv) {
   if (Opts.Format == ReportFormat::Ndjson)
     SessOpts.MaxStoredRaces = 0;
 
+  FileByteSink StdoutBytes(stdout);
+  NdjsonSink Ndjson(StdoutBytes);
+  const bool WantNdjson = Opts.Format == ReportFormat::Ndjson && !Opts.Quiet;
+  if (WantNdjson) {
+    // The sink emits from its own symbol snapshot, refreshed at the
+    // engine's per-batch quiet point — in parallel mode the decode
+    // thread keeps interning names into the parser's live tables while
+    // workers report races, so the snapshot is what keeps symbolic
+    // output safe there (and identical to sequential output).
+    Ndjson.setSymbols(Syms.Threads, Syms.Vars);
+    SessOpts.OnBatchPublish = [&Ndjson] { Ndjson.refreshSymbols(); };
+    Ndjson.setMaxRacesPerAnalysis(Opts.MaxStoredRaces);
+  }
+
   Session S(SessOpts);
   for (AnalysisKind Kind : Opts.Kinds)
     S.add(Kind);
-
-  FileByteSink StdoutBytes(stdout);
-  NdjsonSink Ndjson(StdoutBytes);
-  if (Opts.Format == ReportFormat::Ndjson && !Opts.Quiet) {
-    // In parallel mode the decode thread keeps interning names into the
-    // text parser's tables while workers report races, so sharing the
-    // tables would race; parallel runs print canonical T<id>/x<id> ids.
-    if (!Opts.Parallel)
-      Ndjson.setSymbols(Syms.Threads, Syms.Vars);
-    Ndjson.setMaxRacesPerAnalysis(Opts.MaxStoredRaces);
+  if (WantNdjson)
     S.addSink(Ndjson);
-  }
 
   RunReport Rep = S.run(*Input.Events);
   if (!UseStdin)
