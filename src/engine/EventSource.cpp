@@ -129,6 +129,13 @@ const StbHeader *OpenedEventSource::stbHeader() const {
 }
 
 OpenedEventSource st::openEventSource(ByteSource &Bytes, bool Validate) {
+  OpenOptions Opts;
+  Opts.Validate = Validate;
+  return openEventSource(Bytes, Opts);
+}
+
+OpenedEventSource st::openEventSource(ByteSource &Bytes,
+                                      const OpenOptions &Opts) {
   OpenedEventSource Out;
   Out.Bytes = std::make_unique<PeekableByteSource>(Bytes);
   char Magic[sizeof(StbMagic)];
@@ -136,10 +143,12 @@ OpenedEventSource st::openEventSource(ByteSource &Bytes, bool Validate) {
   if (N == sizeof(StbMagic) &&
       std::memcmp(Magic, StbMagic, sizeof(StbMagic)) == 0) {
     Out.Format = TraceFormat::Stb;
-    Out.Events = std::make_unique<StbEventSource>(*Out.Bytes, Validate);
+    Out.Events = std::make_unique<StbEventSource>(*Out.Bytes, Opts.Validate,
+                                                  Opts.BufferBytes);
   } else {
     Out.Format = TraceFormat::Text;
-    Out.Events = std::make_unique<TextEventSource>(*Out.Bytes, Validate);
+    Out.Events = std::make_unique<TextEventSource>(*Out.Bytes, Opts.Validate,
+                                                   Opts.BufferBytes);
   }
   return Out;
 }

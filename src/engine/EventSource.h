@@ -70,8 +70,9 @@ private:
 /// materializing parse-then-validate path).
 class TextEventSource : public EventSource {
 public:
-  explicit TextEventSource(ByteSource &Bytes, bool Validate = true)
-      : Parser(Bytes), Validate(Validate) {}
+  explicit TextEventSource(ByteSource &Bytes, bool Validate = true,
+                           size_t BufferBytes = DefaultIoBufferBytes)
+      : Parser(Bytes, BufferBytes), Validate(Validate) {}
 
   size_t read(Event *Buf, size_t Max) override;
   bool error(std::string *Msg = nullptr) const override;
@@ -90,8 +91,9 @@ private:
 /// well-formedness online.
 class StbEventSource : public EventSource {
 public:
-  explicit StbEventSource(ByteSource &Bytes, bool Validate = true)
-      : Reader(Bytes), Validate(Validate) {}
+  explicit StbEventSource(ByteSource &Bytes, bool Validate = true,
+                          size_t BufferBytes = DefaultIoBufferBytes)
+      : Reader(Bytes, BufferBytes), Validate(Validate) {}
 
   size_t read(Event *Buf, size_t Max) override;
   bool error(std::string *Msg = nullptr) const override;
@@ -153,10 +155,24 @@ struct OpenedEventSource {
   const StbHeader *stbHeader() const;
 };
 
+/// Tuning for openEventSource. BufferBytes sizes the decoder's internal
+/// read-ahead chunk (the text parser's line chunk, the STB ByteReader) —
+/// hoisted out of the decoders so per-connection server budgets can tune
+/// it (SessionOptions::IoBufferBytes) instead of every stream paying a
+/// fixed hard-coded buffer.
+struct OpenOptions {
+  bool Validate = true;
+  size_t BufferBytes = DefaultIoBufferBytes;
+};
+
 /// Sniffs \p Bytes for the STB magic and builds the matching streaming
 /// decoder. Never fails: anything that is not STB decodes as text (and
 /// reports its parse error on first read).
 OpenedEventSource openEventSource(ByteSource &Bytes, bool Validate = true);
+
+/// As above with explicit tuning.
+OpenedEventSource openEventSource(ByteSource &Bytes,
+                                  const OpenOptions &Opts);
 
 } // namespace st
 

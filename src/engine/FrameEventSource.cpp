@@ -1,0 +1,81 @@
+//===- engine/FrameEventSource.cpp - Events from wire frames --------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/FrameEventSource.h"
+
+#include <cstring>
+
+using namespace st;
+
+size_t FramePayloadByteSource::read(char *Buf, size_t Max) {
+  while (Pos == Cur.Payload.size()) {
+    if (Done)
+      return 0;
+    Frame F;
+    int R = Frames.next(F);
+    if (R < 0) {
+      Done = Bad = true;
+      ErrorMsg = "frame error: " + Frames.error();
+      return 0;
+    }
+    if (R == 0) {
+      Done = true;
+      if (!Eos) {
+        // A hangup or transport timeout mid-upload; either way the
+        // trace is incomplete and must not pass as analyzed-in-full.
+        Bad = true;
+        ErrorMsg = "connection ended before EOS";
+      }
+      return 0;
+    }
+    switch (F.Type) {
+    case FrameType::Events:
+      Cur = std::move(F);
+      Pos = 0;
+      break;
+    case FrameType::Eos:
+      Eos = Done = true;
+      return 0;
+    default:
+      Done = Bad = true;
+      ErrorMsg = std::string("unexpected ") + frameTypeName(F.Type) +
+                 " frame in event stream";
+      return 0;
+    }
+  }
+  size_t N = Cur.Payload.size() - Pos;
+  if (N > Max)
+    N = Max;
+  std::memcpy(Buf, Cur.Payload.data() + Pos, N);
+  Pos += N;
+  return N;
+}
+
+bool FramePayloadByteSource::error(std::string *Msg) const {
+  if (Bad && Msg)
+    *Msg = ErrorMsg;
+  return Bad;
+}
+
+size_t FrameEventSource::read(Event *Buf, size_t Max) {
+  if (!Opened) {
+    // Sniffing blocks until the first EVENTS payload (or EOS, for an
+    // empty upload, which opens as zero-event text).
+    Open = openEventSource(Payload, OpenOptions{Validate, BufferBytes});
+    Opened = true;
+  }
+  return Open.Events->read(Buf, Max);
+}
+
+bool FrameEventSource::error(std::string *Msg) const {
+  // The frame layer's verdict wins: a decoder's "truncated input" is a
+  // symptom when the real finding is "connection ended before EOS".
+  if (Payload.error(Msg))
+    return true;
+  if (Opened && Open.Events->error(Msg))
+    return true;
+  return false;
+}

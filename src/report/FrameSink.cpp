@@ -1,0 +1,20 @@
+//===- report/FrameSink.cpp - Races as wire frames ------------------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/FrameSink.h"
+
+using namespace st;
+
+void FrameSink::onRace(const RaceReport &R) {
+  if (WriteFailed)
+    return;
+  Buffer.clear();
+  Json.onRace(R);
+  if (Buffer.empty())
+    return; // per-analysis line cap reached; counting sinks keep counting
+  if (!Frames.write(FrameType::Race, Buffer))
+    WriteFailed = true;
+}

@@ -1,0 +1,59 @@
+//===- report/FrameSink.h - Races as wire frames ----------------*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer's race reporter: a RaceSink that renders each report
+/// with the ordinary NdjsonSink (so wire race lines are byte-identical to
+/// st-analyze --report=ndjson output) and ships every line as one RACE
+/// frame. Constant memory per connection — the staging buffer holds one
+/// line at a time — and the same symbol-snapshot discipline as the NDJSON
+/// sink, so framed symbolic output is safe at engine quiet points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_REPORT_FRAMESINK_H
+#define SMARTTRACK_REPORT_FRAMESINK_H
+
+#include "report/RaceSink.h"
+#include "serve/Frame.h"
+
+#include <string>
+#include <vector>
+
+namespace st {
+
+/// RaceSink framing each NDJSON race line as a RACE frame on a shared
+/// FrameWriter. Write failures latch (ok() goes false, later reports are
+/// dropped) so a hung-up client cannot wedge the analysis loop.
+class FrameSink : public RaceSink {
+public:
+  explicit FrameSink(FrameWriter &Frames)
+      : BufferSink(Buffer), Json(BufferSink), Frames(Frames) {}
+
+  /// See NdjsonSink::setSymbols / refreshSymbols / setMaxRacesPerAnalysis.
+  void setSymbols(const std::vector<std::string> *Threads,
+                  const std::vector<std::string> *Vars) {
+    Json.setSymbols(Threads, Vars);
+  }
+  void refreshSymbols() { Json.refreshSymbols(); }
+  void setMaxRacesPerAnalysis(size_t N) { Json.setMaxRacesPerAnalysis(N); }
+
+  void onRace(const RaceReport &R) override;
+
+  /// False after any frame write failure.
+  bool ok() const { return !WriteFailed && Frames.ok(); }
+
+private:
+  std::string Buffer;
+  StringByteSink BufferSink;
+  NdjsonSink Json;
+  FrameWriter &Frames;
+  bool WriteFailed = false;
+};
+
+} // namespace st
+
+#endif // SMARTTRACK_REPORT_FRAMESINK_H

@@ -25,9 +25,7 @@ std::string st::symbolOrId(const std::vector<std::string> *Names,
   return Prefix + std::to_string(Id);
 }
 
-namespace {
-
-void appendEscaped(std::string &Out, const std::string &S) {
+void st::jsonAppendEscaped(std::string &Out, std::string_view S) {
   Out += '"';
   for (char C : S) {
     switch (C) {
@@ -54,6 +52,12 @@ void appendEscaped(std::string &Out, const std::string &S) {
     }
   }
   Out += '"';
+}
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  jsonAppendEscaped(Out, S);
 }
 
 void appendSymbol(std::string &Out, const std::vector<std::string> *Names,

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace st {
@@ -81,6 +82,12 @@ std::string raceSiteString(const RaceReport &R);
 /// formatter for thread/variable ids.
 std::string symbolOrId(const std::vector<std::string> *Names, uint32_t Id,
                        char Prefix);
+
+/// Appends \p S as a double-quoted JSON string (quotes included),
+/// escaping quotes, backslashes, and control characters — the one JSON
+/// string encoder shared by the NDJSON sink and the serving layer's wire
+/// encoders.
+void jsonAppendEscaped(std::string &Out, std::string_view S);
 
 /// Abstract push-based race consumer. onRace() is called once per counted
 /// dynamic race (reports are already deduplicated per access event by the

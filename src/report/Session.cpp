@@ -112,7 +112,9 @@ RunReport Session::run(EventSource &Src) {
   // driver. The wrapper always cuts delivery just before the first
   // error-severity event (the cores require well-formed streams); Strict
   // additionally marks the run rejected so no analysis result escapes.
-  LintEngine Lint;
+  LintOptions LintOpts;
+  LintOpts.MaxStoredDiagnostics = Opts.MaxStoredDiagnostics;
+  LintEngine Lint(LintOpts);
   std::unique_ptr<LintingEventSource> Linted;
   EventSource *Input = &Src;
   if (Opts.Validation != ValidationMode::Off) {

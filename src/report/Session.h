@@ -70,6 +70,22 @@ struct SessionOptions {
   bool Vindicate = false;
   /// Lint pass over the input stream (see ValidationMode).
   ValidationMode Validation = ValidationMode::Off;
+  /// Cap on lint diagnostics retained by the validation pass (severity
+  /// counters keep counting past it; the overflow lands in
+  /// ValidationReport::Dropped). st-analyze --max-diags and per-client
+  /// server budgets tune this.
+  size_t MaxStoredDiagnostics = 1024;
+  /// Read-ahead chunk size for the decoding stack a consumer assembles
+  /// for this session (openEventSource OpenOptions::BufferBytes). The
+  /// Session itself never opens sources, but the knob lives here so one
+  /// options struct carries the whole per-stream budget — st-serve sizes
+  /// per-connection decode buffers from it.
+  size_t IoBufferBytes = DefaultIoBufferBytes;
+  /// Cap on streamed race lines per analysis for consumers that attach a
+  /// line-oriented sink (NdjsonSink::setMaxRacesPerAnalysis, the serving
+  /// layer's FrameSink). SIZE_MAX means unlimited; counting sinks are
+  /// never affected.
+  size_t MaxRaceLines = SIZE_MAX;
   /// Variable-sharded execution: when > 1, each shardable analysis
   /// (isShardable()) added by kind runs its per-variable work across
   /// this many shard threads inside the single pass, with results —

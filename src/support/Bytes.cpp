@@ -83,7 +83,7 @@ size_t st::encodeVarint(uint64_t V, char *Buf) {
 
 bool ByteReader::refill() {
   Pos = 0;
-  Len = Src.read(Buf, sizeof(Buf));
+  Len = Src.read(Buf.data(), Buf.size());
   return Len > 0;
 }
 
@@ -115,7 +115,7 @@ bool ByteReader::readExact(char *Out, size_t N) {
     size_t Take = Len - Pos;
     if (Take > N)
       Take = N;
-    std::memcpy(Out, Buf + Pos, Take);
+    std::memcpy(Out, Buf.data() + Pos, Take);
     Pos += Take;
     Consumed += Take;
     Out += Take;

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace st {
 
@@ -126,6 +127,12 @@ private:
 /// Maximum encoded size of a 64-bit LEB128 varint.
 inline constexpr size_t MaxVarintBytes = 10;
 
+/// Default chunk size of the buffered byte readers (ByteReader, the text
+/// parser). Consumers with their own memory budgets — st-serve sizes
+/// per-connection decode buffers against the connection budget — override
+/// it through SessionOptions::IoBufferBytes rather than this constant.
+inline constexpr size_t DefaultIoBufferBytes = 4096;
+
 /// Encodes \p V as LEB128 into \p Buf (at least MaxVarintBytes); returns
 /// the encoded length.
 size_t encodeVarint(uint64_t V, char *Buf);
@@ -134,7 +141,12 @@ size_t encodeVarint(uint64_t V, char *Buf);
 /// trace decoders.
 class ByteReader {
 public:
-  explicit ByteReader(ByteSource &Src) : Src(Src) {}
+  /// \p BufBytes is the refill chunk size (clamped to at least one
+  /// varint so readVarint never splits across an empty buffer).
+  explicit ByteReader(ByteSource &Src,
+                      size_t BufBytes = DefaultIoBufferBytes)
+      : Src(Src), Buf(BufBytes < MaxVarintBytes ? MaxVarintBytes
+                                                : BufBytes) {}
 
   /// Reads one byte; returns false at end of stream.
   bool readByte(uint8_t &B);
@@ -156,7 +168,7 @@ private:
   bool refill();
 
   ByteSource &Src;
-  char Buf[4096];
+  std::vector<char> Buf;
   size_t Pos = 0;
   size_t Len = 0;
   uint64_t Consumed = 0;

@@ -61,7 +61,10 @@ private:
 /// Streaming STB decoder: readHeader once, then next() per event.
 class StbReader {
 public:
-  explicit StbReader(ByteSource &Src) : Src(Src), Bytes(Src) {}
+  /// \p BufBytes sizes the internal read-ahead buffer (ByteReader).
+  explicit StbReader(ByteSource &Src,
+                     size_t BufBytes = DefaultIoBufferBytes)
+      : Src(Src), Bytes(Src, BufBytes) {}
 
   /// Validates the magic and decodes the header; on failure returns false
   /// with error() set.

@@ -46,7 +46,7 @@ bool TraceTextParser::readLine() {
     if (ChunkPos == ChunkLen) {
       if (AtEof)
         return !LineBuf.empty();
-      ChunkLen = Src.read(Chunk, sizeof(Chunk));
+      ChunkLen = Src.read(Chunk.data(), Chunk.size());
       ChunkPos = 0;
       if (ChunkLen == 0) {
         AtEof = true;
@@ -57,7 +57,7 @@ bool TraceTextParser::readLine() {
     size_t Start = ChunkPos;
     while (ChunkPos < ChunkLen && Chunk[ChunkPos] != '\n')
       ++ChunkPos;
-    LineBuf.append(Chunk + Start, ChunkPos - Start);
+    LineBuf.append(Chunk.data() + Start, ChunkPos - Start);
     if (ChunkPos < ChunkLen) {
       ++ChunkPos; // consume the newline
       return true;

@@ -69,7 +69,11 @@ private:
 /// tables plus the longest source line, never the trace length.
 class TraceTextParser {
 public:
-  explicit TraceTextParser(ByteSource &Src) : Src(Src) {}
+  /// \p ChunkBytes is the read-ahead chunk size; callers with per-stream
+  /// memory budgets (the serving layer) tune it down from the default.
+  explicit TraceTextParser(ByteSource &Src,
+                           size_t ChunkBytes = DefaultIoBufferBytes)
+      : Src(Src), Chunk(ChunkBytes < 16 ? 16 : ChunkBytes) {}
 
   /// Produces the next event. Returns 1 on success, 0 at the end of the
   /// input, -1 on a parse error (see error()).
@@ -108,7 +112,7 @@ private:
 
   ByteSource &Src;
   std::string LineBuf;
-  char Chunk[4096];
+  std::vector<char> Chunk;
   size_t ChunkPos = 0, ChunkLen = 0;
   bool AtEof = false;
   bool Failed = false;

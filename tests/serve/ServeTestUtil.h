@@ -1,0 +1,185 @@
+//===- tests/serve/ServeTestUtil.h - In-process serve test harness --------===//
+//
+// Shared plumbing for the st-serve test suite: unique socket paths, a raw
+// byte-level client (send arbitrary bytes, half-close, drain every frame
+// the server answers with), and conversation builders that frame a trace
+// upload the way st-analyze --connect does. Everything is deliberately
+// low-level — the tests speak the wire protocol directly so they can also
+// speak it wrongly.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_TESTS_SERVE_SERVETESTUTIL_H
+#define SMARTTRACK_TESTS_SERVE_SERVETESTUTIL_H
+
+#include "serve/Frame.h"
+#include "serve/Socket.h"
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace st {
+namespace serve_test {
+
+/// A per-process, per-tag unix socket path under /tmp (short enough for
+/// sun_path everywhere).
+inline std::string uniqueSocketPath(const char *Tag) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "/tmp/st_%s_%d.sock", Tag,
+                static_cast<int>(::getpid()));
+  return Buf;
+}
+
+/// Connects to a unix socket with send/recv timeouts, so a wedged server
+/// surfaces as a failed assertion instead of a hung test binary.
+inline int connectWithTimeout(const std::string &Path, int TimeoutSec,
+                              std::string *Err) {
+  ServeAddress Addr;
+  Addr.IsUnix = true;
+  Addr.Path = Path;
+  int Fd = connectServeAddress(Addr, Err);
+  if (Fd < 0)
+    return -1;
+  timeval Tv;
+  Tv.tv_sec = TimeoutSec;
+  Tv.tv_usec = 0;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+  return Fd;
+}
+
+/// Sends every byte (completing short writes); returns false once the
+/// peer has hung up — which is fine for hostile-input tests, where the
+/// server may well answer and close before the client finishes talking.
+inline bool sendAll(int Fd, std::string_view Bytes) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N <= 0)
+      return false;
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// One frame, serialized.
+inline std::string frameBytes(FrameType T, std::string_view Payload) {
+  std::string Out;
+  StringByteSink Sink(Out);
+  FrameWriter W(Sink);
+  W.write(T, Payload);
+  return Out;
+}
+
+/// A full client conversation: HELLO, the trace bytes chunked into
+/// EVENTS frames (one frame when \p Chunk is 0), EOS.
+inline std::string buildConversation(const HelloOptions &Hello,
+                                     std::string_view TraceBytes,
+                                     size_t Chunk = 0) {
+  std::string Out = frameBytes(FrameType::Hello, encodeHello(Hello));
+  if (Chunk == 0)
+    Chunk = TraceBytes.empty() ? 1 : TraceBytes.size();
+  for (size_t Off = 0; Off < TraceBytes.size(); Off += Chunk)
+    Out += frameBytes(FrameType::Events, TraceBytes.substr(Off, Chunk));
+  Out += frameBytes(FrameType::Eos, std::string_view());
+  return Out;
+}
+
+/// Everything one raw-byte client saw.
+struct ClientResult {
+  bool ConnectOk = false;
+  /// The server's frame stream decoded to a clean end-of-stream (it is
+  /// never allowed to emit malformed frames, whatever the client sent).
+  bool ParseClean = false;
+  std::vector<Frame> Frames;
+  std::string Error;
+
+  size_t count(FrameType T) const {
+    size_t N = 0;
+    for (const Frame &F : Frames)
+      N += F.Type == T;
+    return N;
+  }
+
+  /// Concatenated payloads of every frame of type \p T, in stream order.
+  std::string payloads(FrameType T) const {
+    std::string Out;
+    for (const Frame &F : Frames)
+      if (F.Type == T)
+        Out += F.Payload;
+    return Out;
+  }
+};
+
+/// Sends \p Bytes verbatim, half-closes the write side, then drains the
+/// server's answer to end of stream. Send failures are tolerated (the
+/// server may close on a protocol error while the client is still
+/// talking; on unix sockets the frames it already sent stay readable).
+inline ClientResult runRawClient(const std::string &Path,
+                                 std::string_view Bytes,
+                                 int TimeoutSec = 60) {
+  ClientResult R;
+  int Fd = connectWithTimeout(Path, TimeoutSec, &R.Error);
+  if (Fd < 0)
+    return R;
+  R.ConnectOk = true;
+  sendAll(Fd, Bytes);
+  ::shutdown(Fd, SHUT_WR);
+  FdByteSource In(Fd);
+  FrameReader Frames(In);
+  Frame F;
+  int Rc;
+  while ((Rc = Frames.next(F)) > 0)
+    R.Frames.push_back(F);
+  if (Rc < 0)
+    R.Error = Frames.error();
+  R.ParseClean = Rc == 0 && !In.error(&R.Error);
+  closeFd(Fd);
+  return R;
+}
+
+/// Like runRawClient, but uploads from a dedicated writer thread while
+/// the caller's side drains frames concurrently. Write-then-read only
+/// works while the upload fits in the kernel socket buffers; beyond
+/// that the server's live RACE frames fill its send buffer, it stops
+/// reading, and both sides deadlock — st-analyze --connect runs a
+/// reader thread for the same reason. Use this for multi-megabyte
+/// conversations.
+inline ClientResult runStreamingClient(const std::string &Path,
+                                       std::string_view Bytes,
+                                       int TimeoutSec = 60) {
+  ClientResult R;
+  int Fd = connectWithTimeout(Path, TimeoutSec, &R.Error);
+  if (Fd < 0)
+    return R;
+  R.ConnectOk = true;
+  std::thread Writer([Fd, Bytes] {
+    sendAll(Fd, Bytes);
+    ::shutdown(Fd, SHUT_WR);
+  });
+  FdByteSource In(Fd);
+  FrameReader Frames(In);
+  Frame F;
+  int Rc;
+  while ((Rc = Frames.next(F)) > 0)
+    R.Frames.push_back(F);
+  if (Rc < 0)
+    R.Error = Frames.error();
+  R.ParseClean = Rc == 0 && !In.error(&R.Error);
+  Writer.join();
+  closeFd(Fd);
+  return R;
+}
+
+} // namespace serve_test
+} // namespace st
+
+#endif // SMARTTRACK_TESTS_SERVE_SERVETESTUTIL_H

@@ -14,11 +14,18 @@
 # smoke; soft lints (exit 3) are expected on synthetic workloads (the
 # random generator leaves empty critical sections by design).
 #
-# Usage: large_trace_smoke.sh path/to/st-analyze [path/to/st-lint]
+# When a third argument (path to st-serve) is given, the same 1M-event
+# trace is also served over a unix socket: st-serve under its own 256MB
+# cap, st-analyze --connect uploading from stdin under the same cap, and
+# the client must exit 2 with the streamed summary — the serving pipeline
+# inherits the O(1)-memory guarantee end to end.
+#
+# Usage: large_trace_smoke.sh path/to/st-analyze [st-lint] [st-serve]
 set -eu
 
-ST=${1:?usage: large_trace_smoke.sh path/to/st-analyze [path/to/st-lint]}
+ST=${1:?usage: large_trace_smoke.sh path/to/st-analyze [st-lint] [st-serve]}
 LINT=${2:-}
+SERVE=${3:-}
 DIR=$(mktemp -d)
 trap 'rm -rf "$DIR"' EXIT
 
@@ -117,5 +124,40 @@ if ! cmp -s "$DIR/big.trace.out" "$DIR/big.stb.out"; then
     exit 1
 fi
 head -3 "$DIR/big.trace.out"
+
+if [ -n "$SERVE" ]; then
+    echo "== served run: 1M events over a unix socket, 256MB cap each side"
+    SOCK="$DIR/serve.sock"
+    (
+        ulimit -v 262144
+        timeout "$TIME_BUDGET" "$SERVE" --listen=unix:"$SOCK" \
+            --max-conns=1 2> "$DIR/serve.log"
+    ) &
+    SERVE_PID=$!
+    i=0
+    while [ ! -S "$SOCK" ] && [ "$i" -lt 200 ]; do sleep 0.05; i=$((i+1)); done
+    rc=0
+    (
+        ulimit -v 262144
+        timeout "$TIME_BUDGET" "$ST" --connect=unix:"$SOCK" --quiet - \
+            < "$DIR/big.trace" > "$DIR/served.out"
+    ) || rc=$?
+    wait "$SERVE_PID" || true
+    cat "$DIR/serve.log"
+    if [ "$rc" -ne 2 ]; then
+        echo "FAIL: served run exited $rc (wanted 2: races, in budget," \
+             "under the 256MB caps)"
+        exit 1
+    fi
+    if ! grep -q '"total_dynamic_races"' "$DIR/served.out"; then
+        echo "FAIL: served run did not relay the stream summary"
+        exit 1
+    fi
+    if ! grep -q '1 accepted, 1 completed, 0 evicted, 0 rejected' \
+        "$DIR/serve.log"; then
+        echo "FAIL: st-serve accounting did not record a clean completion"
+        exit 1
+    fi
+fi
 
 echo "OK: streamed 1M events through the ladder within memory and time budgets"

@@ -28,16 +28,22 @@
 //===----------------------------------------------------------------------===//
 
 #include "report/Session.h"
+#include "serve/Frame.h"
+#include "serve/Socket.h"
 #include "trace/Stb.h"
 #include "trace/TraceText.h"
 #include "workload/RandomTrace.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/socket.h>
 
 using namespace st;
 
@@ -61,6 +67,11 @@ struct Options {
   size_t Shards = 1;
   size_t MaxStoredRaces = SIZE_MAX;
   ValidationMode Validation = ValidationMode::Off;
+  size_t MaxDiags = 1024;
+  /// st-serve address (unix:PATH or HOST:PORT); non-null selects client
+  /// mode: the trace bytes upload as EVENTS frames and the server's
+  /// NDJSON report lines stream to stdout.
+  const char *Connect = nullptr;
 };
 
 void printUsage(FILE *Out, const char *Prog) {
@@ -101,6 +112,17 @@ void printUsage(FILE *Out, const char *Prog) {
       "                   the well-formed prefix), or strict (an error\n"
       "                   rejects the stream — the analyses never see the\n"
       "                   offending event and report nothing)\n"
+      "  --max-diags=N    retain at most N validation diagnostics (default\n"
+      "                   1024; the severity totals keep counting past it)\n"
+      "\n"
+      "serving:\n"
+      "  --connect=ADDR   run the analysis on an st-serve server instead\n"
+      "                   of in-process: upload the input over unix:PATH\n"
+      "                   or HOST:PORT and stream the server's NDJSON\n"
+      "                   report lines (race/diag/summary/stream/error)\n"
+      "                   to stdout; --analysis/--shards/--validate/\n"
+      "                   --max-races/--max-diags/--batch are forwarded\n"
+      "                   in the handshake (docs/serving.md)\n"
       "\n"
       "trace tooling:\n"
       "  --convert=FMT    no analysis: re-encode the input as text or stb\n"
@@ -238,6 +260,11 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
                      Opts.Shards);
         return false;
       }
+    } else if (std::strncmp(Arg, "--max-diags=", 12) == 0) {
+      if (!parseCount(Arg + 12, "--max-diags", Opts.MaxDiags))
+        return false;
+    } else if (std::strncmp(Arg, "--connect=", 10) == 0) {
+      Opts.Connect = Arg + 10;
     } else if (std::strncmp(Arg, "--validate=", 11) == 0) {
       const char *V = Arg + 11;
       if (std::strcmp(V, "off") == 0) {
@@ -274,6 +301,28 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
   }
   if (Opts.Kinds.empty())
     Opts.Kinds.push_back(AnalysisKind::STWDC);
+  if (Opts.Connect) {
+    // Client mode ships the trace to the server; everything that needs
+    // the events in-process cannot combine with it.
+    const char *Clash = nullptr;
+    if (Opts.Vindicate)
+      Clash = "--vindicate";
+    else if (Opts.Convert)
+      Clash = "--convert";
+    else if (Opts.GenSpec)
+      Clash = "--gen";
+    else if (Opts.Parallel)
+      Clash = "--parallel";
+    else if (Opts.Format == ReportFormat::Json)
+      Clash = "--format=json";
+    if (Clash) {
+      std::fprintf(stderr,
+                   "error: %s runs in-process; it is incompatible with "
+                   "--connect\n",
+                   Clash);
+      return false;
+    }
+  }
   if (Opts.Format == ReportFormat::Ndjson && Opts.Vindicate) {
     std::fprintf(stderr, "error: --vindicate needs stored races; it is "
                          "incompatible with --format=ndjson\n");
@@ -763,6 +812,143 @@ void printNdjsonSummaries(const RunReport &Rep, const Options &Opts) {
   std::fwrite(Out.data(), 1, Out.size(), stdout);
 }
 
+//===----------------------------------------------------------------------===//
+// --connect: client mode against an st-serve server
+//===----------------------------------------------------------------------===//
+
+/// Extracts "total_dynamic_races":N from the server's final stream
+/// summary line; returns false when the line carries no such field.
+bool scanTotalRaces(std::string_view Line, uint64_t &Out) {
+  static constexpr std::string_view Key = "\"total_dynamic_races\":";
+  size_t P = Line.find(Key);
+  if (P == std::string_view::npos)
+    return false;
+  P += Key.size();
+  uint64_t V = 0;
+  bool Any = false;
+  while (P < Line.size() && Line[P] >= '0' && Line[P] <= '9') {
+    V = V * 10 + static_cast<uint64_t>(Line[P] - '0');
+    ++P;
+    Any = true;
+  }
+  if (Any)
+    Out = V;
+  return Any;
+}
+
+/// Uploads the input to an st-serve server and relays its report frames.
+/// A dedicated reader thread drains server frames for the whole upload —
+/// with both sides writing, neither may block on a full send buffer
+/// waiting for the other to read, and races stream back live mid-upload.
+/// Exit status matches in-process runs: 0 no races, 2 races, 1 error.
+int runConnect(const Options &Opts) {
+  ServeAddress Addr;
+  std::string Err;
+  if (!parseServeAddress(Opts.Connect, Addr, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  bool UseStdin = !Opts.Path || std::strcmp(Opts.Path, "-") == 0;
+  FILE *In = UseStdin ? stdin : std::fopen(Opts.Path, "rb");
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Opts.Path);
+    return 1;
+  }
+  int Fd = connectServeAddress(Addr, &Err);
+  if (Fd < 0) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    if (!UseStdin)
+      std::fclose(In);
+    return 1;
+  }
+
+  HelloOptions Hello;
+  for (AnalysisKind K : Opts.Kinds)
+    Hello.Analyses.push_back(analysisKindName(K));
+  Hello.Shards = Opts.Shards;
+  Hello.Validation = static_cast<uint64_t>(Opts.Validation);
+  if (Opts.MaxStoredRaces != SIZE_MAX)
+    Hello.MaxRaceLines = Opts.MaxStoredRaces;
+  Hello.BatchSize = Opts.BatchSize;
+  Hello.MaxDiags = Opts.MaxDiags;
+
+  FdByteSink SockOut(Fd);
+  FrameWriter Writer(SockOut);
+  bool UploadOk = Writer.write(FrameType::Hello, encodeHello(Hello));
+
+  std::atomic<bool> SawError{false};
+  std::atomic<uint64_t> TotalRaces{0};
+  std::thread Reader([&] {
+    FdByteSource SockIn(Fd);
+    FrameReader Frames(SockIn);
+    Frame F;
+    int R;
+    while ((R = Frames.next(F)) > 0) {
+      switch (F.Type) {
+      case FrameType::Hello:
+        break; // the accepted configuration; nothing to print
+      case FrameType::Race:
+      case FrameType::Diag:
+        if (!Opts.Quiet)
+          std::fwrite(F.Payload.data(), 1, F.Payload.size(), stdout);
+        break;
+      case FrameType::Summary: {
+        std::fwrite(F.Payload.data(), 1, F.Payload.size(), stdout);
+        uint64_t Total = 0;
+        if (scanTotalRaces(F.Payload, Total))
+          TotalRaces = Total;
+        break;
+      }
+      case FrameType::Error:
+        std::fwrite(F.Payload.data(), 1, F.Payload.size(), stdout);
+        SawError = true;
+        break;
+      default:
+        break; // EVENTS/EOS never flow server -> client; ignore
+      }
+    }
+    if (R < 0) {
+      std::fprintf(stderr, "error: %s\n", Frames.error().c_str());
+      SawError = true;
+    }
+    std::string Msg;
+    if (SockIn.error(&Msg)) {
+      std::fprintf(stderr, "error: %s\n", Msg.c_str());
+      SawError = true;
+    }
+    std::fflush(stdout);
+  });
+
+  // Chunk size stays well under the protocol's frame payload cap.
+  std::vector<char> Chunk(64 * 1024);
+  while (UploadOk) {
+    size_t N = std::fread(Chunk.data(), 1, Chunk.size(), In);
+    if (N == 0)
+      break;
+    UploadOk = Writer.write(FrameType::Events,
+                            std::string_view(Chunk.data(), N));
+  }
+  if (std::ferror(In)) {
+    std::fprintf(stderr, "error: read failed: %s\n", Opts.Path);
+    UploadOk = false;
+  }
+  if (UploadOk)
+    UploadOk = Writer.write(FrameType::Eos, std::string_view());
+  // Half-close so the server sees a definite end of the upload even if
+  // the EOS frame was lost to an earlier send failure.
+  ::shutdown(Fd, SHUT_WR);
+
+  Reader.join();
+  closeFd(Fd);
+  if (!UseStdin)
+    std::fclose(In);
+  // A send failure after the server already reported (eviction,
+  // rejection) is that report's outcome, not a second error.
+  if (SawError || (!UploadOk && !TotalRaces))
+    return 1;
+  return TotalRaces ? 2 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -772,6 +958,9 @@ int main(int Argc, char **Argv) {
 
   if (Opts.GenSpec)
     return generateTrace(Opts);
+
+  if (Opts.Connect)
+    return runConnect(Opts);
 
   bool UseStdin = !Opts.Path || std::strcmp(Opts.Path, "-") == 0;
   FILE *In = UseStdin ? stdin : std::fopen(Opts.Path, "rb");
@@ -783,8 +972,10 @@ int main(int Argc, char **Argv) {
   // When the Session runs its own lint pass the raw source must not also
   // validate, or the inner hard check would latch first and the lint
   // report would collapse to a single decode error.
-  OpenedEventSource Input = openEventSource(
-      Bytes, /*Validate=*/Opts.Validation == ValidationMode::Off);
+  OpenOptions InputOpts;
+  InputOpts.Validate = Opts.Validation == ValidationMode::Off;
+  InputOpts.BufferBytes = SessionOptions().IoBufferBytes;
+  OpenedEventSource Input = openEventSource(Bytes, InputOpts);
 
   if (Opts.Convert) {
     int RC = convertTrace(Opts, Input);
@@ -806,6 +997,8 @@ int main(int Argc, char **Argv) {
   SessOpts.MaxStoredRaces = Opts.MaxStoredRaces;
   SessOpts.Vindicate = Opts.Vindicate;
   SessOpts.Validation = Opts.Validation;
+  SessOpts.MaxStoredDiagnostics = Opts.MaxDiags;
+  SessOpts.MaxRaceLines = Opts.MaxStoredRaces;
   // NDJSON streams races out as they happen; nothing needs to be
   // retained, which is what keeps race memory O(1).
   if (Opts.Format == ReportFormat::Ndjson)
@@ -822,7 +1015,7 @@ int main(int Argc, char **Argv) {
     // output safe there (and identical to sequential output).
     Ndjson.setSymbols(Syms.Threads, Syms.Vars);
     SessOpts.OnBatchPublish = [&Ndjson] { Ndjson.refreshSymbols(); };
-    Ndjson.setMaxRacesPerAnalysis(Opts.MaxStoredRaces);
+    Ndjson.setMaxRacesPerAnalysis(SessOpts.MaxRaceLines);
   }
 
   Session S(SessOpts);
