@@ -1,0 +1,146 @@
+//===- bench/micro_shard.cpp - Shard hot-path microbenchmarks -------------===//
+//
+// Google-benchmark microbenchmarks for the variable-sharded executor's
+// three hot paths, isolated for A/B measurement:
+//
+//   * the predictive-clock delta round-trip (publish on the owning
+//     shard, adopt on every other) at its worst case — every critical
+//     access owned by the "other" shard, per-access protocol;
+//   * coalesced versus per-access delta publication on a lock-heavy
+//     avrora-profile stream — the tentpole claim that one publication
+//     per critical run beats one per critical access;
+//   * spin-then-park versus pure-condvar batch handoff at small batch
+//     sizes, where the per-batch wakeup cost dominates.
+//
+// Items processed = trace events, so ns/event columns line up across
+// the A/B pairs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/sharded/ShardedAnalysis.h"
+#include "workload/Workload.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+
+using namespace st;
+
+namespace {
+
+/// Lock-heavy avrora-profile stream: the shard-scaling column's
+/// workload, so micro numbers explain the suite-level cells.
+const Trace &avroraTrace() {
+  static const Trace Tr = [] {
+    const WorkloadProfile *P = findProfile("avrora");
+    WorkloadGenerator Gen(*P, 1 << 16, /*Seed=*/42);
+    return Gen.materialize(1 << 16);
+  }();
+  return Tr;
+}
+
+/// Adversarial delta ping-pong: one thread, one long critical section,
+/// alternating between two variables that land on different shards of
+/// 2. Under the per-access protocol every access is one publish plus
+/// one adopt — the bench measures the round-trip itself.
+const Trace &pingPongTrace() {
+  static const Trace Tr = [] {
+    // shardOf(0, 2) == 0 and shardOf(1, 2) == 1 (pinned by
+    // ShardedParityTest), so alternating vars 0/1 alternates owners.
+    std::vector<Event> Ev;
+    Ev.emplace_back(EventKind::Acquire, 0, 0);
+    for (unsigned I = 0; I != (1 << 15); ++I)
+      Ev.emplace_back(EventKind::Write, 0, I & 1, /*Site=*/1);
+    Ev.emplace_back(EventKind::Release, 0, 0);
+    return Trace(std::move(Ev));
+  }();
+  return Tr;
+}
+
+/// One timed pass of \p Tr through a fresh executor; construction and
+/// teardown (thread spawn/join) stay outside the timed region.
+void runOnce(benchmark::State &State, const Trace &Tr,
+             const ShardedOptions &O, size_t BatchSize) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto Shd = std::make_unique<ShardedAnalysis>(AnalysisKind::STWDC, O);
+    State.ResumeTiming();
+    const Event *Ev = Tr.events().data();
+    size_t N = Tr.size();
+    for (size_t I = 0; I < N; I += BatchSize)
+      Shd->processBatch(Ev + I, std::min(BatchSize, N - I));
+    benchmark::DoNotOptimize(Shd->dynamicRaces());
+    State.PauseTiming();
+    Shd.reset(); // joins the workers, untimed
+    State.ResumeTiming();
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Tr.size()));
+}
+
+} // namespace
+
+// --- Delta round-trip -----------------------------------------------------
+
+// Worst-case publish/adopt ping-pong, per-access protocol: ns/event is
+// one delta round-trip plus the access itself.
+static void BM_DeltaRoundTripPerAccess(benchmark::State &State) {
+  ShardedOptions O;
+  O.NumShards = 2;
+  O.CoalesceDeltas = false;
+  runOnce(State, pingPongTrace(), O, 4096);
+}
+BENCHMARK(BM_DeltaRoundTripPerAccess)->UseRealTime();
+
+// The same ping-pong under coalescing: owner alternation still closes a
+// run per access, so this bounds coalescing's overhead when it cannot
+// help (runs of length 1).
+static void BM_DeltaRoundTripCoalesced(benchmark::State &State) {
+  ShardedOptions O;
+  O.NumShards = 2;
+  O.CoalesceDeltas = true;
+  runOnce(State, pingPongTrace(), O, 4096);
+}
+BENCHMARK(BM_DeltaRoundTripCoalesced)->UseRealTime();
+
+// --- Coalesced vs per-access publication on a real profile ----------------
+
+static void BM_AvroraPerAccess(benchmark::State &State) {
+  ShardedOptions O;
+  O.NumShards = static_cast<unsigned>(State.range(0));
+  O.CoalesceDeltas = false;
+  runOnce(State, avroraTrace(), O, 4096);
+}
+BENCHMARK(BM_AvroraPerAccess)->Arg(2)->Arg(4)->UseRealTime();
+
+static void BM_AvroraCoalesced(benchmark::State &State) {
+  ShardedOptions O;
+  O.NumShards = static_cast<unsigned>(State.range(0));
+  O.CoalesceDeltas = true;
+  runOnce(State, avroraTrace(), O, 4096);
+}
+BENCHMARK(BM_AvroraCoalesced)->Arg(2)->Arg(4)->UseRealTime();
+
+// --- Handoff: spin-then-park vs pure condvar ------------------------------
+
+// Batch size 256: ~256 handoffs over the stream, so the wakeup scheme
+// is a visible fraction of ns/event. Spin-then-park (default 4096
+// relax iterations) versus every-wakeup-parks.
+static void BM_HandoffSpinThenPark(benchmark::State &State) {
+  ShardedOptions O;
+  O.NumShards = 4;
+  O.SpinIterations = 4096;
+  runOnce(State, avroraTrace(), O, 256);
+}
+BENCHMARK(BM_HandoffSpinThenPark)->UseRealTime();
+
+static void BM_HandoffPureCondvar(benchmark::State &State) {
+  ShardedOptions O;
+  O.NumShards = 4;
+  O.SpinIterations = 0;
+  runOnce(State, avroraTrace(), O, 256);
+}
+BENCHMARK(BM_HandoffPureCondvar)->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -29,6 +29,7 @@
 namespace st {
 
 class ShardableAnalysis;
+struct ShardRunStats;
 
 /// Frequencies of the FTO/SmartTrack access-handling cases, reported by the
 /// epoch-optimized analyses (paper Appendix B, Table 12).
@@ -132,6 +133,11 @@ public:
   /// The sharded-execution hooks when this analysis supports variable
   /// sharding (analysis/Shardable.h); null for every other analysis.
   virtual ShardableAnalysis *shardHooks() { return nullptr; }
+
+  /// Executor counters when this analysis runs variable-sharded
+  /// (analysis/Shardable.h ShardRunStats); null for plain analyses.
+  /// Mirrors caseStats(): call between batches or after the run.
+  virtual const ShardRunStats *shardRunStats() const { return nullptr; }
 
 protected:
   /// Called before dispatching each event; analyses that keep per-event

@@ -24,6 +24,37 @@
 
 namespace st {
 
+/// Cheap counters the sharded executor keeps while running; surfaced
+/// through RunReport (report/Session.h) and the st-serve SUMMARY frame
+/// so a consumer can see what the hot-path optimizations actually did.
+///
+/// Delta-protocol meters: DeltasPublished counts clock publications (one
+/// per coalesced run of critical accesses; under the per-access protocol
+/// one per critical access), DeltasCoalesced the critical accesses that
+/// rode an earlier access's publication instead of paying for their own,
+/// and DeltasAdopted the waits non-owning shards executed (each one a
+/// spin on an atomic slot). Sync meters: SyncReplayed counts sync events
+/// dispatched to shards as individual broadcast work items (the pre-
+/// coalescing plan shape); SyncFastForwarded counts sync events shards
+/// replayed in bulk from the shared per-batch sync schedule instead.
+/// Every sync event still executes on every shard — exactness requires
+/// the replicated sync state — so SyncReplayed + SyncFastForwarded is
+/// conserved across protocols; what the bulk path removes is the N-fold
+/// per-shard work-item construction and dispatch. Handoff meters:
+/// SpinWakeups/ParkWakeups split batch handoffs by whether the waiter
+/// observed new work during its bounded spin or after parking on the
+/// condvar.
+struct ShardRunStats {
+  uint64_t Shards = 0;
+  uint64_t DeltasPublished = 0;
+  uint64_t DeltasCoalesced = 0;
+  uint64_t DeltasAdopted = 0;
+  uint64_t SyncReplayed = 0;
+  uint64_t SyncFastForwarded = 0;
+  uint64_t SpinWakeups = 0;
+  uint64_t ParkWakeups = 0;
+};
+
 /// Predictive-clock access for the sharded executor. Implemented by the
 /// policy cores (FTO-/ST- over WCP/DC/WDC): their access handlers touch
 /// per-variable metadata (shard-local by construction) plus at most the

@@ -9,6 +9,11 @@
 #include <algorithm>
 #include <cassert>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 using namespace st;
 
 namespace {
@@ -17,12 +22,52 @@ constexpr uint8_t DeltaPending = 0;
 constexpr uint8_t DeltaUnchanged = 1;
 constexpr uint8_t DeltaChanged = 2;
 
+/// One polite spin iteration: tells the core (and SMT sibling) this is a
+/// busy-wait, without yielding the timeslice.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+/// Pins the calling thread to the \p Idx-th CPU of the process's affinity
+/// set, round-robin. Best effort and Linux-only: any failure (or another
+/// platform) leaves the thread where the scheduler put it.
+void pinWorkerThread(unsigned Idx) {
+#if defined(__linux__)
+  cpu_set_t Allowed;
+  CPU_ZERO(&Allowed);
+  if (sched_getaffinity(0, sizeof(Allowed), &Allowed) != 0)
+    return;
+  unsigned Count = static_cast<unsigned>(CPU_COUNT(&Allowed));
+  if (Count == 0)
+    return;
+  unsigned Want = Idx % Count;
+  for (int C = 0, Seen = 0; C != CPU_SETSIZE; ++C) {
+    if (!CPU_ISSET(C, &Allowed))
+      continue;
+    if (static_cast<unsigned>(Seen++) != Want)
+      continue;
+    cpu_set_t One;
+    CPU_ZERO(&One);
+    CPU_SET(C, &One);
+    pthread_setaffinity_np(pthread_self(), sizeof(One), &One);
+    return;
+  }
+#else
+  (void)Idx;
+#endif
+}
+
 } // namespace
 
-ShardedAnalysis::ShardedAnalysis(AnalysisKind K, unsigned NumShards) {
-  assert(NumShards >= 1 && "need at least one shard");
+ShardedAnalysis::ShardedAnalysis(AnalysisKind K, ShardedOptions Options)
+    : Opts(Options) {
+  assert(Opts.NumShards >= 1 && "need at least one shard");
   assert(isShardable(K) && "kind does not support sharded execution");
-  Shards.resize(NumShards);
+  Shards.resize(Opts.NumShards);
   for (Shard &S : Shards) {
     S.Inner = createAnalysis(K);
     S.Hooks = S.Inner->shardHooks();
@@ -33,16 +78,18 @@ ShardedAnalysis::ShardedAnalysis(AnalysisKind K, unsigned NumShards) {
     S.Inner->setRaceSink(&S.Races);
   }
   InnerName = Shards[0].Inner->name();
-  MergeCursor.resize(NumShards);
-  Workers.reserve(NumShards - 1);
-  for (unsigned W = 1; W < NumShards; ++W)
+  MergeCursor.resize(Opts.NumShards);
+  Workers.reserve(Opts.NumShards - 1);
+  for (unsigned W = 1; W < Opts.NumShards; ++W)
     Workers.emplace_back([this, W] { workerLoop(W); });
 }
 
 ShardedAnalysis::~ShardedAnalysis() {
+  StopWorkers.store(true, std::memory_order_release);
   {
+    // Empty critical section: a worker between its parked-predicate
+    // check and wait() holds M, so the notify below cannot be missed.
     std::lock_guard<std::mutex> Lk(M);
-    StopWorkers = true;
   }
   WorkReady.notify_all();
   for (std::thread &T : Workers)
@@ -67,11 +114,52 @@ int &ShardedAnalysis::lockDepth(ThreadId T) {
   return LockDepth[T];
 }
 
+ShardedAnalysis::OpenRun &ShardedAnalysis::runFor(ThreadId T) {
+  if (T >= Runs.size())
+    Runs.resize(T + 1);
+  return Runs[T];
+}
+
+VectorClock &ShardedAnalysis::scratch(Shard &S, ThreadId T) {
+  if (T >= S.Scratch.size())
+    S.Scratch.resize(T + 1);
+  return S.Scratch[T];
+}
+
+void ShardedAnalysis::closeRun(OpenRun &R) {
+  // The run's last item takes the publish; everyone else mirrors at the
+  // run's end position. Both are emitted only now, when the run has
+  // closed — so every wait in the system points at a run that ended
+  // strictly before the event that created the wait, and wait chains
+  // strictly decrease in run-end position (no cycles, no deadlock).
+  uint32_t Slot = LiveDeltas++;
+  WorkItem &Last = Shards[R.Owner].Items[R.LastIdx];
+  Last.Kind = R.Len == 1 ? Op::OwnedDelta : Op::RunPublish;
+  Last.Slot = Slot;
+  for (unsigned S = 0; S != static_cast<unsigned>(Shards.size()); ++S)
+    if (S != R.Owner)
+      Shards[S].Items.push_back({R.LastPos, Op::ApplyDelta, Slot});
+  ++DeltasPublished;
+  R.Active = false;
+  --ActiveRuns;
+}
+
+void ShardedAnalysis::closeAllRuns() {
+  for (OpenRun &R : Runs) {
+    if (R.Active)
+      closeRun(R);
+    if (ActiveRuns == 0)
+      break;
+  }
+}
+
 void ShardedAnalysis::partition(const Event *Events, size_t N) {
   for (Shard &S : Shards)
     S.Items.clear();
+  SyncPos.clear();
   LiveDeltas = 0;
   const unsigned W = static_cast<unsigned>(Shards.size());
+  const bool Coalesce = Opts.CoalesceDeltas;
   for (uint32_t I = 0; I != static_cast<uint32_t>(N); ++I) {
     const Event &E = Events[I];
     switch (E.Kind) {
@@ -82,10 +170,43 @@ void ShardedAnalysis::partition(const Event *Events, size_t N) {
       // predictive clock (rule-(a)/CS joins require a held lock), so
       // only they need the publish/mirror protocol.
       if (W > 1 && lockDepth(E.Tid) > 0) {
-        uint32_t Slot = LiveDeltas++;
-        for (unsigned S = 0; S != W; ++S)
-          Shards[S].Items.push_back(
-              {I, S == Owner ? Op::OwnedDelta : Op::ApplyDelta, Slot});
+        if (!Coalesce) {
+          // Per-access protocol: one slot, one publish, W-1 waits.
+          uint32_t Slot = LiveDeltas++;
+          ++DeltasPublished;
+          for (unsigned S = 0; S != W; ++S)
+            Shards[S].Items.push_back(
+                {I, S == Owner ? Op::OwnedDelta : Op::ApplyDelta, Slot});
+          break;
+        }
+        // Coalescing protocol: extend the thread's open run when this
+        // access lands on the same owner; no publish, no waits — the
+        // run's eventual close emits one of each. Other threads' runs
+        // stay open (they never read this thread's predictive clock),
+        // so runs interleave freely between sync events.
+        OpenRun &R = runFor(E.Tid);
+        Shard &O = Shards[Owner];
+        if (R.Active && R.Owner == Owner) {
+          // The first item of a multi-access run snapshots the pre-run
+          // clock for the changed/unchanged publish comparison.
+          if (R.Len == 1)
+            O.Items[R.LastIdx].Kind = Op::RunBegin;
+          R.LastIdx = static_cast<uint32_t>(O.Items.size());
+          R.LastPos = I;
+          ++R.Len;
+          ++DeltasCoalesced;
+          O.Items.push_back({I, Op::Owned, 0});
+        } else {
+          if (R.Active)
+            closeRun(R); // same thread, different owner: new run
+          R.Active = true;
+          R.Owner = Owner;
+          R.LastIdx = static_cast<uint32_t>(O.Items.size());
+          R.LastPos = I;
+          R.Len = 1;
+          ++ActiveRuns;
+          O.Items.push_back({I, Op::Owned, 0});
+        }
       } else {
         Shards[Owner].Items.push_back({I, Op::Owned, 0});
       }
@@ -104,49 +225,89 @@ void ShardedAnalysis::partition(const Event *Events, size_t N) {
         if (D > 0) // clamp: ill-formed streams are the lint layer's job
           --D;
       }
-      for (Shard &S : Shards)
-        S.Items.push_back({I, Op::Broadcast, 0});
+      if (Coalesce) {
+        // Sync handlers read and write every thread's clocks, so every
+        // open run must publish first; the event itself goes on the
+        // shared schedule once instead of into W item vectors.
+        if (ActiveRuns)
+          closeAllRuns();
+        SyncPos.push_back(I);
+      } else {
+        for (Shard &S : Shards)
+          S.Items.push_back({I, Op::Broadcast, 0});
+      }
       break;
     }
     }
   }
+  if (Coalesce && ActiveRuns)
+    closeAllRuns(); // runs never span batch boundaries
   while (Deltas.size() < LiveDeltas)
     Deltas.emplace_back();
   // Plain stores: the previous batch's barrier ordered all readers
-  // before this point, and the publish lock below orders the workers
-  // after it.
+  // before this point, and the generation publish below orders the
+  // workers after it.
   for (uint32_t J = 0; J != LiveDeltas; ++J)
     Deltas[J].State.store(DeltaPending, std::memory_order_relaxed);
+}
+
+void ShardedAnalysis::publishDelta(Shard &S, ThreadId T, uint32_t Slot) {
+  DeltaSlot &D = Deltas[Slot];
+  const VectorClock &After = S.Hooks->shardClock(T);
+  if (After == scratch(S, T)) {
+    D.State.store(DeltaUnchanged, std::memory_order_release);
+  } else {
+    D.C = After;
+    D.State.store(DeltaChanged, std::memory_order_release);
+  }
 }
 
 void ShardedAnalysis::runShard(Shard &S) {
   const Event *Events = CurEvents;
   const uint64_t Base = CurBase;
+  const uint32_t *Sync = SyncPos.data();
+  const size_t NSync = SyncPos.size();
+  size_t SyncCur = 0;
+  // Bulk sync replay off the shared schedule: everything below Bound
+  // runs in one tight loop. The cursor is monotone; an ApplyDelta item
+  // carries its run's end position, which may sit below an already
+  // passed bound — then nothing replays here, which is correct: no sync
+  // event separates a run's end from the event that closed it.
+  auto FastForward = [&](uint32_t Bound) {
+    while (SyncCur != NSync && Sync[SyncCur] < Bound) {
+      S.Inner->processEventAt(Events[Sync[SyncCur]], Base + Sync[SyncCur]);
+      ++SyncCur;
+    }
+  };
   for (const WorkItem &It : S.Items) {
+    FastForward(It.Pos);
     const Event &E = Events[It.Pos];
     switch (It.Kind) {
     case Op::Broadcast:
+      ++S.SyncReplayed;
+      S.Inner->processEventAt(E, Base + It.Pos);
+      break;
     case Op::Owned:
       S.Inner->processEventAt(E, Base + It.Pos);
       break;
-    case Op::OwnedDelta: {
-      DeltaSlot &D = Deltas[It.Slot];
-      S.Scratch = S.Hooks->shardClock(E.Tid);
+    case Op::RunBegin:
+      scratch(S, E.Tid) = S.Hooks->shardClock(E.Tid);
       S.Inner->processEventAt(E, Base + It.Pos);
-      const VectorClock &After = S.Hooks->shardClock(E.Tid);
-      if (After == S.Scratch) {
-        D.State.store(DeltaUnchanged, std::memory_order_release);
-      } else {
-        D.C = After;
-        D.State.store(DeltaChanged, std::memory_order_release);
-      }
       break;
-    }
+    case Op::RunPublish:
+      S.Inner->processEventAt(E, Base + It.Pos);
+      publishDelta(S, E.Tid, It.Slot);
+      break;
+    case Op::OwnedDelta:
+      scratch(S, E.Tid) = S.Hooks->shardClock(E.Tid);
+      S.Inner->processEventAt(E, Base + It.Pos);
+      publishDelta(S, E.Tid, It.Slot);
+      break;
     case Op::ApplyDelta: {
       DeltaSlot &D = Deltas[It.Slot];
-      // The owner is at a strictly earlier stream position than every
-      // waiter (it publishes at the position being waited on), so wait
-      // chains cannot cycle; spin briefly, then yield.
+      // The owner publishes at a strictly earlier run-end position than
+      // any event that created this wait, so wait chains cannot cycle;
+      // spin briefly, then yield.
       unsigned Spins = 0;
       uint8_t St;
       while ((St = D.State.load(std::memory_order_acquire)) ==
@@ -158,10 +319,13 @@ void ShardedAnalysis::runShard(Shard &S) {
       }
       if (St == DeltaChanged)
         S.Hooks->shardSetClock(E.Tid, D.C);
+      ++S.DeltasAdopted;
       break;
     }
     }
   }
+  FastForward(UINT32_MAX);
+  S.SyncFastForwarded += SyncCur;
 }
 
 void ShardedAnalysis::runShardedBatch(const Event *Events, size_t N,
@@ -172,17 +336,34 @@ void ShardedAnalysis::runShardedBatch(const Event *Events, size_t N,
     CurBase = Base;
     runShard(Shards[0]);
   } else {
-    {
-      std::lock_guard<std::mutex> Lk(M);
-      CurEvents = Events;
-      CurBase = Base;
-      Remaining = static_cast<unsigned>(Shards.size()) - 1;
-      ++Generation;
-    }
+    // Publish the batch: plain field writes ordered before the release
+    // bump of Generation, which spinners acquire; the empty critical
+    // section pairs with a worker that checked the generation under M
+    // and is about to park, so the notify cannot be missed.
+    CurEvents = Events;
+    CurBase = Base;
+    Remaining.store(static_cast<unsigned>(Shards.size()) - 1,
+                    std::memory_order_relaxed);
+    Generation.fetch_add(1, std::memory_order_release);
+    { std::lock_guard<std::mutex> Lk(M); }
     WorkReady.notify_all();
     runShard(Shards[0]); // the calling thread is shard 0's worker
-    std::unique_lock<std::mutex> Lk(M);
-    BatchDone.wait(Lk, [&] { return Remaining == 0; });
+    bool BySpin = false;
+    for (unsigned I = 0; I != Opts.SpinIterations; ++I) {
+      if (Remaining.load(std::memory_order_acquire) == 0) {
+        BySpin = true;
+        break;
+      }
+      cpuRelax();
+    }
+    if (BySpin) {
+      ++Shards[0].SpinWakeups;
+    } else {
+      std::unique_lock<std::mutex> Lk(M);
+      BatchDone.wait(
+          Lk, [&] { return Remaining.load(std::memory_order_acquire) == 0; });
+      ++Shards[0].ParkWakeups;
+    }
   }
   // The batch must be fully consumed before returning: the engine reuses
   // the buffer, and the merged reports must precede the next batch's.
@@ -190,21 +371,41 @@ void ShardedAnalysis::runShardedBatch(const Event *Events, size_t N,
 }
 
 void ShardedAnalysis::workerLoop(unsigned WIdx) {
+  if (Opts.PinWorkers)
+    pinWorkerThread(WIdx - 1);
   Shard &S = Shards[WIdx];
   uint64_t Seen = 0;
+  auto Ready = [&] {
+    return StopWorkers.load(std::memory_order_acquire) ||
+           Generation.load(std::memory_order_acquire) != Seen;
+  };
   for (;;) {
-    {
-      std::unique_lock<std::mutex> Lk(M);
-      WorkReady.wait(Lk, [&] { return StopWorkers || Generation != Seen; });
-      if (StopWorkers && Generation == Seen)
-        return;
-      Seen = Generation;
+    // Spin-then-park: a bounded spin catches the common back-to-back
+    // batch handoff without a syscall; only a genuinely idle worker
+    // pays the condvar round trip.
+    bool BySpin = false;
+    for (unsigned I = 0; I != Opts.SpinIterations; ++I) {
+      if (Ready()) {
+        BySpin = true;
+        break;
+      }
+      cpuRelax();
     }
+    if (!BySpin) {
+      std::unique_lock<std::mutex> Lk(M);
+      WorkReady.wait(Lk, Ready);
+    }
+    if (Generation.load(std::memory_order_acquire) == Seen)
+      return; // stop requested, no batch pending
+    if (BySpin)
+      ++S.SpinWakeups;
+    else
+      ++S.ParkWakeups;
+    Seen = Generation.load(std::memory_order_acquire);
     runShard(S);
-    {
+    if (Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> Lk(M);
-      if (--Remaining == 0)
-        BatchDone.notify_one();
+      BatchDone.notify_one();
     }
   }
 }
@@ -241,10 +442,13 @@ void ShardedAnalysis::mergeRaces() {
 size_t ShardedAnalysis::metadataFootprintBytes() const {
   // The honest cost of sharding: every shard's full replicated state,
   // plus the executor's own plan/delta/buffer structures.
-  size_t Bytes = Deltas.size() * sizeof(DeltaSlot);
+  size_t Bytes = Deltas.size() * sizeof(DeltaSlot) +
+                 SyncPos.capacity() * sizeof(uint32_t) +
+                 Runs.capacity() * sizeof(OpenRun);
   for (const Shard &S : Shards)
     Bytes += S.Inner->footprintBytes() +
              S.Items.capacity() * sizeof(WorkItem) +
+             S.Scratch.capacity() * sizeof(VectorClock) +
              S.Races.Reports.capacity() * sizeof(RaceReport);
   return Bytes;
 }
@@ -272,4 +476,22 @@ const CaseStats *ShardedAnalysis::caseStats() const {
   }
   Summed = Sum;
   return &Summed;
+}
+
+const ShardRunStats *ShardedAnalysis::shardRunStats() const {
+  // Safe between batches / after the run: the batch barrier ordered
+  // every shard's counter writes before the caller got its batch back.
+  ShardRunStats R;
+  R.Shards = Shards.size();
+  R.DeltasPublished = DeltasPublished;
+  R.DeltasCoalesced = DeltasCoalesced;
+  for (const Shard &S : Shards) {
+    R.DeltasAdopted += S.DeltasAdopted;
+    R.SyncReplayed += S.SyncReplayed;
+    R.SyncFastForwarded += S.SyncFastForwarded;
+    R.SpinWakeups += S.SpinWakeups;
+    R.ParkWakeups += S.ParkWakeups;
+  }
+  SummedShard = R;
+  return &SummedShard;
 }

@@ -11,20 +11,39 @@
 /// instance (private LockVarStore, clock sets, CS lists); access events
 /// are routed to the shard owning their variable (stable hash of the
 /// VarId), while the rarer sync events (acquire/release/fork/join/
-/// volatile) are broadcast so every shard replays the identical sync
-/// order at identical global event indices.
+/// volatile) are replayed by every shard so all replicated sync state
+/// advances in the identical order at identical global event indices.
 ///
 /// Exactness: an access handler in the FTO/ST cores mutates per-variable
 /// metadata (only ever touched by the owning shard) plus, when the
 /// accessing thread holds a lock, the thread's predictive clock via
-/// rule-(a)/CS joins. The partitioner tracks lock depth per thread; for
-/// each such critical access the owning shard publishes the post-event
-/// predictive clock through a per-batch delta slot, and every other
-/// shard waits on that slot at the same stream position before moving
-/// on. Waits always point at strictly earlier stream positions, so they
+/// rule-(a)/CS joins. The partitioner tracks lock depth per thread and
+/// coalesces maximal runs of consecutive critical accesses by the same
+/// thread that land on the same owning shard — a run is broken only by a
+/// sync event (which closes every open run), by a same-thread critical
+/// access owned elsewhere, or by the batch boundary. The owning shard
+/// publishes the post-run predictive clock through one per-batch delta
+/// slot at the run's last position; every other shard waits on that slot
+/// once per run before it next reads that thread's clock. Intervening
+/// accesses by other threads never read the running thread's predictive
+/// clock, so they neither break runs nor wait on them. Waits still point
+/// at strictly earlier run-end positions (a wait is created only when
+/// its run has already closed), so wait chains strictly decrease and
 /// cannot cycle. With sync state replicated and critical-access clock
-/// changes mirrored, each shard's view of thread-global state is
-/// bit-identical to a sequential run, and so are the race checks.
+/// changes mirrored at run granularity, each shard's view of
+/// thread-global state is bit-identical to a sequential run at every
+/// point where it reads that state, and so are the race checks.
+///
+/// Sync replay thinning: the partitioner no longer fans each sync event
+/// out as N broadcast work items. It records the batch's sync positions
+/// once in a shared schedule; each shard fast-forwards through the
+/// schedule in bulk between its access items (and a shard owning zero
+/// accesses in a batch replays the whole schedule in one tight loop,
+/// touching no work-item machinery at all). Every sync event still
+/// executes on every shard — acquire/release/fork/join/volatile mutate
+/// replicated thread, lock, and rule-(b) state that later events read —
+/// but per-shard plan construction drops from O(shards x sync events)
+/// to O(sync events), and shard item vectors carry only access work.
 ///
 /// Races flow through per-shard buffer sinks (no hot-path contention),
 /// are k-way merged by global event index at the end of each batch, and
@@ -49,30 +68,66 @@
 
 namespace st {
 
+/// Execution knobs for one ShardedAnalysis. Every setting changes only
+/// how the work is scheduled; results are bit-identical across all of
+/// them (ShardedParityTest pins this).
+struct ShardedOptions {
+  /// Inner analysis instances / shard threads (shard 0 rides the calling
+  /// thread; NumShards - 1 persistent workers are spawned).
+  unsigned NumShards = 1;
+  /// Coalesce same-thread critical-access runs into one delta
+  /// publication and replay sync events from the shared per-batch
+  /// schedule (the default protocol). Off selects the per-access
+  /// protocol — one publish and N-1 waits per critical access, sync
+  /// events dispatched as per-shard broadcast work items — kept for A/B
+  /// measurement (bench/micro_shard.cpp) and as the counters' baseline.
+  bool CoalesceDeltas = true;
+  /// Pin each shard worker thread to one CPU of the process's affinity
+  /// set, round-robin (Linux; silently a no-op elsewhere). Shard 0 runs
+  /// on the calling thread, which is never re-pinned.
+  bool PinWorkers = false;
+  /// Bounded spin (cpu-relax iterations) a waiter burns watching for the
+  /// next batch / batch completion before parking on the condvar. 0 is
+  /// the pure condvar scheme (every wakeup parks).
+  unsigned SpinIterations = 4096;
+};
+
 /// Runs a shardable registry analysis (isShardable()) across N shard
 /// threads. Presents the standard Analysis interface — name, race
 /// accounting, case stats, and footprint all read like the sequential
 /// core — so drivers, sessions, and sinks need no sharding awareness.
 class ShardedAnalysis : public Analysis {
 public:
-  /// Creates \p NumShards inner instances of \p K (which must satisfy
+  /// Creates Opts.NumShards inner instances of \p K (which must satisfy
   /// isShardable()) and NumShards - 1 persistent worker threads; shard 0
   /// runs on the calling thread. NumShards == 1 degenerates to the
   /// sequential core plus partition bookkeeping.
-  ShardedAnalysis(AnalysisKind K, unsigned NumShards);
+  ShardedAnalysis(AnalysisKind K, ShardedOptions Opts);
+  /// Convenience: \p NumShards shards with default options.
+  ShardedAnalysis(AnalysisKind K, unsigned NumShards)
+      : ShardedAnalysis(K, ShardedOptions{NumShards, true, false, 4096}) {}
   ~ShardedAnalysis() override;
 
   const char *name() const override { return InnerName; }
   void processBatch(const Event *Events, size_t N) override;
   size_t metadataFootprintBytes() const override;
   const CaseStats *caseStats() const override;
+  const ShardRunStats *shardRunStats() const override;
 
   unsigned shardCount() const { return static_cast<unsigned>(Shards.size()); }
 
-  /// Stable VarId → shard map (multiplicative hash); exposed so tests can
-  /// build shard-aware inputs.
+  /// Stable VarId → shard map; exposed so tests can build shard-aware
+  /// inputs. Fixed-point range map over the multiplicative hash: the
+  /// product's high bits spread uniformly, so shard load stays balanced
+  /// at any N — unlike the pre-PR-9 `hash % N`, which keyed
+  /// non-power-of-two N off the low bits and skewed. The map is an
+  /// internal placement detail (results are exact for any consistent
+  /// map); changing it moves which shard owns a variable, nothing a
+  /// consumer can observe, so no cross-version compatibility is kept.
   static unsigned shardOf(VarId V, unsigned NumShards) {
-    return static_cast<unsigned>(V * 2654435761u) % NumShards;
+    uint32_t H = static_cast<uint32_t>(V) * 2654435761u;
+    return static_cast<unsigned>(
+        (static_cast<uint64_t>(H) * NumShards) >> 32);
   }
 
 protected:
@@ -90,28 +145,37 @@ protected:
 private:
   /// What one shard does with one stream position.
   enum class Op : uint8_t {
-    /// Sync event: every shard processes it (replicated sync state).
+    /// Sync event as a per-shard work item (per-access protocol only;
+    /// the coalescing protocol replays sync from the shared schedule).
     Broadcast,
-    /// Access owned by this shard, no locks held: process, no clock
-    /// change possible, nothing to publish.
+    /// Access owned by this shard with nothing to publish: outside any
+    /// critical section, or a non-final member of a coalesced run.
     Owned,
-    /// Access owned by this shard inside a critical section: process,
-    /// then publish the (possibly changed) predictive clock to Slot.
+    /// First access of a coalesced run of length >= 2: snapshot the
+    /// thread's pre-run predictive clock, then process.
+    RunBegin,
+    /// Last access of a coalesced run of length >= 2: process, then
+    /// publish the post-run clock to Slot (compared against the RunBegin
+    /// snapshot for the changed/unchanged fast path).
+    RunPublish,
+    /// Single-access run (and every critical access under the per-access
+    /// protocol): snapshot, process, publish to Slot.
     OwnedDelta,
-    /// Access owned elsewhere inside a critical section: wait on Slot
-    /// and mirror the owner's clock change before moving on.
+    /// A run owned elsewhere ended at this position: wait on Slot and
+    /// mirror the owner's clock change before this shard next reads that
+    /// thread's clock.
     ApplyDelta,
   };
 
   struct WorkItem {
     uint32_t Pos;  ///< Index into the current batch.
     Op Kind;
-    uint32_t Slot; ///< Delta slot for OwnedDelta/ApplyDelta.
+    uint32_t Slot; ///< Delta slot for RunPublish/OwnedDelta/ApplyDelta.
   };
 
-  /// One critical access's published clock delta. State transitions
-  /// 0 (pending) → 1 (clock unchanged) or 2 (changed; C holds the new
-  /// clock), with release/acquire ordering on State.
+  /// One published clock delta. State transitions 0 (pending) → 1 (clock
+  /// unchanged) or 2 (changed; C holds the new clock), with
+  /// release/acquire ordering on State.
   struct DeltaSlot {
     std::atomic<uint8_t> State{0};
     VectorClock C;
@@ -129,39 +193,77 @@ private:
     ShardableAnalysis *Hooks = nullptr;
     std::vector<WorkItem> Items;
     BufferSink Races;
-    /// Pre-event clock copy for the changed/unchanged comparison.
-    VectorClock Scratch;
+    /// Pre-run clock snapshots for the changed/unchanged comparison,
+    /// indexed by thread (several threads' runs can be open at once).
+    std::vector<VectorClock> Scratch;
+    // Executor counters (ShardRunStats), each written only by this
+    // shard's thread during a batch and summed after the barrier.
+    uint64_t DeltasAdopted = 0;
+    uint64_t SyncReplayed = 0;
+    uint64_t SyncFastForwarded = 0;
+    uint64_t SpinWakeups = 0;
+    uint64_t ParkWakeups = 0;
+  };
+
+  /// A thread's in-flight coalesced run during partition().
+  struct OpenRun {
+    bool Active = false;
+    unsigned Owner = 0;
+    uint32_t LastIdx = 0; ///< Owner-items index of the run's last item.
+    uint32_t LastPos = 0;
+    uint32_t Len = 0;
   };
 
   void routeOne(const Event &E);
   void runShardedBatch(const Event *Events, size_t N, uint64_t Base);
   void partition(const Event *Events, size_t N);
+  OpenRun &runFor(ThreadId T);
+  void closeRun(OpenRun &R);
+  void closeAllRuns();
   void runShard(Shard &S);
+  void publishDelta(Shard &S, ThreadId T, uint32_t Slot);
   void mergeRaces();
   void workerLoop(unsigned WIdx);
   int &lockDepth(ThreadId T);
+  VectorClock &scratch(Shard &S, ThreadId T);
 
+  ShardedOptions Opts;
   std::vector<Shard> Shards;
   const char *InnerName = "";
   /// Grow-only slot arena, reset per batch (deque: DeltaSlot is
   /// immovable and references stay stable across growth).
   std::deque<DeltaSlot> Deltas;
   uint32_t LiveDeltas = 0;
+  /// Stream positions of the current batch's sync events — the shared
+  /// replay schedule every shard fast-forwards through (coalescing
+  /// protocol; the per-access protocol broadcasts items instead).
+  std::vector<uint32_t> SyncPos;
   /// Per-thread lock nesting tracked by the partitioner (mirrors the
   /// cores' HeldLockSet depth).
   std::vector<int> LockDepth;
+  /// Per-thread open runs (coalescing protocol) and how many are live
+  /// (so sync events skip the close sweep when nothing is open).
+  std::vector<OpenRun> Runs;
+  unsigned ActiveRuns = 0;
   std::vector<size_t> MergeCursor;
   mutable CaseStats Summed;
+  mutable ShardRunStats SummedShard;
+  // Partitioner-side counters (single-threaded).
+  uint64_t DeltasPublished = 0;
+  uint64_t DeltasCoalesced = 0;
 
-  // Batch hand-off to the persistent shard workers (condvar generation
-  // scheme, same shape as AnalysisDriver::runParallel).
+  // Batch hand-off to the persistent shard workers: spin-then-park.
+  // CurEvents/CurBase are plain — written before the Generation release
+  // store, read after an acquire load of it; the completion barrier
+  // (Remaining acq_rel) orders the next batch's writes after every
+  // worker's reads.
   std::mutex M;
   std::condition_variable WorkReady, BatchDone;
   const Event *CurEvents = nullptr;
   uint64_t CurBase = 0;
-  uint64_t Generation = 0;
-  unsigned Remaining = 0;
-  bool StopWorkers = false;
+  std::atomic<uint64_t> Generation{0};
+  std::atomic<unsigned> Remaining{0};
+  std::atomic<bool> StopWorkers{false};
   std::vector<std::thread> Workers;
 };
 

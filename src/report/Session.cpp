@@ -51,8 +51,12 @@ Analysis &Session::add(AnalysisKind K) {
   // Shards > 1 swaps the sequential core for the variable-sharded
   // executor where the kind supports it; results are identical, only
   // the intra-analysis execution changes.
-  if (Opts.Shards > 1 && isShardable(K))
-    return add(std::make_unique<ShardedAnalysis>(K, Opts.Shards));
+  if (Opts.Shards > 1 && isShardable(K)) {
+    ShardedOptions SO;
+    SO.NumShards = Opts.Shards;
+    SO.PinWorkers = Opts.PinShards;
+    return add(std::make_unique<ShardedAnalysis>(K, SO));
+  }
   return Driver.add(K);
 }
 
@@ -166,6 +170,10 @@ RunReport Session::run(EventSource &Src) {
     if (const CaseStats *Cs = A.caseStats()) {
       R.HasCaseStats = true;
       R.Cases = *Cs;
+    }
+    if (const ShardRunStats *Ss = A.shardRunStats()) {
+      R.HasShardStats = true;
+      R.ShardStats = *Ss;
     }
     R.Races = A.raceRecords();
     if (Opts.Vindicate) {

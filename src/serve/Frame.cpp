@@ -100,6 +100,7 @@ enum HelloTag : uint64_t {
   TagMaxRaceLines = 4,
   TagBatchSize = 5,
   TagMaxDiags = 6,
+  TagPinShards = 7, // value: varint 0/1
 };
 
 void appendVarint(std::string &Out, uint64_t V) {
@@ -136,6 +137,8 @@ std::string st::encodeHello(const HelloOptions &O) {
     appendVarintOption(Out, TagBatchSize, O.BatchSize);
   if (O.MaxDiags != Defaults.MaxDiags)
     appendVarintOption(Out, TagMaxDiags, O.MaxDiags);
+  if (O.PinShards != Defaults.PinShards)
+    appendVarintOption(Out, TagPinShards, O.PinShards);
   return Out;
 }
 
@@ -187,6 +190,9 @@ bool st::decodeHello(std::string_view Payload, HelloOptions &O,
       break;
     case TagMaxDiags:
       Ok = VarintValue(O.MaxDiags);
+      break;
+    case TagPinShards:
+      Ok = VarintValue(O.PinShards);
       break;
     default:
       // Unknown tag: skip. Same-version extensions add tags without
@@ -246,6 +252,26 @@ void jsonCaseStats(std::string &Out, const CaseStats &S) {
   Out += '}';
 }
 
+// Field order matches st-analyze's --report=json shard_stats object.
+void jsonShardStats(std::string &Out, const ShardRunStats &S) {
+  auto Field = [&](const char *K, uint64_t V, bool Comma = true) {
+    jsonKey(Out, K);
+    jsonUInt(Out, V);
+    if (Comma)
+      Out += ',';
+  };
+  Out += '{';
+  Field("shards", S.Shards);
+  Field("deltas_published", S.DeltasPublished);
+  Field("deltas_coalesced", S.DeltasCoalesced);
+  Field("deltas_adopted", S.DeltasAdopted);
+  Field("sync_replayed", S.SyncReplayed);
+  Field("sync_fast_forwarded", S.SyncFastForwarded);
+  Field("spin_wakeups", S.SpinWakeups);
+  Field("park_wakeups", S.ParkWakeups, false);
+  Out += '}';
+}
+
 } // namespace
 
 std::string st::encodeDiagLine(const LintDiagnostic &D) {
@@ -298,6 +324,11 @@ std::string st::encodeSummaryLine(const AnalysisRunResult &A,
     Out += ',';
     jsonKey(Out, "case_stats");
     jsonCaseStats(Out, A.Cases);
+  }
+  if (A.HasShardStats) {
+    Out += ',';
+    jsonKey(Out, "shard_stats");
+    jsonShardStats(Out, A.ShardStats);
   }
   Out += "}\n";
   return Out;

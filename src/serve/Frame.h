@@ -153,6 +153,9 @@ struct HelloOptions {
   /// Cap on streamed DIAG frames (SessionOptions::MaxStoredDiagnostics;
   /// 0 = server default).
   uint64_t MaxDiags = 0;
+  /// Pin shard worker threads to distinct CPUs on the server
+  /// (SessionOptions::PinShards; 0/1). Only meaningful with Shards > 1.
+  uint64_t PinShards = 0;
 };
 
 /// Encodes \p O as a HELLO payload: magic, version varint, then one
@@ -177,7 +180,7 @@ std::string encodeDiagLine(const LintDiagnostic &D);
 
 /// {"type":"summary","analysis":...,"events":...,...}\n — matches
 /// st-analyze's NDJSON summary line, case_stats included whenever the
-/// analysis tracks them.
+/// analysis tracks them and shard_stats whenever it ran variable-sharded.
 std::string encodeSummaryLine(const AnalysisRunResult &A, uint64_t Events);
 
 /// {"type":"stream","events":...,...}\n — the final stream line.

@@ -257,6 +257,10 @@ void Server::handleConnection(int Fd) {
     Result = O;
   };
 
+  // Extra shard threads this connection holds from the process-wide
+  // pool; returned below however the connection ends.
+  unsigned LeasedShardThreads = 0;
+
   [&] {
     // --- Handshake -----------------------------------------------------
     Frame F;
@@ -305,12 +309,31 @@ void Server::handleConnection(int Fd) {
                     "unknown validation mode " +
                         std::to_string(Hello.Validation));
 
+    // --- Shard-thread pool lease --------------------------------------
+    // A connection at shards=N needs N-1 extra threads (shard 0 rides
+    // this worker). With a budget configured, lease what the pool can
+    // cover and clamp the grant; the accepted HELLO below echoes it, so
+    // the client always knows the shards it actually got.
+    unsigned Granted = static_cast<unsigned>(Hello.Shards);
+    if (Opts.ShardThreadBudget && Granted > 1) {
+      std::lock_guard<std::mutex> Lk(M);
+      unsigned Avail = Opts.ShardThreadBudget - ShardThreadsLeased;
+      unsigned Want = Granted - 1;
+      LeasedShardThreads = std::min(Want, Avail);
+      ShardThreadsLeased += LeasedShardThreads;
+      if (LeasedShardThreads < Want)
+        ++Stats.ShardClamps;
+      Granted = LeasedShardThreads + 1;
+    }
+
     // --- Per-connection session ---------------------------------------
     SessionOptions SO = Opts.Session;
     SO.Parallel = false; // the worker pool is the parallelism
     SO.Vindicate = false;
     SO.MaxStoredRaces = 0; // races stream out as RACE frames
-    SO.Shards = static_cast<unsigned>(Hello.Shards);
+    SO.Shards = Granted;
+    if (Hello.PinShards)
+      SO.PinShards = true;
     SO.Validation = static_cast<ValidationMode>(Hello.Validation);
     if (Hello.BatchSize)
       SO.BatchSize = static_cast<size_t>(Hello.BatchSize);
@@ -329,6 +352,7 @@ void Server::handleConnection(int Fd) {
                                 : static_cast<uint64_t>(SO.MaxRaceLines);
     Accepted.BatchSize = SO.BatchSize;
     Accepted.MaxDiags = SO.MaxStoredDiagnostics;
+    Accepted.PinShards = SO.PinShards ? 1 : 0;
     Writer.write(FrameType::Hello, encodeHello(Accepted));
 
     // Bind/refresh race-line symbols at the engine quiet point — the
@@ -397,6 +421,7 @@ void Server::handleConnection(int Fd) {
 
   {
     std::lock_guard<std::mutex> Lk(M);
+    ShardThreadsLeased -= LeasedShardThreads;
     switch (Result) {
     case Outcome::Completed:
       ++Stats.Completed;

@@ -67,6 +67,16 @@ struct ServerOptions {
   SessionOptions Session;
   /// Upper bound on HELLO-requested shards.
   unsigned MaxShards = 8;
+  /// Process-wide budget of extra shard worker threads (a connection at
+  /// shards=N holds N-1 of them; shard 0 rides the connection's worker).
+  /// Concurrent connections lease from this one pool, so the host is
+  /// never oversubscribed no matter how many clients ask for the per-
+  /// connection maximum: a connection whose full request cannot be
+  /// leased is granted the shards the pool can cover (down to 1, i.e.
+  /// sequential) and the clamp is echoed in the accepted HELLO. 0 means
+  /// no pool — every connection gets what it asks for, bounded only by
+  /// MaxShards.
+  unsigned ShardThreadBudget = 0;
   /// Analyses run when the client HELLO names none.
   std::vector<AnalysisKind> DefaultKinds = {AnalysisKind::STWDC};
   /// Stop accepting after this many connections (0 = serve until
@@ -88,6 +98,10 @@ struct ServerStats {
   /// Handshake never completed: missing/malformed/incompatible HELLO or
   /// frame-layer garbage where HELLO was expected.
   uint64_t ProtocolErrors = 0;
+  /// Connections granted fewer shards than requested because the shard-
+  /// thread pool (ServerOptions::ShardThreadBudget) was depleted. Not an
+  /// outcome bucket — these connections still complete normally.
+  uint64_t ShardClamps = 0;
 
   uint64_t handled() const {
     return Completed + Evicted + Rejected + ProtocolErrors;
@@ -146,6 +160,9 @@ private:
   bool Stopping = false;
   bool Started = false;
   ServerStats Stats;
+  /// Extra shard threads currently leased from ShardThreadBudget,
+  /// guarded by M like the stats.
+  unsigned ShardThreadsLeased = 0;
 
   std::thread Acceptor;
   std::vector<std::thread> WorkerThreads;

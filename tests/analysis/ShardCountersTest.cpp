@@ -1,0 +1,167 @@
+//===- tests/analysis/ShardCountersTest.cpp - Shard hot-path counters -----===//
+//
+// The coalescing protocol's measured claims, asserted as invariants:
+// against the per-access legacy protocol on the same avrora-profile
+// stream at 4 shards, coalescing must publish fewer deltas and replay
+// fewer sync events per shard (the remainder fast-forwarded from the
+// shared schedule), with the sync total conserved across protocols.
+// Also covers the RunReport / SUMMARY-frame surfacing of the counters
+// and the pinned-worker execution mode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/sharded/ShardedAnalysis.h"
+#include "report/Session.h"
+#include "serve/Frame.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace st;
+
+namespace {
+
+/// A mid-size avrora-profile stream: lock-heavy enough that critical
+/// runs dominate, with enough sync events that replay thinning shows.
+Trace avroraTrace(uint64_t Events = 40000) {
+  const WorkloadProfile *P = findProfile("avrora");
+  EXPECT_NE(P, nullptr) << "avrora profile missing from dacapoProfiles()";
+  if (P == nullptr)
+    return Trace();
+  WorkloadGenerator Gen(*P, Events, /*Seed=*/42);
+  return Gen.materialize(Events);
+}
+
+ShardRunStats runStats(const Trace &Tr, const ShardedOptions &O) {
+  ShardedAnalysis Shd(AnalysisKind::STWDC, O);
+  Shd.processBatch(Tr.events().data(), Tr.size());
+  const ShardRunStats *S = Shd.shardRunStats();
+  EXPECT_NE(S, nullptr);
+  return S ? *S : ShardRunStats();
+}
+
+TEST(ShardCountersTest, CoalescingDropsPublicationsAndSyncReplay) {
+  Trace Tr = avroraTrace();
+
+  ShardedOptions Coalesced;
+  Coalesced.NumShards = 4;
+  Coalesced.CoalesceDeltas = true;
+  ShardedOptions Legacy = Coalesced;
+  Legacy.CoalesceDeltas = false;
+
+  const ShardRunStats C = runStats(Tr, Coalesced);
+  const ShardRunStats L = runStats(Tr, Legacy);
+
+  ASSERT_EQ(C.Shards, 4u);
+  ASSERT_EQ(L.Shards, 4u);
+
+  // The tentpole's headline: one publication per run instead of one per
+  // critical access. Legacy counts every critical access; coalescing
+  // folds each surplus run member into DeltasCoalesced.
+  EXPECT_GT(L.DeltasPublished, 0u);
+  EXPECT_LT(C.DeltasPublished, L.DeltasPublished);
+  EXPECT_GT(C.DeltasCoalesced, 0u);
+  EXPECT_EQ(L.DeltasCoalesced, 0u);
+  EXPECT_EQ(C.DeltasPublished + C.DeltasCoalesced, L.DeltasPublished);
+
+  // Sync replay thinning: the coalescing path dispatches no per-shard
+  // broadcast items at all — every sync event is fast-forwarded from
+  // the shared schedule — while legacy replays each on every shard.
+  // The per-shard total is conserved across protocols (each of the 4
+  // shards still observes every sync event exactly once).
+  EXPECT_EQ(C.SyncReplayed, 0u);
+  EXPECT_GT(L.SyncReplayed, 0u);
+  EXPECT_LT(C.SyncReplayed, L.SyncReplayed);
+  EXPECT_EQ(L.SyncFastForwarded, 0u);
+  EXPECT_EQ(C.SyncReplayed + C.SyncFastForwarded,
+            L.SyncReplayed + L.SyncFastForwarded);
+
+  // Adoption work shrinks too: clocks grow monotonically, so a run
+  // whose end-of-run clock is unchanged had no changed per-access
+  // publication either — coalescing can only merge mirror copies.
+  EXPECT_LE(C.DeltasAdopted, L.DeltasAdopted);
+  // Every adoption answers some publication on each of the 3 non-owning
+  // shards.
+  EXPECT_LE(C.DeltasAdopted, C.DeltasPublished * 3);
+  EXPECT_LE(L.DeltasAdopted, L.DeltasPublished * 3);
+}
+
+TEST(ShardCountersTest, RunReportAndSummaryFrameCarryShardStats) {
+  Trace Tr = avroraTrace(20000);
+
+  SessionOptions SO;
+  SO.Shards = 4;
+  Session S(SO);
+  S.add(AnalysisKind::STWDC);
+  TraceEventSource Src(Tr);
+  RunReport Rep = S.run(Src);
+
+  ASSERT_EQ(Rep.Analyses.size(), 1u);
+  const AnalysisRunResult &A = Rep.Analyses[0];
+  ASSERT_TRUE(A.HasShardStats);
+  EXPECT_EQ(A.ShardStats.Shards, 4u);
+  EXPECT_GT(A.ShardStats.DeltasPublished, 0u);
+  EXPECT_GT(A.ShardStats.DeltasCoalesced, 0u);
+  EXPECT_GT(A.ShardStats.SyncFastForwarded, 0u);
+  EXPECT_EQ(A.ShardStats.SyncReplayed, 0u);
+
+  std::string Line = encodeSummaryLine(A, Tr.size());
+  EXPECT_NE(Line.find("\"shard_stats\":{\"shards\":4"), std::string::npos)
+      << Line;
+  EXPECT_NE(Line.find("\"deltas_published\""), std::string::npos);
+  EXPECT_NE(Line.find("\"sync_fast_forwarded\""), std::string::npos);
+  EXPECT_NE(Line.find("\"spin_wakeups\""), std::string::npos);
+
+  // A sequential run must NOT grow the field: the stats exist only when
+  // the sharded executor actually ran.
+  Session Seq;
+  Seq.add(AnalysisKind::STWDC);
+  TraceEventSource Src2(Tr);
+  RunReport SeqRep = Seq.run(Src2);
+  ASSERT_EQ(SeqRep.Analyses.size(), 1u);
+  EXPECT_FALSE(SeqRep.Analyses[0].HasShardStats);
+  EXPECT_EQ(encodeSummaryLine(SeqRep.Analyses[0], Tr.size())
+                .find("shard_stats"),
+            std::string::npos);
+
+  // Results themselves are executor-invariant.
+  EXPECT_EQ(Rep.Analyses[0].DynamicRaces, SeqRep.Analyses[0].DynamicRaces);
+  EXPECT_EQ(Rep.Analyses[0].StaticRaces, SeqRep.Analyses[0].StaticRaces);
+}
+
+TEST(ShardCountersTest, PinnedWorkersStayExactAndHandoffIsCounted) {
+  Trace Tr = avroraTrace(20000);
+
+  ShardedOptions Plain;
+  Plain.NumShards = 4;
+  ShardedOptions Pinned = Plain;
+  Pinned.PinWorkers = true;
+
+  ShardedAnalysis A(AnalysisKind::STWDC, Plain);
+  ShardedAnalysis B(AnalysisKind::STWDC, Pinned);
+  // Many small batches: every batch is a spin-or-park handoff, so the
+  // wakeup counters must account for each one.
+  const Event *Ev = Tr.events().data();
+  for (size_t I = 0; I < Tr.size(); I += 256) {
+    size_t N = std::min<size_t>(256, Tr.size() - I);
+    A.processBatch(Ev + I, N);
+    B.processBatch(Ev + I, N);
+  }
+
+  EXPECT_EQ(A.dynamicRaces(), B.dynamicRaces());
+  EXPECT_EQ(A.staticRaces(), B.staticRaces());
+  ASSERT_EQ(A.raceRecords().size(), B.raceRecords().size());
+  for (size_t I = 0; I != A.raceRecords().size(); ++I)
+    EXPECT_EQ(A.raceRecords()[I].EventIdx, B.raceRecords()[I].EventIdx);
+
+  // Every batch handoff ends in either a spin catch or a park, on both
+  // the workers' side and shard 0's completion wait.
+  const ShardRunStats *Sa = A.shardRunStats();
+  const ShardRunStats *Sb = B.shardRunStats();
+  ASSERT_NE(Sa, nullptr);
+  ASSERT_NE(Sb, nullptr);
+  EXPECT_GT(Sa->SpinWakeups + Sa->ParkWakeups, 0u);
+  EXPECT_GT(Sb->SpinWakeups + Sb->ParkWakeups, 0u);
+}
+
+} // namespace

@@ -62,6 +62,107 @@ const AnalysisKind ShardableKinds[] = {
     AnalysisKind::STWCP,  AnalysisKind::STDC,  AnalysisKind::STWDC,
 };
 
+/// Small DSL for the hand-built adversarial traces below.
+struct TraceBuilder {
+  std::vector<Event> Ev;
+  void w(ThreadId T, VarId V, SiteId S) {
+    Ev.emplace_back(EventKind::Write, T, V, S);
+  }
+  void r(ThreadId T, VarId V, SiteId S) {
+    Ev.emplace_back(EventKind::Read, T, V, S);
+  }
+  void acq(ThreadId T, LockId L) { Ev.emplace_back(EventKind::Acquire, T, L); }
+  void rel(ThreadId T, LockId L) { Ev.emplace_back(EventKind::Release, T, L); }
+  void vw(ThreadId T, VarId V) { Ev.emplace_back(EventKind::VolWrite, T, V); }
+  void vr(ThreadId T, VarId V) { Ev.emplace_back(EventKind::VolRead, T, V); }
+  void fork(ThreadId T, ThreadId C) {
+    Ev.emplace_back(EventKind::Fork, T, C);
+  }
+  void join(ThreadId T, ThreadId C) {
+    Ev.emplace_back(EventKind::Join, T, C);
+  }
+  Trace build() { return Trace(std::move(Ev)); }
+};
+
+/// Very long critical sections: each thread's CS spans dozens of
+/// accesses over several variables, so coalesced runs grow long and
+/// break only where ownership moves to another shard. The unlocked
+/// writes to var 5 are a guaranteed race, keeping the parity check
+/// non-vacuous for every kind.
+Trace longCriticalSectionTrace() {
+  TraceBuilder B;
+  B.w(0, 5, 900); // races with T1's unlocked write below
+  for (ThreadId T : {0u, 1u, 2u}) {
+    B.acq(T, 0);
+    for (unsigned I = 0; I != 64; ++I) {
+      if (I & 1)
+        B.r(T, I % 7, 100 + I % 5);
+      else
+        B.w(T, I % 7, 200 + I % 5);
+    }
+    B.rel(T, 0);
+  }
+  B.w(1, 5, 901);
+  return B.build();
+}
+
+/// Nested and overlapping lock scopes: T0 nests L0 > L1 > L2 with
+/// accesses at every depth, then releases hand-over-hand (rel L0 while
+/// still holding L1/L2) so the partitioner's lock-depth tracking sees
+/// non-LIFO release order; T1's CSs interleave in trace order, chopping
+/// T0's runs with foreign acquires/releases.
+Trace nestedLockTrace() {
+  TraceBuilder B;
+  B.acq(0, 0);
+  B.w(0, 0, 10);
+  B.acq(0, 1);
+  B.w(0, 1, 11);
+  B.acq(1, 3); // foreign sync splits T0's open run
+  B.w(1, 8, 30);
+  B.acq(0, 2);
+  B.w(0, 2, 12);
+  B.r(0, 0, 13);
+  B.rel(0, 0); // hand-over-hand: released before the inner locks
+  B.w(0, 3, 14);
+  B.rel(1, 3);
+  B.w(0, 4, 15);
+  B.rel(0, 2);
+  B.r(0, 1, 16);
+  B.rel(0, 1);
+  B.acq(1, 0);
+  B.w(1, 0, 31);
+  B.w(1, 1, 32);
+  B.rel(1, 0);
+  return B.build();
+}
+
+/// Runs interrupted by every sync flavor: T0's single long critical
+/// section is punctured by T1 volatiles, a fork/join of T2, and T1's
+/// own lock ops — each must close T0's open run and replay on every
+/// shard at the same global index.
+Trace syncInterruptedRunTrace() {
+  TraceBuilder B;
+  B.acq(0, 0);
+  B.w(0, 0, 40);
+  B.w(0, 1, 41);
+  B.vw(1, 0); // volatile write splits the run
+  B.w(0, 2, 42);
+  B.r(0, 0, 43);
+  B.fork(1, 2); // fork splits the run
+  B.w(2, 6, 60);
+  B.w(0, 3, 44);
+  B.vr(1, 0);
+  B.w(0, 4, 45);
+  B.acq(1, 1);
+  B.r(1, 7, 50);
+  B.rel(1, 1);
+  B.w(0, 5, 46);
+  B.join(1, 2); // join splits the run
+  B.w(0, 0, 47);
+  B.rel(0, 0);
+  return B.build();
+}
+
 /// Drives \p A through \p Tr in small batches so shard plans span many
 /// batch boundaries (the executor's per-batch partition/merge path).
 void feedInBatches(Analysis &A, const Trace &Tr, size_t BatchSize) {
@@ -196,6 +297,88 @@ TEST(ShardedParityTest, NonShardableKindsStaySequentialUnderShardsOption) {
   EXPECT_EQ(Rep.Analyses[0].StaticRaces, Want.Analyses[0].StaticRaces);
 }
 
+TEST(ShardedParityTest, AdversarialCoalescingWorkloads) {
+  // The coalescing partitioner's edge cases, deterministic by
+  // construction: long critical sections (long runs), nested and
+  // hand-over-hand lock scopes (lock-depth bookkeeping), and runs
+  // punctured by volatiles, fork/join, and foreign lock ops. Batch
+  // size 7 additionally splits every long run across batch boundaries;
+  // 64 keeps runs whole within a batch.
+  struct NamedTrace {
+    const char *Name;
+    Trace Tr;
+  };
+  const NamedTrace Traces[] = {
+      {"long-critical-sections", longCriticalSectionTrace()},
+      {"nested-overlapping-locks", nestedLockTrace()},
+      {"sync-interrupted-runs", syncInterruptedRunTrace()},
+  };
+  for (const NamedTrace &NT : Traces) {
+    for (AnalysisKind K : ShardableKinds) {
+      auto Seq = createAnalysis(K);
+      Seq->processBatch(NT.Tr.events().data(), NT.Tr.size());
+      for (unsigned Shards : {1u, 2u, 4u, 8u}) {
+        for (size_t Batch : {size_t(7), size_t(64)}) {
+          ShardedAnalysis Shd(K, Shards);
+          feedInBatches(Shd, NT.Tr, Batch);
+          std::string Ctx = std::string(NT.Name) + " " +
+                            analysisKindName(K) + " shards " +
+                            std::to_string(Shards) + " batch " +
+                            std::to_string(Batch);
+          expectSameResults(*Seq, Shd, Ctx.c_str());
+          EXPECT_EQ(Shd.eventsProcessed(), NT.Tr.size()) << Ctx;
+        }
+      }
+    }
+  }
+
+  // The unlocked write pair in the long-CS trace must race under every
+  // kind, so the parity above is never comparing empty reports.
+  for (AnalysisKind K : ShardableKinds) {
+    auto Seq = createAnalysis(K);
+    Seq->processBatch(Traces[0].Tr.events().data(), Traces[0].Tr.size());
+    EXPECT_GT(Seq->dynamicRaces(), 0u) << analysisKindName(K);
+  }
+}
+
+TEST(ShardedParityTest, ProtocolAndHandoffVariantsStayExact) {
+  // The per-access legacy protocol, the pure-condvar handoff, and
+  // pinned workers change scheduling and publication granularity —
+  // never results. Each variant must match the sequential core on a
+  // golden workload, fed with an odd batch size so coalesced runs
+  // split across batches.
+  Trace Tr = generateRandomTrace(goldenConfig(0));
+  auto Seq = createAnalysis(AnalysisKind::STWDC);
+  feedInBatches(*Seq, Tr, 128);
+
+  struct Variant {
+    const char *Name;
+    bool Coalesce;
+    bool Pin;
+    unsigned Spin;
+  };
+  const Variant Variants[] = {
+      {"legacy-per-access", false, false, 4096},
+      {"pure-condvar", true, false, 0},
+      {"pinned-workers", true, true, 4096},
+      {"legacy-condvar", false, false, 0},
+  };
+  for (const Variant &V : Variants) {
+    for (unsigned Shards : {2u, 4u}) {
+      ShardedOptions O;
+      O.NumShards = Shards;
+      O.CoalesceDeltas = V.Coalesce;
+      O.PinWorkers = V.Pin;
+      O.SpinIterations = V.Spin;
+      ShardedAnalysis Shd(AnalysisKind::STWDC, O);
+      feedInBatches(Shd, Tr, 13);
+      std::string Ctx =
+          std::string(V.Name) + " shards " + std::to_string(Shards);
+      expectSameResults(*Seq, Shd, Ctx.c_str());
+    }
+  }
+}
+
 TEST(ShardedParityTest, ShardMapIsStableAndComplete) {
   for (unsigned Shards : {1u, 2u, 4u, 8u}) {
     std::vector<bool> Hit(Shards, false);
@@ -208,6 +391,23 @@ TEST(ShardedParityTest, ShardMapIsStableAndComplete) {
     for (unsigned S = 0; S != Shards; ++S)
       EXPECT_TRUE(Hit[S]) << "shard " << S << " never used of " << Shards;
   }
+
+  // Pin the fixed-point range map itself (V * 2654435761 scaled into
+  // [0, N) by the high half of the product). Placement is an internal
+  // detail with no cross-version compatibility promise, but a silent
+  // remap would invalidate any shard-indexed expectation elsewhere, so
+  // a remap must show up here as a deliberate edit.
+  EXPECT_EQ(ShardedAnalysis::shardOf(0, 8), 0u);
+  EXPECT_EQ(ShardedAnalysis::shardOf(1, 8), 4u);
+  EXPECT_EQ(ShardedAnalysis::shardOf(2, 8), 1u);
+  EXPECT_EQ(ShardedAnalysis::shardOf(3, 8), 6u);
+  EXPECT_EQ(ShardedAnalysis::shardOf(4, 8), 3u);
+  EXPECT_EQ(ShardedAnalysis::shardOf(7, 8), 2u);
+  EXPECT_EQ(ShardedAnalysis::shardOf(1, 2), 1u);
+  EXPECT_EQ(ShardedAnalysis::shardOf(3, 4), 3u);
+  EXPECT_EQ(ShardedAnalysis::shardOf(1000, 5), 0u);
+  EXPECT_EQ(ShardedAnalysis::shardOf(12345, 5), 3u);
+  EXPECT_EQ(ShardedAnalysis::shardOf(999999, 5), 1u);
 }
 
 } // namespace

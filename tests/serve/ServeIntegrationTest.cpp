@@ -449,4 +449,131 @@ TEST(ServeIntegration, HandshakeErrorsAreNamedAndAccounted) {
   EXPECT_EQ(St.ProtocolErrors, 5u);
 }
 
+TEST(ServeIntegration, ShardPoolClampsGrantsAndReleasesOnClose) {
+  // Budget of 3 extra shard threads: a shards=8 request (7 extra) must
+  // be clamped to 4 (3 leased + the connection worker), echoed in the
+  // accepted HELLO; once the connection closes, the full budget must be
+  // available again — a sequential shards=4 request (3 extra) gets all
+  // of it, unclamped.
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.MaxShards = 8;
+  SO.ShardThreadBudget = 3;
+  Server Srv(SO);
+  std::string Path = uniqueSocketPath("pool");
+  std::string Err;
+  ASSERT_TRUE(Srv.addUnixListener(Path, &Err)) << Err;
+  ASSERT_TRUE(Srv.start(&Err)) << Err;
+
+  Trace Tr = generateRandomTrace(goldenConfig(2));
+  std::string Stb = encodeStb(Tr);
+  auto GrantedShards = [&](uint64_t Request) -> uint64_t {
+    HelloOptions Hello;
+    Hello.Analyses = {"ST-WDC"};
+    Hello.Shards = Request;
+    ClientResult R = runRawClient(Path, buildConversation(Hello, Stb));
+    EXPECT_TRUE(R.ParseClean) << R.Error;
+    EXPECT_EQ(R.count(FrameType::Error), 0u);
+    if (R.Frames.empty() || R.Frames.front().Type != FrameType::Hello)
+      return 0;
+    HelloOptions Accepted;
+    EXPECT_TRUE(decodeHello(R.Frames.front().Payload, Accepted, &Err))
+        << Err;
+    return Accepted.Shards;
+  };
+
+  EXPECT_EQ(GrantedShards(8), 4u); // 7 wanted, 3 in the pool
+  EXPECT_EQ(GrantedShards(4), 4u); // pool refilled: 3 wanted, 3 free
+  EXPECT_EQ(GrantedShards(1), 1u); // sequential never touches the pool
+
+  Srv.stop();
+  ServerStats St = Srv.stats();
+  EXPECT_EQ(St.Completed, 3u);
+  EXPECT_EQ(St.ShardClamps, 1u);
+}
+
+TEST(ServeIntegration, ShardPoolSharedAcrossConcurrentConnections) {
+  // Four workers, four concurrent shards=4 clients, but only 4 extra
+  // shard threads in the pool: grants race, some connections get fewer
+  // shards than requested — results must still be bit-identical to the
+  // sequential core (sharded execution is exact at any shard count),
+  // every lease must be returned, and the wire surface stays clean.
+  // Runs under TSan in CI with the pool enabled, so the lease/release
+  // path itself is proven data-race-free.
+  ServerOptions SO;
+  SO.Workers = 4;
+  SO.MaxShards = 8;
+  SO.ShardThreadBudget = 4;
+  Server Srv(SO);
+  std::string Path = uniqueSocketPath("poolc");
+  std::string Err;
+  ASSERT_TRUE(Srv.addUnixListener(Path, &Err)) << Err;
+  ASSERT_TRUE(Srv.start(&Err)) << Err;
+
+  Trace Tr = generateRandomTrace(goldenConfig(0));
+  std::string Stb = encodeStb(Tr);
+
+  // The expected race bytes come from a direct sequential run of the
+  // same single analysis.
+  std::string ExpectedRaces;
+  {
+    SessionOptions DSO;
+    DSO.MaxStoredRaces = 0;
+    Session S(DSO);
+    S.add(AnalysisKind::STWDC);
+    StringByteSink Sink(ExpectedRaces);
+    NdjsonSink Json(Sink);
+    S.addSink(Json);
+    TraceEventSource Src(Tr);
+    S.run(Src);
+  }
+
+  HelloOptions Hello;
+  Hello.Analyses = {"ST-WDC"};
+  Hello.Shards = 4;
+  std::string Conv = buildConversation(Hello, Stb);
+
+  constexpr unsigned NumClients = 4;
+  ClientResult Results[NumClients];
+  std::vector<std::thread> Clients;
+  for (unsigned I = 0; I != NumClients; ++I)
+    Clients.emplace_back([&, I] {
+      Results[I] = runRawClient(Path, Conv, /*TimeoutSec=*/120);
+    });
+  for (std::thread &T : Clients)
+    T.join();
+
+  for (unsigned I = 0; I != NumClients; ++I) {
+    ClientResult &R = Results[I];
+    ASSERT_TRUE(R.ConnectOk) << "client " << I << ": " << R.Error;
+    ASSERT_TRUE(R.ParseClean) << "client " << I << ": " << R.Error;
+    EXPECT_EQ(R.count(FrameType::Error), 0u) << "client " << I;
+    ASSERT_FALSE(R.Frames.empty()) << "client " << I;
+    ASSERT_EQ(R.Frames.front().Type, FrameType::Hello) << "client " << I;
+    HelloOptions Accepted;
+    ASSERT_TRUE(decodeHello(R.Frames.front().Payload, Accepted, &Err))
+        << Err;
+    EXPECT_GE(Accepted.Shards, 1u) << "client " << I;
+    EXPECT_LE(Accepted.Shards, 4u) << "client " << I;
+    EXPECT_EQ(R.payloads(FrameType::Race), ExpectedRaces)
+        << "client " << I << " (granted " << Accepted.Shards
+        << " shards)";
+  }
+
+  // All leases were returned: a fresh full-width request gets the whole
+  // pool again.
+  {
+    ClientResult R = runRawClient(Path, Conv);
+    ASSERT_TRUE(R.ParseClean) << R.Error;
+    ASSERT_FALSE(R.Frames.empty());
+    HelloOptions Accepted;
+    ASSERT_TRUE(decodeHello(R.Frames.front().Payload, Accepted, &Err))
+        << Err;
+    EXPECT_EQ(Accepted.Shards, 4u);
+  }
+
+  Srv.stop();
+  EXPECT_EQ(Srv.stats().Completed, NumClients + 1u);
+}
+
 } // namespace

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Shard-scaling smoke for constrained CI hosts: pins st-bench to two
+# cores (taskset, when available) and requires the ST-WDC x avrora
+# 2-shard cell to be no slower than the 1-shard anchor by more than the
+# tolerance. This is deliberately NOT a speedup gate — two shared cores
+# under a sanitizer cannot promise one — it catches the failure mode
+# where the shard hot path (delta publication, sync replay, batch
+# handoff) costs so much that sharding loses outright even with a spare
+# core available.
+#
+# Usage: shard_scaling_smoke.sh ST_BENCH_BINARY [tolerance]
+#   tolerance: allowed 2-shard slowdown vs 1 shard (default 0.10 = 10%)
+#
+# Env: SMOKE_CPUS   core list for taskset (default "0,1")
+#      SMOKE_EVENTS events per trial (default 200000)
+set -euo pipefail
+
+BENCH="${1:?usage: shard_scaling_smoke.sh ST_BENCH_BINARY [tolerance]}"
+TOLERANCE="${2:-0.10}"
+CPUS="${SMOKE_CPUS:-0,1}"
+EVENTS="${SMOKE_EVENTS:-200000}"
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+RUN=("$BENCH")
+if command -v taskset >/dev/null 2>&1; then
+  RUN=(taskset -c "$CPUS" "$BENCH")
+  echo "shard_scaling_smoke: pinned to cores $CPUS"
+else
+  echo "shard_scaling_smoke: taskset unavailable; running unpinned"
+fi
+
+"${RUN[@]}" --suite=ci --workloads=avrora --analyses=ST-WDC \
+  --events="$EVENTS" --shards=1,2 --quiet --out="$OUT"
+
+python3 - "$OUT" "$TOLERANCE" <<'PY'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+tolerance = float(sys.argv[2])
+cells = {r.get("shards"): r for r in report["results"]
+         if r["workload"] == "avrora" and r["analysis"] == "ST-WDC"
+         and r.get("shards") in (1, 2)}
+if set(cells) != {1, 2}:
+    sys.exit(f"shard_scaling_smoke: expected shards 1 and 2 cells, "
+             f"got {sorted(k for k in cells if k)}")
+one, two = cells[1]["seconds_median"], cells[2]["seconds_median"]
+if one <= 0:
+    sys.exit("shard_scaling_smoke: degenerate 1-shard timing")
+slowdown = two / one - 1.0
+print(f"shard_scaling_smoke: 1 shard {one * 1e3:.1f} ms, "
+      f"2 shards {two * 1e3:.1f} ms ({slowdown:+.1%}, "
+      f"limit +{tolerance:.0%})")
+if slowdown > tolerance:
+    sys.exit(f"shard_scaling_smoke: 2 shards slower than 1 by "
+             f"{slowdown:.1%} (limit {tolerance:.0%})")
+print("shard_scaling_smoke: OK")
+PY

@@ -65,6 +65,7 @@ struct Options {
   bool Parallel = false;
   size_t BatchSize = 1 << 14;
   size_t Shards = 1;
+  bool PinShards = false;
   size_t MaxStoredRaces = SIZE_MAX;
   ValidationMode Validation = ValidationMode::Off;
   size_t MaxDiags = 1024;
@@ -106,6 +107,8 @@ void printUsage(FILE *Out, const char *Prog) {
       "  --shards=N       split each analysis's per-variable work across\n"
       "                   N shard threads (identical results, one hot\n"
       "                   stream); FTO-*/ST-* predictive analyses only\n"
+      "  --pin-shards     pin shard worker threads to distinct CPUs\n"
+      "                   (Linux; no-op elsewhere); requires --shards>=2\n"
       "  --validate=MODE  lint pass over the input (st-lint's full rule\n"
       "                   set): off (default; raw hard checks only), warn\n"
       "                   (diagnostics on stderr, analysis proceeds over\n"
@@ -260,6 +263,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
                      Opts.Shards);
         return false;
       }
+    } else if (std::strcmp(Arg, "--pin-shards") == 0) {
+      Opts.PinShards = true;
     } else if (std::strncmp(Arg, "--max-diags=", 12) == 0) {
       if (!parseCount(Arg + 12, "--max-diags", Opts.MaxDiags))
         return false;
@@ -326,6 +331,11 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
   if (Opts.Format == ReportFormat::Ndjson && Opts.Vindicate) {
     std::fprintf(stderr, "error: --vindicate needs stored races; it is "
                          "incompatible with --format=ndjson\n");
+    return false;
+  }
+  if (Opts.PinShards && Opts.Shards < 2) {
+    std::fprintf(stderr, "error: --pin-shards pins shard worker threads; "
+                         "it needs --shards=N with N >= 2\n");
     return false;
   }
   if (Opts.Shards > 1) {
@@ -568,6 +578,25 @@ void printCaseStats(const AnalysisRunResult &A) {
   Row("shared", S.WriteShared);
 }
 
+void printShardStats(const AnalysisRunResult &A) {
+  if (!A.HasShardStats)
+    return;
+  const ShardRunStats &S = A.ShardStats;
+  auto Row = [](const char *Label, uint64_t N) {
+    std::printf("    %-20s %llu\n", Label,
+                static_cast<unsigned long long>(N));
+  };
+  std::printf("  shard execution (%llu shards):\n",
+              static_cast<unsigned long long>(S.Shards));
+  Row("deltas published", S.DeltasPublished);
+  Row("deltas coalesced", S.DeltasCoalesced);
+  Row("deltas adopted", S.DeltasAdopted);
+  Row("sync replayed", S.SyncReplayed);
+  Row("sync fast-forwarded", S.SyncFastForwarded);
+  Row("spin wakeups", S.SpinWakeups);
+  Row("park wakeups", S.ParkWakeups);
+}
+
 //===----------------------------------------------------------------------===//
 // JSON / NDJSON reports
 //===----------------------------------------------------------------------===//
@@ -643,6 +672,27 @@ void jsonCaseStats(std::string &Out, const CaseStats &S) {
   Out += '}';
 }
 
+/// Sharded-executor counters; field order matches the SUMMARY frame's
+/// shard_stats object (serve/Frame.cpp).
+void jsonShardStats(std::string &Out, const ShardRunStats &S) {
+  auto Field = [&](const char *K, uint64_t V, bool Comma = true) {
+    jsonKey(Out, K);
+    jsonUInt(Out, V);
+    if (Comma)
+      Out += ',';
+  };
+  Out += '{';
+  Field("shards", S.Shards);
+  Field("deltas_published", S.DeltasPublished);
+  Field("deltas_coalesced", S.DeltasCoalesced);
+  Field("deltas_adopted", S.DeltasAdopted);
+  Field("sync_replayed", S.SyncReplayed);
+  Field("sync_fast_forwarded", S.SyncFastForwarded);
+  Field("spin_wakeups", S.SpinWakeups);
+  Field("park_wakeups", S.ParkWakeups, false);
+  Out += '}';
+}
+
 std::string jsonReport(const RunReport &Rep, const Options &Opts,
                        TraceFormat Fmt, const SymbolTables &Syms) {
   const StreamStats &St = Rep.Stream;
@@ -690,6 +740,11 @@ std::string jsonReport(const RunReport &Rep, const Options &Opts,
       Out += ',';
       jsonKey(Out, "case_stats");
       jsonCaseStats(Out, A.Cases);
+    }
+    if (Opts.Stats && A.HasShardStats) {
+      Out += ',';
+      jsonKey(Out, "shard_stats");
+      jsonShardStats(Out, A.ShardStats);
     }
     if (!Opts.Quiet) {
       Out += ',';
@@ -786,6 +841,11 @@ void printNdjsonSummaries(const RunReport &Rep, const Options &Opts) {
       jsonKey(Out, "case_stats");
       jsonCaseStats(Out, A.Cases);
     }
+    if (Opts.Stats && A.HasShardStats) {
+      Out += ',';
+      jsonKey(Out, "shard_stats");
+      jsonShardStats(Out, A.ShardStats);
+    }
     Out += "}\n";
     std::fwrite(Out.data(), 1, Out.size(), stdout);
   }
@@ -866,6 +926,7 @@ int runConnect(const Options &Opts) {
   for (AnalysisKind K : Opts.Kinds)
     Hello.Analyses.push_back(analysisKindName(K));
   Hello.Shards = Opts.Shards;
+  Hello.PinShards = Opts.PinShards ? 1 : 0;
   Hello.Validation = static_cast<uint64_t>(Opts.Validation);
   if (Opts.MaxStoredRaces != SIZE_MAX)
     Hello.MaxRaceLines = Opts.MaxStoredRaces;
@@ -994,6 +1055,7 @@ int main(int Argc, char **Argv) {
   SessOpts.BatchSize = Opts.BatchSize;
   SessOpts.Parallel = Opts.Parallel;
   SessOpts.Shards = static_cast<unsigned>(Opts.Shards);
+  SessOpts.PinShards = Opts.PinShards;
   SessOpts.MaxStoredRaces = Opts.MaxStoredRaces;
   SessOpts.Vindicate = Opts.Vindicate;
   SessOpts.Validation = Opts.Validation;
@@ -1075,8 +1137,10 @@ int main(int Argc, char **Argv) {
                   A.StaticRaces);
       if (!Opts.Quiet) {
         printRaces(A, Syms);
-        if (Opts.Stats)
+        if (Opts.Stats) {
           printCaseStats(A);
+          printShardStats(A);
+        }
       }
     }
     break;

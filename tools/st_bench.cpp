@@ -545,6 +545,11 @@ std::string jsonReport(const Options &Opts,
       }
       Out += ", \"events\": ";
       jsonUInt(Out, C.Events);
+      // Per-cell copy of the host's core count: comparison tooling reads
+      // cells in isolation, and a shard cell's numbers are only
+      // meaningful against the hardware they ran on.
+      Out += ", \"hardware_concurrency\": ";
+      jsonUInt(Out, std::thread::hardware_concurrency());
       Out += ",\n     \"seconds\": [";
       for (size_t I = 0; I != C.Seconds.size(); ++I) {
         if (I)

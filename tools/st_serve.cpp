@@ -51,6 +51,8 @@ struct Options {
   size_t Batch = 0;
   size_t IoBuffer = 0;
   unsigned ShardsCap = 8;
+  unsigned ShardThreads = 0;
+  bool PinShards = false;
   std::vector<AnalysisKind> DefaultKinds;
   bool PrintPort = false;
 };
@@ -81,6 +83,13 @@ void printUsage(FILE *Out, const char *Prog) {
       "  --analysis=NAME    default analysis when a client names none\n"
       "                     (repeatable; default ST-WDC)\n"
       "  --shards-cap=N     max shards a client may request (default 8)\n"
+      "  --shard-threads=N  process-wide budget of extra shard worker\n"
+      "                     threads; concurrent connections lease from\n"
+      "                     this one pool (a shards=K connection holds\n"
+      "                     K-1) and are granted fewer shards when it is\n"
+      "                     depleted (default 0 = no pool)\n"
+      "  --pin-shards       pin shard worker threads to distinct CPUs\n"
+      "                     (Linux; no-op elsewhere)\n"
       "  --batch=N          default engine batch size\n"
       "  --io-buffer=N      per-connection decode buffer bytes\n"
       "  --print-port       print the bound TCP port to stdout (for\n"
@@ -146,6 +155,14 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
       }
       Opts.ShardsCap = static_cast<unsigned>(N);
+    } else if (std::strncmp(Arg, "--shard-threads=", 16) == 0) {
+      if (!parseCount(Arg + 16, "--shard-threads", N) || N > 4096) {
+        std::fprintf(stderr, "error: --shard-threads must be 0..4096\n");
+        return false;
+      }
+      Opts.ShardThreads = static_cast<unsigned>(N);
+    } else if (std::strcmp(Arg, "--pin-shards") == 0) {
+      Opts.PinShards = true;
     } else if (std::strncmp(Arg, "--batch=", 8) == 0) {
       if (!parseCount(Arg + 8, "--batch", N) || N == 0) {
         std::fprintf(stderr, "error: --batch must be positive\n");
@@ -190,6 +207,8 @@ int main(int Argc, char **Argv) {
   SO.MemoryBudgetBytes = Opts.MemoryBudget;
   SO.TimeBudgetSeconds = Opts.TimeBudget;
   SO.MaxShards = Opts.ShardsCap;
+  SO.ShardThreadBudget = Opts.ShardThreads;
+  SO.Session.PinShards = Opts.PinShards;
   SO.MaxConnections = Opts.MaxConns;
   if (!Opts.DefaultKinds.empty())
     SO.DefaultKinds = Opts.DefaultKinds;
