@@ -33,6 +33,10 @@ size_t FramePayloadByteSource::read(char *Buf, size_t Max) {
     }
     switch (F.Type) {
     case FrameType::Events:
+      if (!HasFirstEvents) {
+        HasFirstEvents = true;
+        FirstEvents = std::chrono::steady_clock::now();
+      }
       Cur = std::move(F);
       Pos = 0;
       break;

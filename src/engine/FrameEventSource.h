@@ -21,6 +21,7 @@
 #include "engine/EventSource.h"
 #include "serve/Frame.h"
 
+#include <chrono>
 #include <string>
 
 namespace st {
@@ -40,6 +41,16 @@ public:
   /// True once the client's EOS frame was consumed (the only clean end).
   bool sawEos() const { return Eos; }
 
+  /// When the first EVENTS frame was read off the wire — the start of
+  /// the server-side service window reported as service_ns in the
+  /// stream SUMMARY. False return: no EVENTS frame arrived (yet).
+  bool firstEventsAt(std::chrono::steady_clock::time_point &Out) const {
+    if (!HasFirstEvents)
+      return false;
+    Out = FirstEvents;
+    return true;
+  }
+
 private:
   FrameReader &Frames;
   Frame Cur;
@@ -47,6 +58,8 @@ private:
   bool Eos = false;
   bool Done = false;
   bool Bad = false;
+  bool HasFirstEvents = false;
+  std::chrono::steady_clock::time_point FirstEvents;
   std::string ErrorMsg;
 };
 
@@ -66,6 +79,11 @@ public:
 
   /// True once the client's EOS frame was consumed.
   bool sawEos() const { return Payload.sawEos(); }
+
+  /// Forwarded from FramePayloadByteSource::firstEventsAt().
+  bool firstEventsAt(std::chrono::steady_clock::time_point &Out) const {
+    return Payload.firstEventsAt(Out);
+  }
 
   /// The text parser when the upload sniffed as text (for symbol tables);
   /// null before the first read and for STB uploads.

@@ -1,0 +1,73 @@
+//===- loadgen/ExpArrivals.h - Open-loop arrival scheduling -----*- C++ -*-===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic-seeded exponential inter-arrival sampling for the
+/// open-loop load generator. Each connection worker draws its own
+/// schedule of request instants from a seeded SplitMix64 stream: i.i.d.
+/// exponential gaps compose into a Poisson arrival process, and the
+/// superposition of C independent per-worker processes at rate R/C is a
+/// Poisson process at the target rate R — which is why st-loadgen can
+/// run workers with no shared scheduler state and still offer a
+/// faithful open-loop Poisson load.
+///
+/// Determinism matters here exactly as much as in the workload
+/// generator: the same seed must offer the identical arrival schedule,
+/// so a latency regression between two runs is attributable to the
+/// server, never the generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMARTTRACK_LOADGEN_EXPARRIVALS_H
+#define SMARTTRACK_LOADGEN_EXPARRIVALS_H
+
+#include "support/Rng.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace st {
+
+/// Draws exponential inter-arrival gaps with a configured mean.
+class ExpArrivals {
+public:
+  ExpArrivals(uint64_t Seed, double MeanGapNs)
+      : R(Seed), MeanGapNs(MeanGapNs) {}
+
+  /// The next inter-arrival gap in nanoseconds: Exp(1/mean) via inverse
+  /// transform. The 53-bit uniform keeps the double mantissa exact;
+  /// -log1p(-U) maps U in [0,1) to (0, inf) without ever taking log(0).
+  uint64_t nextGapNs() {
+    double U = static_cast<double>(R.next() >> 11) * 0x1.0p-53;
+    double Gap = -std::log1p(-U) * MeanGapNs;
+    if (Gap < 0)
+      Gap = 0;
+    if (Gap > 9e18)
+      Gap = 9e18;
+    return static_cast<uint64_t>(Gap);
+  }
+
+  double meanGapNs() const { return MeanGapNs; }
+
+private:
+  Rng R;
+  double MeanGapNs;
+};
+
+/// Mixes independent stream labels into one seed so each (worker,
+/// request) pair gets a decorrelated deterministic stream. Two SplitMix64
+/// scrambles of (A ^ phi*B) — cheap, stateless, and stable across runs,
+/// which is what makes per-connection event streams reproducible from
+/// the top-level --seed alone.
+inline uint64_t mixSeed(uint64_t A, uint64_t B) {
+  Rng R(A ^ (B * 0x9e3779b97f4a7c15ull) ^ 0x5851f42d4c957f2dull);
+  R.next();
+  return R.next();
+}
+
+} // namespace st
+
+#endif // SMARTTRACK_LOADGEN_EXPARRIVALS_H

@@ -1,0 +1,81 @@
+//===- loadgen/Histogram.cpp - Fixed-bucket latency histogram -------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "loadgen/Histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace st {
+
+namespace {
+
+unsigned highestBit(uint64_t V) {
+  unsigned Bit = 0;
+  while (V >>= 1)
+    ++Bit;
+  return Bit;
+}
+
+} // namespace
+
+size_t LatencyHistogram::bucketIndex(uint64_t ValueNs) {
+  if (ValueNs < SubBuckets)
+    return static_cast<size_t>(ValueNs);
+  unsigned Octave = highestBit(ValueNs);
+  if (Octave >= MaxValueBits)
+    return BucketCount - 1;
+  unsigned Shift = Octave - SubBucketBits;
+  size_t Sub = static_cast<size_t>((ValueNs >> Shift) & (SubBuckets - 1));
+  return (static_cast<size_t>(Octave - SubBucketBits) + 1) * SubBuckets + Sub;
+}
+
+uint64_t LatencyHistogram::bucketLow(size_t Index) {
+  if (Index < SubBuckets)
+    return Index;
+  size_t Octave = Index / SubBuckets - 1 + SubBucketBits;
+  size_t Sub = Index % SubBuckets;
+  return (uint64_t(1) << Octave) + (uint64_t(Sub) << (Octave - SubBucketBits));
+}
+
+uint64_t LatencyHistogram::bucketWidth(size_t Index) {
+  if (Index < SubBuckets)
+    return 1;
+  size_t Octave = Index / SubBuckets - 1 + SubBucketBits;
+  return uint64_t(1) << (Octave - SubBucketBits);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram &Other) {
+  for (size_t I = 0; I < BucketCount; ++I)
+    Buckets[I] += Other.Buckets[I];
+  Count_ += Other.Count_;
+  Sum_ += Other.Sum_;
+  Min_ = std::min(Min_, Other.Min_);
+  Max_ = std::max(Max_, Other.Max_);
+}
+
+uint64_t LatencyHistogram::percentile(double Q) const {
+  if (Count_ == 0)
+    return 0;
+  Q = std::min(1.0, std::max(0.0, Q));
+  uint64_t Target = static_cast<uint64_t>(
+      std::ceil(Q * static_cast<double>(Count_)));
+  if (Target == 0)
+    Target = 1;
+  uint64_t Seen = 0;
+  for (size_t I = 0; I < BucketCount; ++I) {
+    Seen += Buckets[I];
+    if (Seen >= Target) {
+      // Midpoint of the bucket, clamped into the exact observed range so
+      // p0/p100 never stray outside [min, max].
+      uint64_t Rep = bucketLow(I) + bucketWidth(I) / 2;
+      return std::min(std::max(Rep, min()), max());
+    }
+  }
+  return max();
+}
+
+} // namespace st

@@ -334,7 +334,7 @@ std::string st::encodeSummaryLine(const AnalysisRunResult &A,
   return Out;
 }
 
-std::string st::encodeStreamLine(const RunReport &Rep) {
+std::string st::encodeStreamLine(const RunReport &Rep, uint64_t ServiceNs) {
   std::string Out = "{\"type\":\"stream\",";
   jsonKey(Out, "events");
   jsonUInt(Out, Rep.Stream.Events);
@@ -353,6 +353,11 @@ std::string st::encodeStreamLine(const RunReport &Rep) {
   Out += ',';
   jsonKey(Out, "wall_seconds");
   jsonNumber(Out, Rep.WallSeconds);
+  if (ServiceNs) {
+    Out += ',';
+    jsonKey(Out, "service_ns");
+    jsonUInt(Out, ServiceNs);
+  }
   Out += "}\n";
   return Out;
 }

@@ -183,8 +183,13 @@ std::string encodeDiagLine(const LintDiagnostic &D);
 /// analysis tracks them and shard_stats whenever it ran variable-sharded.
 std::string encodeSummaryLine(const AnalysisRunResult &A, uint64_t Events);
 
-/// {"type":"stream","events":...,...}\n — the final stream line.
-std::string encodeStreamLine(const RunReport &Rep);
+/// {"type":"stream","events":...,...}\n — the final stream line. A
+/// nonzero \p ServiceNs appends "service_ns": the server-side duration
+/// from first-EVENTS-frame receipt to this line being encoded, which is
+/// what lets an open-loop client (st-loadgen) split queueing delay from
+/// service time. Zero omits the field, so direct Session consumers that
+/// never served a wire upload keep their byte-identical line.
+std::string encodeStreamLine(const RunReport &Rep, uint64_t ServiceNs = 0);
 
 /// {"type":"error","code":...,"message":...}\n. Stable codes:
 /// "bad-hello", "bad-version", "protocol", "decode", "rejected",

@@ -403,7 +403,17 @@ void Server::handleConnection(int Fd) {
         Writer.write(FrameType::Summary,
                      encodeSummaryLine(A, Rep.Stream.Events));
     }
-    Writer.write(FrameType::Summary, encodeStreamLine(Rep));
+    // Server-side service time: first EVENTS frame off the wire to the
+    // stream SUMMARY being encoded. Absent for uploads that never sent
+    // an EVENTS frame.
+    uint64_t ServiceNs = 0;
+    std::chrono::steady_clock::time_point FirstEvents;
+    if (Events.firstEventsAt(FirstEvents))
+      ServiceNs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - FirstEvents)
+              .count());
+    Writer.write(FrameType::Summary, encodeStreamLine(Rep, ServiceNs));
 
     if (Budgeted.breached())
       return Finish(Outcome::Evicted, Budgeted.breachCode().c_str(),

@@ -84,10 +84,12 @@ std::string encodeStb(const Trace &Tr) {
   return Encoded;
 }
 
-/// Drops the run-dependent timing fields ("seconds", "wall_seconds") from
-/// a summary/stream line so the rest compares byte-for-byte.
+/// Drops the run-dependent timing fields ("seconds", "wall_seconds",
+/// "service_ns") from a summary/stream line so the rest compares
+/// byte-for-byte.
 std::string stripTimings(std::string Line) {
-  for (const char *Key : {"\"seconds\":", "\"wall_seconds\":"}) {
+  for (const char *Key :
+       {"\"seconds\":", "\"wall_seconds\":", "\"service_ns\":"}) {
     size_t P = Line.find(Key);
     if (P == std::string::npos || P == 0)
       continue;

@@ -4,7 +4,8 @@
 Compares a current BENCH_results.json against a checked-in baseline
 (bench/baseline.json) and fails on:
 
-  * schema mismatch (the formats are not comparable);
+  * schema mismatch (the formats are not comparable); v1 and v2 reports
+    are both understood, but a diff across versions is refused;
   * coverage regression: a (workload, analysis) cell present in the
     baseline is missing from the current run;
   * correctness regression: race counts differ while the workload config
@@ -30,6 +31,25 @@ Compares a current BENCH_results.json against a checked-in baseline
     Race-count equality still applies to every shard cell, so CI
     re-proves sharded/sequential parity on every run.
 
+Schema v2 adds "kind": "latency" cells — st-loadgen tail-latency
+reports against a live st-serve. Latency cells are exempt from the
+relative-cost and shard gates (open-loop wall-clock percentiles do not
+form machine-portable ratios); they are validated structurally with
+--validate-latency:
+
+  bench_compare.py --validate-latency LOADGEN_results.json
+
+which fails unless every latency cell has finite, ordered percentiles
+(p50 <= p99 <= p999), closed accounting (completed + errors == requests
+and histogram count == completed), and host provenance
+(hardware_concurrency, offered vs achieved rate). Load-health checks —
+late_sends bounded and a nonzero achieved rate — self-skip with an
+explicit message on starved hosts (hardware_concurrency < 2), the same
+pattern as the shard-scaling gate: a 1-core runner cannot run the
+generator and the server honestly at rate, and that is the host's
+ceiling, not a regression. Absolute latency is never gated: CI boxes
+are shared, and a noisy neighbor must not fail the build.
+
 With --require-main-table the gate additionally fails loudly when the
 CURRENT report is missing any (baseline workload, main-table analysis)
 cell — a bench run that silently skipped part of the Table 4-6 grid must
@@ -37,15 +57,17 @@ not pass just because the baseline happened to lack the cell too.
 
 Usage: bench_compare.py BASELINE CURRENT [--max-regress=F] [--absolute]
                         [--require-main-table] [--min-shard-speedup=F]
+       bench_compare.py --validate-latency CURRENT
 
 Exit status: 0 when every check passes, 1 on regression, 2 on usage or
 malformed input.
 """
 
 import json
+import math
 import sys
 
-EXPECTED_SCHEMA = "st-bench/v1"
+ACCEPTED_SCHEMAS = ("st-bench/v1", "st-bench/v2")
 
 # The eleven analyses of the paper's Tables 4-6 (mainTableAnalysisKinds()
 # in src/analysis/AnalysisRegistry.cpp), in registry order.
@@ -69,20 +91,22 @@ def load(path):
             report = json.load(fh)
     except (OSError, json.JSONDecodeError) as err:
         usage_error(f"cannot read {path}: {err}")
-    if report.get("schema") != EXPECTED_SCHEMA:
+    if report.get("schema") not in ACCEPTED_SCHEMAS:
         usage_error(
             f"{path} has schema {report.get('schema')!r}, "
-            f"expected {EXPECTED_SCHEMA!r}"
+            f"expected one of {ACCEPTED_SCHEMAS!r}"
         )
     return report
 
 
 def cells(report):
-    # Plain cells carry no "shards" field (key component 0); shard-scaling
-    # cells key on their shard count so they never collide with the plain
-    # cell of the same (workload, analysis).
+    # Plain cells carry no "shards" field (key component 0) and no "kind"
+    # (v1 reports predate it); shard-scaling cells key on their shard
+    # count and latency cells on their kind, so none collide with the
+    # plain cell of the same (workload, analysis).
     return {
-        (r["workload"], r["analysis"], r.get("shards", 0)): r
+        (r["workload"], r["analysis"], r.get("shards", 0),
+         r.get("kind", "")): r
         for r in report["results"]
     }
 
@@ -92,9 +116,10 @@ def shard_speedup_failures(cur, min_shard_speedup):
     baseline machine's core count is irrelevant)."""
     # Per-cell hardware_concurrency (st-bench records it on every cell)
     # is authoritative; the config-level copy covers reports from before
-    # the per-cell field existed.
+    # the per-cell field existed. Latency cells are excluded: their host
+    # provenance guards the latency gates, not the shard gate.
     hws = [r["hardware_concurrency"] for r in cur.get("results", [])
-           if "hardware_concurrency" in r]
+           if "hardware_concurrency" in r and r.get("kind", "") != "latency"]
     hw = min(hws) if hws else cur.get("config", {}).get(
         "hardware_concurrency", 0)
     if hw < 4:
@@ -106,11 +131,13 @@ def shard_speedup_failures(cur, min_shard_speedup):
     failures = []
     anchors = {}
     for r in cur["results"]:
+        if r.get("kind", "") == "latency":
+            continue
         if r.get("shards") == 1:
             anchors[(r["workload"], r["analysis"])] = r
     checked = 0
     for r in cur["results"]:
-        if r.get("shards") != 4:
+        if r.get("kind", "") == "latency" or r.get("shards") != 4:
             continue
         anchor = anchors.get((r["workload"], r["analysis"]))
         if anchor is None or anchor.get("events_per_sec", 0) <= 0:
@@ -130,11 +157,108 @@ def shard_speedup_failures(cur, min_shard_speedup):
     return failures
 
 
+def finite_nonneg(value):
+    return isinstance(value, (int, float)) and math.isfinite(value) \
+        and value >= 0
+
+
+def validate_latency(path):
+    """Structural gate over an st-loadgen report: percentiles finite and
+    ordered, accounting closed, provenance present. Never gates absolute
+    latency. Returns an exit status."""
+    report = load(path)
+    if report.get("schema") != "st-bench/v2":
+        usage_error(f"{path}: latency cells require schema st-bench/v2, "
+                    f"got {report.get('schema')!r}")
+    latency_cells = [r for r in report.get("results", [])
+                     if r.get("kind", "") == "latency"]
+    if not latency_cells:
+        usage_error(f"{path}: no latency cells to validate")
+
+    failures = []
+    for r in latency_cells:
+        label = f"{r.get('workload', '?')}/{r.get('analysis', '?')}"
+
+        # Host provenance must be recorded: without it no one can judge
+        # the numbers later (the stale-ROADMAP-meter lesson).
+        for field in ("hardware_concurrency", "offered_events_per_sec",
+                      "achieved_events_per_sec", "late_sends"):
+            if field not in r:
+                failures.append(f"{label}: missing {field}")
+
+        requests = r.get("requests", 0)
+        completed = r.get("completed", 0)
+        errors = r.get("errors", 0)
+        if completed + errors != requests:
+            failures.append(
+                f"{label}: accounting does not close: "
+                f"{completed} completed + {errors} errors != "
+                f"{requests} requests")
+        if completed == 0:
+            failures.append(f"{label}: no completed requests — nothing "
+                            f"was measured")
+
+        hist = r.get("latency_ns")
+        if not isinstance(hist, dict):
+            failures.append(f"{label}: missing latency_ns histogram")
+            continue
+        if hist.get("count") != completed:
+            failures.append(
+                f"{label}: histogram count {hist.get('count')} != "
+                f"completed {completed}")
+        quantiles = ["min", "p50", "p90", "p99", "p999", "max"]
+        values = [hist.get(q) for q in quantiles]
+        bad = [q for q, v in zip(quantiles, values)
+               if not finite_nonneg(v)]
+        if bad:
+            failures.append(f"{label}: non-finite latency field(s): "
+                            f"{', '.join(bad)}")
+            continue
+        if not all(a <= b for a, b in zip(values, values[1:])):
+            failures.append(
+                f"{label}: percentiles out of order: " + ", ".join(
+                    f"{q}={v}" for q, v in zip(quantiles, values)))
+        print(f"latency: {label} p50={hist['p50']}ns p99={hist['p99']}ns "
+              f"p999={hist['p999']}ns over {completed} requests")
+
+        # Load-health checks self-skip on starved hosts, with an explicit
+        # message (same pattern as the shard-scaling gate): on <2 cores
+        # the generator and server time-share one CPU, so missed send
+        # deadlines and a collapsed achieved rate are the host's ceiling,
+        # not a serving regression.
+        hw = r.get("hardware_concurrency", 0)
+        if hw < 2:
+            print("latency load gate self-skipped: host has <2 cores")
+            print(f"note: hardware_concurrency={hw} < 2; late_sends and "
+                  f"achieved-rate checks skipped for {label}")
+            continue
+        late = r.get("late_sends", 0)
+        if requests and late > requests / 2:
+            failures.append(
+                f"{label}: generator missed {late}/{requests} send "
+                f"deadlines — the run degraded to closed-loop and its "
+                f"percentiles are not trustworthy")
+        if completed and r.get("achieved_events_per_sec", 0) <= 0:
+            failures.append(f"{label}: achieved rate is zero with "
+                            f"completed requests")
+
+    if failures:
+        print(f"\nbench_compare: {len(failures)} latency validation "
+              f"failure(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\nbench_compare: OK ({len(latency_cells)} latency cell(s) "
+          f"valid)")
+    return 0
+
+
 def main(argv):
     max_regress = 0.35
     min_shard_speedup = 1.2
     absolute = False
     require_main_table = False
+    validate_latency_mode = False
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--max-regress="):
@@ -151,15 +275,27 @@ def main(argv):
             absolute = True
         elif arg == "--require-main-table":
             require_main_table = True
+        elif arg == "--validate-latency":
+            validate_latency_mode = True
         elif arg.startswith("-"):
             usage_error(__doc__)
         else:
             paths.append(arg)
+    if validate_latency_mode:
+        if len(paths) != 1:
+            usage_error(__doc__)
+        return validate_latency(paths[0])
     if len(paths) != 2:
         usage_error(__doc__)
 
     base = load(paths[0])
     cur = load(paths[1])
+    if base.get("schema") != cur.get("schema"):
+        usage_error(
+            f"schema mismatch: {paths[0]} is {base.get('schema')!r}, "
+            f"{paths[1]} is {cur.get('schema')!r}; reports are only "
+            f"comparable within one schema version"
+        )
     base_cells, cur_cells = cells(base), cells(cur)
     same_config = base.get("config", {}).get("events") == cur.get(
         "config", {}
@@ -172,7 +308,7 @@ def main(argv):
     if require_main_table:
         for workload in [w["name"] for w in base.get("workloads", [])]:
             for analysis in MAIN_TABLE_ANALYSES:
-                if (workload, analysis, 0) not in cur_cells:
+                if (workload, analysis, 0, "") not in cur_cells:
                     failures.append(
                         f"main-table: {workload}/{analysis} missing from "
                         f"current run (cell skipped?)"
@@ -180,15 +316,17 @@ def main(argv):
     print(f"{'workload':<10} {'analysis':<12} {'base':>9} {'cur':>9} "
           f"{'delta':>8}  ({metric}, limit +{max_regress:.0%})")
     for key in sorted(base_cells):
-        workload, analysis, shards = key
+        workload, analysis, shards, kind = key
         label = f"{analysis}/{shards}" if shards else analysis
+        if kind:
+            label = f"{label}[{kind}]"
         b = base_cells[key]
         c = cur_cells.get(key)
         if c is None:
             failures.append(f"coverage: {workload}/{label} missing from "
                             f"current run")
             continue
-        if same_config and (
+        if same_config and kind != "latency" and (
             b["dynamic_races"] != c["dynamic_races"]
             or b["static_races"] != c["static_races"]
         ):
@@ -198,9 +336,11 @@ def main(argv):
                 f"{c['static_races']} ({c['dynamic_races']}) "
                 f"with identical workload config"
             )
-        if shards:
-            # Shard timings depend on core count and scheduler, so no
-            # cost-ratio gate; shard_speedup_failures() covers perf.
+        if shards or kind == "latency":
+            # Shard timings depend on core count and scheduler, and
+            # open-loop latency on wall-clock contention, so no
+            # cost-ratio gate; shard_speedup_failures() and
+            # --validate-latency cover them.
             continue
         bv, cv = b.get(metric), c.get(metric)
         if bv is None or cv is None or bv <= 0:

@@ -1,0 +1,63 @@
+#!/bin/sh
+# Loadgen smoke test (CI): boot a real st-serve on an ephemeral TCP port,
+# drive it open-loop with st-loadgen for a few seconds at a modest rate,
+# and validate the emitted st-bench/v2 latency cell with
+# bench_compare.py --validate-latency.
+#
+# The gate is *shape*, not speed: the report must parse, accounting must
+# close (completed + errors == requests, latency samples == completed),
+# percentiles must be finite and ordered, and the provenance fields
+# (hardware_concurrency, offered/achieved rate, late_sends) must be
+# present so downstream comparisons can self-skip on starved hosts.
+# Absolute latency is never gated — CI runners are shared and noisy, and
+# a p99 threshold here would only measure the neighbors.
+#
+# Usage: loadgen_smoke.sh path/to/st-serve path/to/st-loadgen [bench_compare.py]
+set -eu
+
+SERVE=${1:?usage: loadgen_smoke.sh path/to/st-serve path/to/st-loadgen [bench_compare.py]}
+LOADGEN=${2:?usage: loadgen_smoke.sh path/to/st-serve path/to/st-loadgen [bench_compare.py]}
+COMPARE=${3:-$(dirname "$0")/bench_compare.py}
+DIR=$(mktemp -d)
+SERVE_PID=
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -TERM "$SERVE_PID" 2> /dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+TIME_BUDGET=${SMOKE_TIME_BUDGET:-120}
+
+echo "== booting st-serve on an ephemeral port"
+"$SERVE" --listen=tcp:127.0.0.1:0 --print-port \
+    > "$DIR/port" 2> "$DIR/serve.log" &
+SERVE_PID=$!
+i=0
+while [ ! -s "$DIR/port" ] && [ "$i" -lt 200 ]; do sleep 0.05; i=$((i+1)); done
+if [ ! -s "$DIR/port" ]; then
+    echo "FAIL: st-serve never printed its port"
+    cat "$DIR/serve.log"
+    exit 1
+fi
+PORT=$(cat "$DIR/port")
+echo "   listening on 127.0.0.1:$PORT"
+
+echo "== driving ~5s of open-loop load"
+# Modest on purpose: the offered rate must be sustainable on a starved
+# shared runner, because the gate below requires achieved > 0 and a sane
+# late_sends fraction. Throughput itself is st-bench's job, not this one.
+timeout "$TIME_BUDGET" "$LOADGEN" --connect=tcp:127.0.0.1:"$PORT" \
+    --events-per-sec=20000 --connections=2 --duration=5 --seed=7 \
+    --workload=tomcat --analysis=ST-WDC --events-per-request=1000 \
+    --out="$DIR/loadgen.json"
+
+echo "== stopping st-serve"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+SERVE_PID=
+cat "$DIR/serve.log"
+
+echo "== validating the latency cell"
+python3 "$COMPARE" --validate-latency "$DIR/loadgen.json"
+
+echo "OK: open-loop run completed and the latency report validates"

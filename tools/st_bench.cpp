@@ -458,7 +458,7 @@ CellResult measureCell(const WorkloadProfile &P, AnalysisKind Kind,
 
 // Schema: bump on any breaking change to the JSON layout; the CI compare
 // gate refuses to diff across schema versions.
-constexpr unsigned SchemaVersion = 1;
+constexpr unsigned SchemaVersion = 2;
 
 void jsonNumber(std::string &Out, double V) {
   char Buf[48];
@@ -485,7 +485,7 @@ std::string jsonReport(const Options &Opts,
                        const std::vector<WorkloadResult> &Workloads,
                        const char *ReferenceName) {
   std::string Out = "{\n";
-  Out += "  \"schema\": \"st-bench/v1\",\n  \"schema_version\": ";
+  Out += "  \"schema\": \"st-bench/v2\",\n  \"schema_version\": ";
   jsonUInt(Out, SchemaVersion);
   Out += ",\n  \"suite\": ";
   jsonString(Out, Opts.Suite->Name);

@@ -1,0 +1,410 @@
+//===- tools/st_loadgen.cpp - Open-loop load generator CLI ----------------===//
+//
+// Part of the SmartTrack reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives a live st-serve instance open-loop (src/loadgen) and emits a
+// schema-versioned latency report in the st-bench JSON envelope, so the
+// same CI gate (tools/ci/bench_compare.py) that guards throughput cells
+// validates tail-latency cells.
+//
+// Open-loop: request instants are drawn up front from a seeded
+// exponential schedule targeting --events-per-sec; a slow server makes
+// requests late, never fewer, and latency is measured from the
+// *scheduled* send instant to stream-SUMMARY receipt (coordinated-
+// omission corrected — docs/loadgen.md). late_sends reports how often
+// the generator itself missed a send deadline, so an overloaded client
+// host degrades visibly instead of silently converting the run into a
+// closed-loop one.
+//
+// Usage:
+//   st-loadgen --connect=ADDR [--events-per-sec=R] [--connections=C]
+//              [--duration=S] [--seed=K] [--workload=NAME]
+//              [--analysis=A,B,..] [--shards=N] [--events-per-request=N]
+//              [--dist=fixed|uniform|exp] [--out=FILE|-] [--quiet]
+//
+// Exit status: 0 on a measured run, 1 on usage/config errors or when no
+// request completed (nothing was measured).
+//
+//===----------------------------------------------------------------------===//
+
+#include "loadgen/Loadgen.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace st;
+
+namespace {
+
+struct Options {
+  LoadgenOptions Gen;
+  const char *Out = "LOADGEN_results.json";
+  bool Quiet = false;
+};
+
+void printUsage(FILE *To) {
+  std::fprintf(
+      To,
+      "usage: st-loadgen --connect=ADDR [options]\n"
+      "\n"
+      "Open-loop load generator for st-serve: exponential arrivals at a\n"
+      "target event rate, latency percentiles at the race-report\n"
+      "boundary, st-bench/v2 JSON out.\n"
+      "\n"
+      "  --connect=ADDR         unix:PATH | tcp:HOST:PORT | HOST:PORT\n"
+      "  --events-per-sec=R     target offered load, events/sec (default\n"
+      "                         100000), summed over all connections\n"
+      "  --connections=C        concurrent connection workers (default 4)\n"
+      "  --duration=S           seconds of offered load (default 5)\n"
+      "  --seed=K               top-level determinism seed (default 42):\n"
+      "                         same seed => identical per-connection\n"
+      "                         event streams and arrival schedules\n"
+      "  --workload=NAME        workload profile (default avrora)\n"
+      "  --analysis=A,B,..      analyses to request (default: server's)\n"
+      "  --shards=N             shards to request per connection\n"
+      "  --events-per-request=N mean events per request (default 2000)\n"
+      "  --dist=KIND            per-request event count distribution:\n"
+      "                         fixed | uniform | exp (default fixed)\n"
+      "  --recv-timeout=S       per-socket receive timeout (default 30)\n"
+      "  --out=FILE|-           JSON report path (default\n"
+      "                         LOADGEN_results.json; - for stdout)\n"
+      "  --quiet                no human summary on stderr\n"
+      "  --help                 this text\n");
+}
+
+bool parseUInt(const char *S, uint64_t &Out) {
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (errno || End == S || *End)
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseDouble(const char *S, double &Out) {
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(S, &End);
+  if (errno || End == S || *End)
+    return false;
+  Out = V;
+  return true;
+}
+
+void splitList(const char *S, std::vector<std::string> &Out) {
+  std::string Cur;
+  for (; *S; ++S) {
+    if (*S == ',') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += *S;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  auto Value = [](const char *Arg, const char *Flag) -> const char * {
+    size_t N = std::strlen(Flag);
+    if (std::strncmp(Arg, Flag, N) == 0 && Arg[N] == '=')
+      return Arg + N + 1;
+    return nullptr;
+  };
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    const char *V;
+    uint64_t U;
+    if (std::strcmp(Arg, "--help") == 0) {
+      printUsage(stdout);
+      std::exit(0);
+    } else if (std::strcmp(Arg, "--quiet") == 0) {
+      Opts.Quiet = true;
+    } else if ((V = Value(Arg, "--connect"))) {
+      Opts.Gen.Connect = V;
+    } else if ((V = Value(Arg, "--events-per-sec"))) {
+      if (!parseDouble(V, Opts.Gen.EventsPerSec) ||
+          Opts.Gen.EventsPerSec <= 0) {
+        std::fprintf(stderr, "error: bad --events-per-sec: %s\n", V);
+        return false;
+      }
+    } else if ((V = Value(Arg, "--connections"))) {
+      if (!parseUInt(V, U) || U == 0 || U > 1024) {
+        std::fprintf(stderr, "error: bad --connections: %s\n", V);
+        return false;
+      }
+      Opts.Gen.Connections = static_cast<unsigned>(U);
+    } else if ((V = Value(Arg, "--duration"))) {
+      if (!parseDouble(V, Opts.Gen.DurationSeconds) ||
+          Opts.Gen.DurationSeconds <= 0) {
+        std::fprintf(stderr, "error: bad --duration: %s\n", V);
+        return false;
+      }
+    } else if ((V = Value(Arg, "--seed"))) {
+      if (!parseUInt(V, Opts.Gen.Seed)) {
+        std::fprintf(stderr, "error: bad --seed: %s\n", V);
+        return false;
+      }
+    } else if ((V = Value(Arg, "--workload"))) {
+      Opts.Gen.Workload = V;
+    } else if ((V = Value(Arg, "--analysis"))) {
+      splitList(V, Opts.Gen.Analyses);
+    } else if ((V = Value(Arg, "--shards"))) {
+      if (!parseUInt(V, Opts.Gen.Shards) || Opts.Gen.Shards == 0) {
+        std::fprintf(stderr, "error: bad --shards: %s\n", V);
+        return false;
+      }
+    } else if ((V = Value(Arg, "--events-per-request"))) {
+      if (!parseUInt(V, Opts.Gen.EventsPerRequest) ||
+          Opts.Gen.EventsPerRequest == 0) {
+        std::fprintf(stderr, "error: bad --events-per-request: %s\n", V);
+        return false;
+      }
+    } else if ((V = Value(Arg, "--dist"))) {
+      if (std::strcmp(V, "fixed") == 0)
+        Opts.Gen.Dist = EventCountDist::Fixed;
+      else if (std::strcmp(V, "uniform") == 0)
+        Opts.Gen.Dist = EventCountDist::Uniform;
+      else if (std::strcmp(V, "exp") == 0)
+        Opts.Gen.Dist = EventCountDist::Exponential;
+      else {
+        std::fprintf(stderr, "error: bad --dist: %s\n", V);
+        return false;
+      }
+    } else if ((V = Value(Arg, "--recv-timeout"))) {
+      if (!parseDouble(V, Opts.Gen.RecvTimeoutSeconds) ||
+          Opts.Gen.RecvTimeoutSeconds <= 0) {
+        std::fprintf(stderr, "error: bad --recv-timeout: %s\n", V);
+        return false;
+      }
+    } else if ((V = Value(Arg, "--out"))) {
+      Opts.Out = V;
+    } else {
+      std::fprintf(stderr, "error: unknown argument: %s\n", Arg);
+      printUsage(stderr);
+      return false;
+    }
+  }
+  if (Opts.Gen.Connect.empty()) {
+    std::fprintf(stderr, "error: --connect=ADDR is required\n");
+    printUsage(stderr);
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON report (st-bench/v2 envelope, "latency" cells)
+//===----------------------------------------------------------------------===//
+
+void jsonNumber(std::string &Out, double V) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  Out += Buf;
+}
+
+void jsonUInt(std::string &Out, uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(V));
+  Out += Buf;
+}
+
+/// Workload/analysis names are identifier-shaped; quoting is applied,
+/// escaping is unnecessary by construction (same contract as st-bench).
+void jsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  Out += S;
+  Out += '"';
+}
+
+void jsonHistogram(std::string &Out, const LatencyHistogram &H) {
+  Out += "{\"count\": ";
+  jsonUInt(Out, H.count());
+  Out += ", \"min\": ";
+  jsonUInt(Out, H.min());
+  Out += ", \"mean\": ";
+  jsonNumber(Out, H.mean());
+  Out += ", \"p50\": ";
+  jsonUInt(Out, H.percentile(0.50));
+  Out += ", \"p90\": ";
+  jsonUInt(Out, H.percentile(0.90));
+  Out += ", \"p99\": ";
+  jsonUInt(Out, H.percentile(0.99));
+  Out += ", \"p999\": ";
+  jsonUInt(Out, H.percentile(0.999));
+  Out += ", \"max\": ";
+  jsonUInt(Out, H.max());
+  Out += "}";
+}
+
+std::string analysisLabel(const Options &Opts) {
+  if (Opts.Gen.Analyses.empty())
+    return "server-default";
+  std::string Label;
+  for (const std::string &A : Opts.Gen.Analyses) {
+    if (!Label.empty())
+      Label += '+';
+    Label += A;
+  }
+  return Label;
+}
+
+std::string jsonReport(const Options &Opts, const LoadgenReport &R) {
+  unsigned Cores = std::thread::hardware_concurrency();
+  std::string Out = "{\n";
+  Out += "  \"schema\": \"st-bench/v2\",\n  \"schema_version\": 2,\n";
+  Out += "  \"suite\": \"loadgen\",\n";
+  Out += "  \"config\": {\"connect\": ";
+  jsonString(Out, Opts.Gen.Connect);
+  Out += ", \"events_per_sec\": ";
+  jsonNumber(Out, Opts.Gen.EventsPerSec);
+  Out += ", \"connections\": ";
+  jsonUInt(Out, Opts.Gen.Connections);
+  Out += ", \"duration\": ";
+  jsonNumber(Out, Opts.Gen.DurationSeconds);
+  Out += ", \"seed\": ";
+  jsonUInt(Out, Opts.Gen.Seed);
+  Out += ", \"events_per_request\": ";
+  jsonUInt(Out, Opts.Gen.EventsPerRequest);
+  Out += ", \"dist\": ";
+  jsonString(Out, Opts.Gen.Dist == EventCountDist::Fixed     ? "fixed"
+             : Opts.Gen.Dist == EventCountDist::Uniform ? "uniform"
+                                                             : "exp");
+  // Host provenance: the tail gates in bench_compare.py read this to
+  // self-skip on starved runners, same pattern as the shard-scaling
+  // gate. The client and server share the host in CI; a cross-host run
+  // records the client side, which is the generator's own capability.
+  Out += ", \"hardware_concurrency\": ";
+  jsonUInt(Out, Cores);
+  Out += "},\n  \"results\": [\n";
+  Out += "    {\"workload\": ";
+  jsonString(Out, Opts.Gen.Workload);
+  Out += ", \"analysis\": ";
+  jsonString(Out, analysisLabel(Opts));
+  Out += ", \"kind\": \"latency\"";
+  if (Opts.Gen.Shards > 1) {
+    Out += ", \"shards\": ";
+    jsonUInt(Out, Opts.Gen.Shards);
+  }
+  Out += ",\n     \"connections\": ";
+  jsonUInt(Out, Opts.Gen.Connections);
+  Out += ", \"requests\": ";
+  jsonUInt(Out, R.Requests);
+  Out += ", \"completed\": ";
+  jsonUInt(Out, R.Completed);
+  Out += ", \"errors\": ";
+  jsonUInt(Out, R.Errors);
+  Out += ", \"late_sends\": ";
+  jsonUInt(Out, R.LateSends);
+  Out += ",\n     \"events\": ";
+  jsonUInt(Out, R.EventsSent);
+  Out += ", \"events_completed\": ";
+  jsonUInt(Out, R.EventsCompleted);
+  Out += ", \"bytes_sent\": ";
+  jsonUInt(Out, R.BytesSent);
+  Out += ", \"dynamic_races\": ";
+  jsonUInt(Out, R.Races);
+  Out += ",\n     \"offered_events_per_sec\": ";
+  jsonNumber(Out, R.OfferedEventsPerSec);
+  Out += ", \"achieved_events_per_sec\": ";
+  jsonNumber(Out, R.AchievedEventsPerSec);
+  Out += ", \"events_per_sec_per_core\": ";
+  jsonNumber(Out, Cores ? R.AchievedEventsPerSec / Cores
+                        : R.AchievedEventsPerSec);
+  Out += ",\n     \"hardware_concurrency\": ";
+  jsonUInt(Out, Cores);
+  Out += ", \"duration_seconds\": ";
+  jsonNumber(Out, Opts.Gen.DurationSeconds);
+  Out += ", \"wall_seconds\": ";
+  jsonNumber(Out, R.WallSeconds);
+  Out += ",\n     \"latency_ns\": ";
+  jsonHistogram(Out, R.Latency);
+  if (R.Service.count()) {
+    Out += ",\n     \"service_ns\": ";
+    jsonHistogram(Out, R.Service);
+  }
+  Out += "}\n  ]\n}\n";
+  return Out;
+}
+
+void printSummary(const Options &Opts, const LoadgenReport &R) {
+  std::fprintf(
+      stderr,
+      "st-loadgen: %llu requests (%llu completed, %llu errors, "
+      "%llu late) over %.2fs\n",
+      static_cast<unsigned long long>(R.Requests),
+      static_cast<unsigned long long>(R.Completed),
+      static_cast<unsigned long long>(R.Errors),
+      static_cast<unsigned long long>(R.LateSends), R.WallSeconds);
+  std::fprintf(
+      stderr,
+      "st-loadgen: offered %.0f events/s, achieved %.0f events/s "
+      "(%llu races seen)\n",
+      R.OfferedEventsPerSec, R.AchievedEventsPerSec,
+      static_cast<unsigned long long>(R.Races));
+  if (R.Latency.count())
+    std::fprintf(stderr,
+                 "st-loadgen: latency p50 %.3f ms, p99 %.3f ms, "
+                 "p999 %.3f ms, max %.3f ms\n",
+                 R.Latency.percentile(0.50) / 1e6,
+                 R.Latency.percentile(0.99) / 1e6,
+                 R.Latency.percentile(0.999) / 1e6,
+                 R.Latency.max() / 1e6);
+  if (R.Service.count())
+    std::fprintf(stderr,
+                 "st-loadgen: service p50 %.3f ms, p99 %.3f ms\n",
+                 R.Service.percentile(0.50) / 1e6,
+                 R.Service.percentile(0.99) / 1e6);
+  (void)Opts;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 1;
+
+  LoadgenReport Report;
+  std::string Err;
+  if (!runLoadgen(Opts.Gen, Report, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  std::string Json = jsonReport(Opts, Report);
+  if (std::strcmp(Opts.Out, "-") == 0) {
+    std::fwrite(Json.data(), 1, Json.size(), stdout);
+  } else {
+    FILE *F = std::fopen(Opts.Out, "wb");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write %s\n", Opts.Out);
+      return 1;
+    }
+    std::fwrite(Json.data(), 1, Json.size(), F);
+    std::fclose(F);
+    if (!Opts.Quiet)
+      std::fprintf(stderr, "st-loadgen: wrote %s\n", Opts.Out);
+  }
+  if (!Opts.Quiet)
+    printSummary(Opts, Report);
+
+  // A run where nothing completed measured nothing: fail loudly so CI
+  // cannot mistake a dead server for a fast one.
+  if (Report.Completed == 0) {
+    std::fprintf(stderr, "error: no request completed\n");
+    return 1;
+  }
+  return 0;
+}
